@@ -1,0 +1,36 @@
+# swcam — build/test/reproduce targets. Stdlib-only Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures outputs clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Print every table and figure of the paper's evaluation.
+figures:
+	$(GO) run ./cmd/benchtab -all
+
+# The capture the repository ships with (test_output.txt, bench_output.txt).
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

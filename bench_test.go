@@ -1,0 +1,269 @@
+// Package swcam_bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks: each BenchmarkTableN / BenchmarkFigN
+// drives the corresponding experiment and reports the headline numbers
+// through b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// whole evaluation in one run (cmd/benchtab prints the same content as
+// human-readable tables).
+package swcam_bench
+
+import (
+	"math"
+	"testing"
+
+	"swcam/internal/core"
+	"swcam/internal/dycore"
+	"swcam/internal/exec"
+	"swcam/internal/mesh"
+	"swcam/internal/perf"
+	"swcam/internal/tc"
+)
+
+// BenchmarkTable1Kernels runs the six dycore kernels under all four
+// execution strategies on the functional simulator and reports the
+// modeled Athread-over-Intel speedup range (the Table 1 payload).
+func BenchmarkTable1Kernels(b *testing.B) {
+	cfg := perf.DefaultTable1Config()
+	cfg.SampleElems = 8
+	var rows []perf.KernelRow
+	for i := 0; i < b.N; i++ {
+		rows = Table1Once(cfg)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		s := r.Speedup(exec.Intel, exec.Athread)
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	b.ReportMetric(lo, "athread/intel_min_x")
+	b.ReportMetric(hi, "athread/intel_max_x")
+}
+
+// Table1Once wraps the generator (kept separate so the benchmark loop
+// body stays visible).
+func Table1Once(cfg perf.Table1Config) []perf.KernelRow { return perf.Table1(cfg) }
+
+// BenchmarkTable2Mesh builds the cubed-sphere grid (the Table 2
+// configurations, at a laptop-scale ne) and reports elements built.
+func BenchmarkTable2Mesh(b *testing.B) {
+	var m *mesh.Mesh
+	for i := 0; i < b.N; i++ {
+		m = mesh.New(16, 4)
+	}
+	b.ReportMetric(float64(m.NElems()), "elements")
+	b.ReportMetric(float64(m.NNodes), "unique_nodes")
+}
+
+// BenchmarkTable3NGGPS evaluates the dycore-comparison cost models and
+// reports the FV3 and MPAS margins at 3 km.
+func BenchmarkTable3NGGPS(b *testing.B) {
+	var cases []perf.Table3Case
+	for i := 0; i < b.N; i++ {
+		cases = perf.Table3()
+	}
+	r3 := cases[1].Rows
+	b.ReportMetric(r3[1].RunTime/r3[0].RunTime, "fv3/ours_3km_x")
+	b.ReportMetric(r3[2].RunTime/r3[0].RunTime, "mpas/ours_3km_x")
+}
+
+// BenchmarkFig4Climatology runs the control (serial Intel) and test
+// (distributed Athread) integrations and reports the largest zonal-mean
+// temperature discrepancy — the Figure 4 "identical climate" metric.
+func BenchmarkFig4Climatology(b *testing.B) {
+	cfg := dycore.DefaultConfig(2)
+	cfg.Nlev = 8
+	cfg.Qsize = 0
+	maxd := 0.0
+	for i := 0; i < b.N; i++ {
+		s, err := dycore.NewSolver(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := s.NewState()
+		s.InitBaroclinicWave(ref)
+		g := ref.Clone()
+		const steps = 4
+		for k := 0; k < steps; k++ {
+			s.Step(ref)
+		}
+		job, err := core.NewParallelJob(cfg, exec.Athread, true, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		local := job.Scatter(g)
+		job.Run(local, steps)
+		got := job.Gather(local)
+		zmA := s.ZonalMeanT(ref, cfg.Nlev-1, 12)
+		zmB := s.ZonalMeanT(got, cfg.Nlev-1, 12)
+		maxd = 0
+		for k := range zmA {
+			if d := math.Abs(zmA[k] - zmB[k]); d > maxd {
+				maxd = d
+			}
+		}
+	}
+	b.ReportMetric(maxd, "max_zonal_T_diff_K")
+}
+
+// BenchmarkFig5Speedups reports the peak Athread-over-OpenACC kernel
+// gain (Figure 5's headline: up to ~50x).
+func BenchmarkFig5Speedups(b *testing.B) {
+	cfg := perf.DefaultTable1Config()
+	cfg.SampleElems = 8
+	peak := 0.0
+	for i := 0; i < b.N; i++ {
+		rows := perf.Table1(cfg)
+		peak = 0
+		for _, r := range rows {
+			if s := r.Speedup(exec.OpenACC, exec.Athread); s > peak {
+				peak = s
+			}
+		}
+	}
+	b.ReportMetric(peak, "athread/openacc_peak_x")
+}
+
+// BenchmarkFig6SYPD evaluates the whole-CAM composition model at the
+// paper's two operating points.
+func BenchmarkFig6SYPD(b *testing.B) {
+	var ne30, ne120 float64
+	for i := 0; i < b.N; i++ {
+		ne30 = perf.DefaultCAMConfig(30).SYPD(perf.VersionAthread, 5400)
+		ne120 = perf.DefaultCAMConfig(120).SYPD(perf.VersionOpenACC, 28800)
+	}
+	b.ReportMetric(ne30, "ne30_athread_sypd")   // paper: 21.5
+	b.ReportMetric(ne120, "ne120_openacc_sypd") // paper: 3.4
+}
+
+// BenchmarkFig7StrongScaling sweeps the strong-scaling model and reports
+// the 131,072-process efficiencies.
+func BenchmarkFig7StrongScaling(b *testing.B) {
+	var e256, e1024 float64
+	for i := 0; i < b.N; i++ {
+		e256 = perf.DefaultHOMMEConfig(256).Efficiency(131072, 4096, true)
+		e1024 = perf.DefaultHOMMEConfig(1024).Efficiency(131072, 8192, true)
+	}
+	b.ReportMetric(100*e256, "ne256_eff_pct")   // paper: 21.7
+	b.ReportMetric(100*e1024, "ne1024_eff_pct") // paper: 51.2
+}
+
+// BenchmarkFig8WeakScaling reports the full-machine sustained
+// performance of the 650-elements-per-process run.
+func BenchmarkFig8WeakScaling(b *testing.B) {
+	var pf float64
+	for i := 0; i < b.N; i++ {
+		pf = perf.WeakScaling(650, 155000, 128, 4).PFlops
+	}
+	b.ReportMetric(pf, "pflops_at_10.075M_cores") // paper: 3.3
+}
+
+// BenchmarkFig9Hurricane runs the resolution-sensitivity experiment and
+// reports the fine/coarse retention contrast.
+func BenchmarkFig9Hurricane(b *testing.B) {
+	vp := tc.KatrinaLikeVortex()
+	var retC, retF float64
+	for i := 0; i < b.N; i++ {
+		coarse, err := tc.RunResolution(4, 8, 12, 6, vp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fine, err := tc.RunResolution(8, 8, 12, 6, vp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retC = coarse.FinalKt / coarse.InitialKt
+		retF = fine.FinalKt / fine.InitialKt
+	}
+	b.ReportMetric(retC, "coarse_retention")
+	b.ReportMetric(retF, "fine_retention")
+}
+
+// BenchmarkOverlapAblation measures the §7.6 redesign's saving at scale
+// (the paper: up to 23% of HOMME runtime).
+func BenchmarkOverlapAblation(b *testing.B) {
+	h := perf.DefaultHOMMEConfig(1024)
+	var save float64
+	for i := 0; i < b.N; i++ {
+		tNo, _ := h.StepTime(131072, false)
+		tOv, _ := h.StepTime(131072, true)
+		save = 100 * (tNo - tOv) / tNo
+	}
+	b.ReportMetric(save, "overlap_saving_pct")
+}
+
+// BenchmarkDycoreStepSerial measures the real Go cost of one full
+// serial dycore step at a laptop-scale grid (useful for tracking the
+// functional simulator's own performance).
+func BenchmarkDycoreStepSerial(b *testing.B) {
+	cfg := dycore.DefaultConfig(4)
+	cfg.Nlev = 8
+	cfg.Qsize = 2
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(st)
+	}
+}
+
+// BenchmarkDistributedStepAthread measures one distributed step through
+// the whole pipeline (engines + halo + allreduce) on the simulator.
+func BenchmarkDistributedStepAthread(b *testing.B) {
+	cfg := dycore.DefaultConfig(4)
+	cfg.Nlev = 8
+	cfg.Qsize = 1
+	job, err := core.NewParallelJob(cfg, exec.Athread, true, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, _ := dycore.NewSolver(cfg)
+	g := s.NewState()
+	s.InitBaroclinicWave(g)
+	local := job.Scatter(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job.Run(local, 1)
+	}
+}
+
+// BenchmarkRemapTransposeAblation compares the two Athread vertical-
+// remap data-movement strategies (§7.5): per-column strided DMA vs the
+// in-fabric shuffle/register transposition. Reports the DMA-descriptor
+// and register-message counts of each — the design trade the paper's
+// transposition machinery exists to win.
+func BenchmarkRemapTransposeAblation(b *testing.B) {
+	m := mesh.New(2, 4)
+	elems := make([]int, m.NElems())
+	for i := range elems {
+		elems[i] = i
+	}
+	const nlev, qsize = 32, 4
+	en := exec.NewEngine(m, elems, nlev, qsize)
+	cfg := dycore.DefaultConfig(2)
+	cfg.Nlev = nlev
+	cfg.Qsize = qsize
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	for ei := range st.Qdp {
+		for i := range st.Qdp[ei] {
+			st.Qdp[ei][i] = 0.01 * st.DP[ei][i%len(st.DP[ei])]
+		}
+	}
+	h := dycore.NewHybridCoord(nlev)
+	var strided, transposed exec.Cost
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strided = en.VerticalRemap(exec.Athread, h, st.Clone())
+		transposed = en.VerticalRemapTransposed(h, st.Clone())
+	}
+	b.ReportMetric(float64(strided.DMAOps), "strided_dma_ops")
+	b.ReportMetric(float64(transposed.DMAOps), "transposed_dma_ops")
+	b.ReportMetric(float64(transposed.RegMsgs), "transposed_reg_msgs")
+}

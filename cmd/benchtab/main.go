@@ -1,0 +1,295 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section from the models and simulators in this repository:
+//
+//	benchtab -table 1     kernel timings, Intel/MPE/OpenACC/Athread
+//	benchtab -table 2     mesh configurations
+//	benchtab -table 3     NGGPS comparison vs FV3 and MPAS
+//	benchtab -fig 4       climatology backend equivalence
+//	benchtab -fig 5       kernel speedups
+//	benchtab -fig 6       whole-CAM SYPD (ne30 and ne120)
+//	benchtab -fig 7       HOMME strong scaling (ne256, ne1024)
+//	benchtab -fig 8       HOMME weak scaling (48/192/650/768 elems/proc)
+//	benchtab -fig 9       hurricane resolution sensitivity + track verification
+//	benchtab -all         everything
+//
+// Paper values are printed alongside for comparison; EXPERIMENTS.md
+// records the full correspondence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"swcam/internal/core"
+	"swcam/internal/dycore"
+	"swcam/internal/exec"
+	"swcam/internal/perf"
+	"swcam/internal/tc"
+)
+
+func main() {
+	attrs := flag.Bool("attrs", false, "print the performance-attributes summary (paper section 2)")
+	table := flag.Int("table", 0, "print table N (1, 2 or 3)")
+	fig := flag.Int("fig", 0, "print figure N (4-9; 10 = extra overlap ablation)")
+	all := flag.Bool("all", false, "print everything")
+	flag.Parse()
+
+	ran := false
+	if *all || *attrs {
+		attributes()
+		ran = true
+	}
+	if *all || *table == 1 {
+		table1()
+		ran = true
+	}
+	if *all || *table == 2 {
+		table2()
+		ran = true
+	}
+	if *all || *table == 3 {
+		table3()
+		ran = true
+	}
+	if *all || *fig == 4 {
+		fig4()
+		ran = true
+	}
+	if *all || *fig == 5 {
+		fig5()
+		ran = true
+	}
+	if *all || *fig == 6 {
+		fig6()
+		ran = true
+	}
+	if *all || *fig == 7 {
+		fig7()
+		ran = true
+	}
+	if *all || *fig == 8 {
+		fig8()
+		ran = true
+	}
+	if *all || *fig == 9 {
+		fig9()
+		ran = true
+	}
+	if *all || *fig == 10 {
+		fig10()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func attributes() {
+	fmt.Println("== Performance attributes (paper section 2, reproduced values) ==")
+	full := perf.WeakScaling(650, 155000, 128, 4)
+	c30 := perf.DefaultCAMConfig(30)
+	c120 := perf.DefaultCAMConfig(120)
+	rows := [][2]string{
+		{"Sustainable performance", fmt.Sprintf("%.2f PFlops using 10,075,000 cores (paper: 3.3)", full.PFlops)},
+		{"SYPD", fmt.Sprintf("%.1f SYPD ne120 / %.1f SYPD ne30 (paper: 3.4 / 21.5)",
+			c120.SYPD(perf.VersionOpenACC, 28800), c30.SYPD(perf.VersionAthread, 5400))},
+		{"Refactoring effort", "paper: 754,129 LOC total, 152,336 modified, 57,709 added"},
+		{"Category", "time-to-solution, scalability, peak performance"},
+		{"Extreme event", "hurricane Katrina lifecycle (see cmd/katrina)"},
+		{"Method", "explicit"},
+		{"Reported on", "whole application with I/O (checkpointing included)"},
+		{"Precision", "double"},
+		{"System scale", "full-machine model: 40,960 nodes x 4 CGs x 65 cores"},
+		{"Measurement", "simulator counters + calibrated machine model"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-26s %s\n", r[0], r[1])
+	}
+	fmt.Println()
+}
+
+func table1() {
+	fmt.Println("== Table 1: key dynamics kernels, modeled per-process time (ms) ==")
+	fmt.Println("   (paper reports seconds for a longer run at 6,144 processes;")
+	fmt.Println("    ratios are the comparable quantity)")
+	rows := perf.Table1(perf.DefaultTable1Config())
+	fmt.Printf("%-24s %9s %9s %9s %9s\n", "kernel", "Intel", "MPE", "OpenACC", "Athread")
+	for _, r := range rows {
+		fmt.Printf("%-24s %9.3f %9.3f %9.3f %9.3f\n", r.Name,
+			1e3*r.Times[exec.Intel], 1e3*r.Times[exec.MPE],
+			1e3*r.Times[exec.OpenACC], 1e3*r.Times[exec.Athread])
+	}
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("== Table 2: mesh configurations ==")
+	fmt.Printf("%-8s %-14s %-9s %-12s\n", "size", "horizontal", "vertical", "# elements")
+	for _, ne := range []int{64, 256, 512, 1024, 2048, 4096} {
+		fmt.Printf("ne%-6d %4dx%d x6      %-9d %-12d\n", ne, ne, ne, 128, 6*ne*ne)
+	}
+	fmt.Println()
+}
+
+func table3() {
+	fmt.Println("== Table 3: NGGPS dycore comparison (modeled run time) ==")
+	paper := [][]float64{{2.712, 3.56, 7.56}, {14.379, 30.31, 64.80}}
+	for i, c := range perf.Table3() {
+		fmt.Println(c.Label)
+		for k, r := range c.Rows {
+			fmt.Printf("  %-10s np=%6d  model %8.3f s   paper %8.3f s\n",
+				r.Name, r.NProcs, r.RunTime, paper[i][k])
+		}
+	}
+	fmt.Println()
+}
+
+func fig4() {
+	fmt.Println("== Figure 4: climatology equivalence, control (Intel serial) vs")
+	fmt.Println("   test (Athread distributed), Held-Suarez-like run at ne4 ==")
+	cfg := dycore.DefaultConfig(4)
+	cfg.Nlev = 8
+	cfg.Qsize = 0
+	s, err := dycore.NewSolver(cfg)
+	check(err)
+	ref := s.NewState()
+	s.InitBaroclinicWave(ref)
+	g := ref.Clone()
+	const steps = 10
+	for i := 0; i < steps; i++ {
+		s.Step(ref)
+	}
+	job, err := core.NewParallelJob(cfg, exec.Athread, true, 4)
+	check(err)
+	local := job.Scatter(g)
+	job.Run(local, steps)
+	got := job.Gather(local)
+	zmA := s.ZonalMeanT(ref, cfg.Nlev-1, 12)
+	zmB := s.ZonalMeanT(got, cfg.Nlev-1, 12)
+	fmt.Printf("%-10s %12s %12s %12s\n", "lat band", "control (K)", "test (K)", "diff (K)")
+	maxd := 0.0
+	for b := range zmA {
+		d := math.Abs(zmA[b] - zmB[b])
+		if d > maxd {
+			maxd = d
+		}
+		lat := -90 + (float64(b)+0.5)*15
+		fmt.Printf("%+7.1f    %12.4f %12.4f %12.2e\n", lat, zmA[b], zmB[b], d)
+	}
+	fmt.Printf("max zonal-mean difference: %.2e K (paper: 'almost identical patterns')\n\n", maxd)
+}
+
+func fig5() {
+	fmt.Println("== Figure 5: kernel speedups at the Table 1 workload ==")
+	rows := perf.Table1(perf.DefaultTable1Config())
+	fmt.Printf("%-24s %12s %12s %12s\n", "kernel", "MPE/Intel", "ACC vs Intel", "ATH vs Intel")
+	for _, r := range rows {
+		fmt.Printf("%-24s %11.2fx %11.2fx %11.2fx\n", r.Name,
+			r.Times[exec.MPE]/r.Times[exec.Intel],
+			r.Speedup(exec.Intel, exec.OpenACC),
+			r.Speedup(exec.Intel, exec.Athread))
+	}
+	fmt.Println("paper bands: MPE 2-10x slower; ACC -6x..+1.6x; ATH 7-46x; ATH/ACC up to ~50x")
+	fmt.Println()
+}
+
+func fig6() {
+	fmt.Println("== Figure 6: whole-CAM SYPD ==")
+	c := perf.DefaultCAMConfig(30)
+	fmt.Println("ne30 (100 km):")
+	fmt.Printf("%8s %8s %8s %8s\n", "procs", "ori", "openacc", "athread")
+	for _, np := range []int{216, 600, 900, 1350, 5400} {
+		fmt.Printf("%8d %8.2f %8.2f %8.2f\n", np,
+			c.SYPD(perf.VersionOri, np), c.SYPD(perf.VersionOpenACC, np),
+			c.SYPD(perf.VersionAthread, np))
+	}
+	fmt.Println("paper anchor: 21.5 SYPD athread @5400")
+	c120 := perf.DefaultCAMConfig(120)
+	fmt.Println("ne120 (25 km):")
+	fmt.Printf("%8s %8s %8s\n", "procs", "openacc", "athread")
+	for _, np := range []int{2400, 9600, 14400, 21600, 24000, 28800} {
+		fmt.Printf("%8d %8.2f %8.2f\n", np,
+			c120.SYPD(perf.VersionOpenACC, np), c120.SYPD(perf.VersionAthread, np))
+	}
+	fmt.Println("paper anchor: 3.4 SYPD openacc @28800")
+	fmt.Println()
+}
+
+func fig7() {
+	fmt.Println("== Figure 7: HOMME strong scaling (nlev=128) ==")
+	for _, tc7 := range []struct {
+		ne    int
+		procs []int
+		base  int
+	}{
+		{256, []int{4096, 8192, 16384, 32768, 65536, 131072}, 4096},
+		{1024, []int{8192, 16384, 32768, 65536, 131072}, 8192},
+	} {
+		h := perf.DefaultHOMMEConfig(tc7.ne)
+		fmt.Printf("ne%d:\n%8s %10s %8s\n", tc7.ne, "procs", "PFlops", "eff")
+		for _, np := range tc7.procs {
+			fmt.Printf("%8d %10.3f %8.3f\n", np, h.PFlops(np, true),
+				h.Efficiency(np, tc7.base, true))
+		}
+	}
+	fmt.Println("paper anchors: ne256 0.07->0.64 PFlops (21.7% eff);")
+	fmt.Println("               ne1024 0.18->1.76 PFlops (51.2% eff)")
+	fmt.Println()
+}
+
+func fig8() {
+	fmt.Println("== Figure 8: HOMME weak scaling (nlev=128) ==")
+	fmt.Printf("%6s %8s %10s %8s\n", "e/proc", "procs", "PFlops", "eff")
+	for _, e := range []int{48, 192, 650, 768} {
+		for _, np := range []int{512, 2048, 8192, 32768, 131072} {
+			w := perf.WeakScaling(e, np, 128, 4)
+			fmt.Printf("%6d %8d %10.3f %8.3f\n", e, np, w.PFlops,
+				perf.WeakEfficiency(e, np, 512, 128, 4))
+		}
+	}
+	full := perf.WeakScaling(650, 155000, 128, 4)
+	fmt.Printf("full machine: 650 elems x 155,000 procs (10,075,000 cores): %.2f PFlops\n", full.PFlops)
+	fmt.Println("paper anchors: 88.3%/92.3%/92.2% eff at 131,072; 3.3 PFlops at 155,000")
+	fmt.Println()
+}
+
+func fig9() {
+	fmt.Println("== Figure 9: hurricane resolution sensitivity + track machinery ==")
+	vp := tc.KatrinaLikeVortex()
+	for _, ne := range []int{4, 12} {
+		run, err := tc.RunResolution(ne, 8, 24, 12, vp)
+		check(err)
+		fmt.Printf("ne%-3d (%4.0f km grid): init %5.1f kt -> final %5.1f kt (retention %.2f)\n",
+			ne, run.GridKM, run.InitialKt, run.FinalKt, run.FinalKt/run.InitialKt)
+	}
+	fmt.Println("paper claim (9a/9b): 25 km resolves the storm, 100 km cannot")
+	kt, h := tc.KatrinaPeak()
+	fmt.Printf("observed Katrina peak: %.0f kt at hour %.0f (Aug 28 18Z), min 902 hPa\n", kt, h)
+	fmt.Println("(run cmd/katrina for the full lifecycle track/intensity comparison)")
+	fmt.Println()
+}
+
+func fig10() {
+	fmt.Println("== Extra: the §7.6 bndry_exchangev redesign at scale ==")
+	fmt.Println("   (paper: comm ~23% of prim_run at millions of cores; the overlap")
+	fmt.Println("    removes up to 23% of HOMME runtime; direct unpack removes the")
+	fmt.Println("    staging copies entirely)")
+	h := perf.DefaultHOMMEConfig(1024)
+	fmt.Printf("%8s %14s %14s %10s\n", "procs", "no overlap (s)", "overlap (s)", "saving")
+	for np := 4096; np <= 131072; np *= 2 {
+		tNo, _ := h.StepTime(np, false)
+		tOv, _ := h.StepTime(np, true)
+		fmt.Printf("%8d %14.6f %14.6f %9.1f%%\n", np, tNo, tOv, 100*(tNo-tOv)/tNo)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}

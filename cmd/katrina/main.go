@@ -1,0 +1,87 @@
+// Command katrina reproduces the Figure 9 experiment: a Katrina-like
+// warm-core vortex integrated at two resolutions, tracked through its
+// lifecycle, and verified against the NHC best track of hurricane
+// Katrina (track positions and maximum-sustained-wind series).
+//
+//	katrina -coarse 4 -fine 12 -steps 24
+//
+// The paper's central claim — the 100 km grid cannot sustain the storm
+// while the 25 km grid follows the observed track and intensity — shows
+// up here as the retention contrast between the two grids, plus the
+// tracker-vs-best-track verification machinery on the observed data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swcam/internal/tc"
+)
+
+func main() {
+	coarse := flag.Int("coarse", 4, "coarse resolution (ne); paper uses ne30 = 100 km")
+	fine := flag.Int("fine", 12, "fine resolution (ne); paper uses ne120 = 25 km")
+	nlev := flag.Int("nlev", 8, "vertical levels")
+	steps := flag.Int("steps", 24, "dynamics steps to integrate")
+	flag.Parse()
+
+	vp := tc.KatrinaLikeVortex()
+	fmt.Printf("katrina: vortex at (%.1fW, %.1fN), dp=%.0f hPa, steering (%.1f, %.1f) m/s\n\n",
+		360-vp.LonC*180/3.14159265, vp.LatC*180/3.14159265, vp.DeltaP/100, vp.SteerU, vp.SteerV)
+
+	fmt.Println("-- resolution sensitivity (Figure 9a/9b) --")
+	type result struct {
+		run tc.ResolutionRun
+		ne  int
+	}
+	var results []result
+	for _, ne := range []int{*coarse, *fine} {
+		run, err := tc.RunResolution(ne, *nlev, *steps, max(1, *steps/4), vp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "katrina:", err)
+			os.Exit(1)
+		}
+		results = append(results, result{run, ne})
+		fmt.Printf("ne%-4d (%4.0f km): init %5.1f kt -> final %5.1f kt (retention %.2f)\n",
+			ne, run.GridKM, run.InitialKt, run.FinalKt, run.FinalKt/run.InitialKt)
+		for _, f := range run.Fixes {
+			fmt.Printf("   t=%5.1fh  centre (%7.2fE, %6.2fN)  msw %5.1f kt  minps %7.1f hPa\n",
+				f.Hours, f.Lon*180/3.14159265, f.Lat*180/3.14159265, f.MSWkt(), f.MinPs/100)
+		}
+	}
+	retC := results[0].run.FinalKt / results[0].run.InitialKt
+	retF := results[1].run.FinalKt / results[1].run.InitialKt
+	fmt.Printf("\nfine grid retains %.0f%% of the vortex; coarse grid %.0f%% —\n", 100*retF, 100*retC)
+	fmt.Println("the Figure 9a/9b contrast: resolution decides whether the storm exists.")
+
+	fmt.Println("\n-- observed lifecycle (NHC best track, Figure 9c/9d reference) --")
+	fmt.Printf("%6s %8s %8s %7s %8s\n", "hour", "lat", "lon", "msw kt", "min hPa")
+	for i, e := range tc.KatrinaBestTrack {
+		if i%2 != 0 {
+			continue // 12-hourly for brevity
+		}
+		fmt.Printf("%6.0f %7.1fN %7.1fW %7.0f %8.0f\n",
+			e.Hours, e.LatDeg, 360-e.LonDeg, e.MSWkt, e.MinPhPa)
+	}
+	kt, h := tc.KatrinaPeak()
+	fmt.Printf("peak: %.0f kt at hour %.0f (category 5, 902 hPa)\n", kt, h)
+
+	// Track verification demo: the tracker's error metric applied to the
+	// fine run's drift vs the early best track (the idealized vortex is
+	// steered with Katrina's genesis-phase motion vector).
+	fmt.Println("\n-- track verification machinery --")
+	fixes := results[1].run.Fixes
+	for _, f := range fixes {
+		obs := tc.KatrinaAt(f.Hours)
+		fmt.Printf("   t=%5.1fh  track error vs obs %7.1f km\n",
+			f.Hours, tc.TrackError(f, obs.LonDeg, obs.LatDeg))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+// Command scaling sweeps the TaihuLight machine model over process
+// counts, printing CSV for the strong-scaling (Figure 7) and
+// weak-scaling (Figure 8) experiments, plus an ablation of the §7.6
+// communication/computation overlap.
+//
+//	scaling -mode strong -ne 256
+//	scaling -mode weak -elems 650
+//	scaling -mode overlap -ne 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swcam/internal/perf"
+)
+
+func main() {
+	mode := flag.String("mode", "strong", "strong | weak | overlap")
+	ne := flag.Int("ne", 256, "resolution for strong/overlap modes")
+	elems := flag.Int("elems", 48, "elements per process for weak mode")
+	flag.Parse()
+
+	switch *mode {
+	case "strong":
+		h := perf.DefaultHOMMEConfig(*ne)
+		base := 4096
+		fmt.Println("nprocs,pflops,efficiency,step_seconds")
+		for np := base; np <= 131072; np *= 2 {
+			t, _ := h.StepTime(np, true)
+			fmt.Printf("%d,%.4f,%.4f,%.6f\n", np, h.PFlops(np, true),
+				h.Efficiency(np, base, true), t)
+		}
+	case "weak":
+		fmt.Println("nprocs,pflops,efficiency,step_seconds")
+		for np := 512; np <= 131072; np *= 2 {
+			w := perf.WeakScaling(*elems, np, 128, 4)
+			fmt.Printf("%d,%.4f,%.4f,%.6f\n", np, w.PFlops,
+				perf.WeakEfficiency(*elems, np, 512, 128, 4), w.StepTime)
+		}
+		w := perf.WeakScaling(*elems, 155000, 128, 4)
+		fmt.Printf("155000,%.4f,%.4f,%.6f\n", w.PFlops,
+			perf.WeakEfficiency(*elems, 155000, 512, 128, 4), w.StepTime)
+	case "overlap":
+		// Ablation: the redesigned bndry_exchangev vs the original, as a
+		// function of scale (the paper: comm is ~23% of prim_run at
+		// millions of cores; overlap removes most of it).
+		h := perf.DefaultHOMMEConfig(*ne)
+		fmt.Println("nprocs,step_no_overlap,step_overlap,saving_pct")
+		for np := 4096; np <= 131072; np *= 2 {
+			tNo, _ := h.StepTime(np, false)
+			tOv, _ := h.StepTime(np, true)
+			fmt.Printf("%d,%.6f,%.6f,%.1f\n", np, tNo, tOv, 100*(tNo-tOv)/tNo)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "scaling: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

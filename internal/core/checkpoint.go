@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"swcam/internal/dycore"
+)
+
+// Checkpoint I/O: the paper's performance numbers are for the "whole
+// application with I/O", and any production model needs restart files.
+// The format is a fixed little-endian header plus the raw field arrays,
+// exactly restorable (bit-for-bit restart, the climate-model
+// requirement).
+
+const (
+	checkpointMagic   = 0x53574341 // "SWCA"
+	checkpointVersion = 1
+)
+
+type checkpointHeader struct {
+	Magic   uint32
+	Version uint32
+	NElem   int64
+	Np      int64
+	Nlev    int64
+	Qsize   int64
+	Step    int64
+}
+
+// WriteCheckpoint serializes a state (and the step counter) to w.
+func WriteCheckpoint(w io.Writer, st *dycore.State, step int) error {
+	bw := bufio.NewWriter(w)
+	h := checkpointHeader{
+		Magic: checkpointMagic, Version: checkpointVersion,
+		NElem: int64(st.NElem()), Np: int64(st.Np),
+		Nlev: int64(st.Nlev), Qsize: int64(st.Qsize), Step: int64(step),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	for _, field := range [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis} {
+		for _, e := range field {
+			if err := binary.Write(bw, binary.LittleEndian, e); err != nil {
+				return fmt.Errorf("core: checkpoint field: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint restores a state written by WriteCheckpoint; the
+// returned step lets the caller resume the remap cadence.
+func ReadCheckpoint(r io.Reader) (*dycore.State, int, error) {
+	br := bufio.NewReader(r)
+	var h checkpointHeader
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, 0, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if h.Magic != checkpointMagic {
+		return nil, 0, fmt.Errorf("core: not a checkpoint (magic %#x)", h.Magic)
+	}
+	if h.Version != checkpointVersion {
+		return nil, 0, fmt.Errorf("core: checkpoint version %d unsupported", h.Version)
+	}
+	// Bound every dimension before allocating: a corrupt or hostile
+	// header must produce an error, not an enormous allocation. The caps
+	// cover any run this library can actually perform (ne4096 worth of
+	// elements on one rank would not fit in memory anyway).
+	if h.NElem <= 0 || h.NElem > 1<<26 ||
+		h.Np < 2 || h.Np > 64 ||
+		h.Nlev < 1 || h.Nlev > 4096 ||
+		h.Qsize < 0 || h.Qsize > 4096 {
+		return nil, 0, fmt.Errorf("core: corrupt checkpoint dims %+v", h)
+	}
+	if vals := h.NElem * h.Np * h.Np * h.Nlev * (5 + h.Qsize); vals > 1<<28 {
+		return nil, 0, fmt.Errorf("core: checkpoint too large (%d values)", vals)
+	}
+	st := dycore.NewState(int(h.NElem), int(h.Np), int(h.Nlev), int(h.Qsize))
+	for _, field := range [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis} {
+		for _, e := range field {
+			if err := binary.Read(br, binary.LittleEndian, e); err != nil {
+				return nil, 0, fmt.Errorf("core: checkpoint field: %w", err)
+			}
+		}
+	}
+	return st, int(h.Step), nil
+}
+
+// SaveCheckpoint writes the state to a file (atomic via rename).
+func SaveCheckpoint(path string, st *dycore.State, step int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(f, st, step); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a state from a file.
+func LoadCheckpoint(path string) (*dycore.State, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"swcam/internal/dycore"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := testDycoreCfg(2, 8, 2)
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	s.InitCosineBellTracer(st, 0, 1, 0, 0.5)
+	s.Step(st)
+
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, st, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, step, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 7 {
+		t.Errorf("step = %d", step)
+	}
+	if d := got.MaxAbsDiff(st); d != 0 {
+		t.Errorf("round trip not bit-exact: %g", d)
+	}
+	// Phis restored too (MaxAbsDiff skips it).
+	for ei := range st.Phis {
+		for n := range st.Phis[ei] {
+			if got.Phis[ei][n] != st.Phis[ei][n] {
+				t.Fatal("Phis not restored")
+			}
+		}
+	}
+}
+
+// Bit-exact restart: stepping N then M steps equals stepping N, saving,
+// loading, and stepping M — the climate-model restart contract.
+func TestCheckpointRestartBitExact(t *testing.T) {
+	cfg := testDycoreCfg(2, 8, 1)
+	mk := func() (*dycore.Solver, *dycore.State) {
+		s, err := dycore.NewSolver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.NewState()
+		s.InitBaroclinicWave(st)
+		s.InitCosineBellTracer(st, 0, 1, 0, 0.5)
+		return s, st
+	}
+	// Continuous run: 5 steps.
+	s1, ref := mk()
+	for i := 0; i < 5; i++ {
+		s1.Step(ref)
+	}
+	// Interrupted run: 2 steps, checkpoint, restore into a FRESH solver,
+	// 3 more steps. Note the remap cadence must survive the restart.
+	s2, st := mk()
+	for i := 0; i < 2; i++ {
+		s2.Step(st)
+	}
+	path := filepath.Join(t.TempDir(), "restart.bin")
+	if err := SaveCheckpoint(path, st, 2); err != nil {
+		t.Fatal(err)
+	}
+	restored, step, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := dycore.NewSolver(cfg)
+	s3.SetStep(step)
+	for i := 0; i < 3; i++ {
+		s3.Step(restored)
+	}
+	if d := restored.MaxAbsDiff(ref); d != 0 {
+		t.Errorf("restart not bit-exact: diff %g", d)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadCheckpoint(bytes.NewReader([]byte("not a checkpoint at all............"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	st := dycore.NewState(2, 4, 4, 0)
+	if err := WriteCheckpoint(&buf, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-field.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, _, err := ReadCheckpoint(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"swcam/internal/dycore"
+)
+
+// FuzzReadCheckpoint: the checkpoint reader must reject arbitrary bytes
+// with an error, never panic or over-allocate.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed with a valid checkpoint and a few corruptions of it.
+	st := makeSeedState()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, st, 3); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("garbage"))
+	corrupted := append([]byte(nil), valid...)
+	corrupted[4] ^= 0xFF // dims
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Guard against absurd allocations: the header's dims are
+		// validated before field reads, so any panic is a bug.
+		got, _, err := ReadCheckpoint(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil state with nil error")
+		}
+	})
+}
+
+// FuzzReadHistory: same contract for the history reader.
+func FuzzReadHistory(f *testing.F) {
+	f.Add([]byte("junk"))
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _, _ = nlonNlatFrames(data)
+	})
+}
+
+func nlonNlatFrames(data []byte) (int, int, []HistoryFrame, error) {
+	return ReadHistory(bytes.NewReader(data))
+}
+
+func makeSeedState() *dycore.State {
+	st := dycore.NewState(2, 4, 4, 1)
+	st.U[0][0] = 1.5
+	return st
+}

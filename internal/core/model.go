@@ -1,0 +1,230 @@
+// Package core composes the full miniature CAM: the spectral-element
+// dycore (internal/dycore), the CAM5-lite physics suite
+// (internal/physics), and — for distributed runs — the per-rank
+// execution engines (internal/exec) stitched together with the
+// boundary-exchange plans (internal/halo) over the message-passing
+// runtime (internal/mpirt). This is the layer the paper calls "the
+// entire model": dynamics and physics executed in turn each timestep.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"swcam/internal/dycore"
+	"swcam/internal/physics"
+)
+
+// Config selects the whole-model setup.
+type Config struct {
+	Dycore  dycore.Config
+	Physics physics.SuiteMode
+	// PhysEvery applies the physics suite every N dynamics steps
+	// (CAM's dtime / dtdyn ratio).
+	PhysEvery int
+	// SST is the prescribed sea-surface temperature at the equator;
+	// the surface cools poleward with cos^2(lat).
+	SST      float64
+	SSTDelta float64
+	// PhysWorkers runs the column-physics loop on N goroutines (CAM
+	// parallelizes physics over "chunks" of columns the same way).
+	// 0 or 1 means serial. Columns are independent, so results are
+	// identical for any worker count.
+	PhysWorkers int
+}
+
+// DefaultConfig returns a runnable whole-model setup at resolution ne.
+func DefaultConfig(ne int) Config {
+	d := dycore.DefaultConfig(ne)
+	return Config{Dycore: d, Physics: physics.Moist, PhysEvery: 6, SST: 302, SSTDelta: 30}
+}
+
+// Model is the serial whole-model driver.
+type Model struct {
+	Cfg    Config
+	Solver *dycore.Solver
+	Suite  *physics.Suite
+	State  *dycore.State
+
+	col   *physics.Column
+	steps int
+
+	// Accumulated diagnostics.
+	TotalPrecip float64 // global mean accumulated precipitation, kg/m^2
+}
+
+// NewModel builds the model and an empty state.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.PhysEvery < 1 {
+		return nil, fmt.Errorf("core: PhysEvery = %d", cfg.PhysEvery)
+	}
+	s, err := dycore.NewSolver(cfg.Dycore)
+	if err != nil {
+		return nil, err
+	}
+	var suite *physics.Suite
+	switch cfg.Physics {
+	case physics.Moist:
+		if cfg.Dycore.Qsize < 1 {
+			return nil, fmt.Errorf("core: moist physics needs at least 1 tracer (qv)")
+		}
+		suite = physics.NewMoistSuite()
+	case physics.HeldSuarezMode:
+		suite = physics.NewHeldSuarezSuite()
+	default:
+		return nil, fmt.Errorf("core: unknown physics mode %d", cfg.Physics)
+	}
+	m := &Model{
+		Cfg:    cfg,
+		Solver: s,
+		Suite:  suite,
+		State:  s.NewState(),
+		col:    physics.NewColumn(cfg.Dycore.Nlev),
+	}
+	return m, nil
+}
+
+// stepColumn runs the physics suite on the column at (element ei, node
+// n) of the state, using the caller-owned column buffer, and returns
+// the accumulated precipitation weighted by the node's quadrature weight.
+func (m *Model) stepColumn(col *physics.Column, ei, n int, dt float64) (precipW, area float64) {
+	st := m.State
+	s := m.Solver
+	e := s.Mesh.Elements[ei]
+	npsq := s.Cfg.Np * s.Cfg.Np
+	nlev := s.Cfg.Nlev
+
+	ps := dycore.PTop
+	for k := 0; k < nlev; k++ {
+		col.DP[k] = st.DP[ei][k*npsq+n]
+		ps += col.DP[k]
+	}
+	p := dycore.PTop
+	for k := 0; k < nlev; k++ {
+		i := k*npsq + n
+		col.P[k] = p + col.DP[k]/2
+		p += col.DP[k]
+		col.T[k] = st.T[ei][i]
+		col.U[k] = st.U[ei][i]
+		col.V[k] = st.V[ei][i]
+		col.Qv[k], col.Qc[k], col.Qr[k] = 0, 0, 0
+		if s.Cfg.Qsize > 0 {
+			col.Qv[k] = st.QdpAt(ei, 0)[i] / col.DP[k]
+		}
+		if s.Cfg.Qsize > 1 {
+			col.Qc[k] = st.QdpAt(ei, 1)[i] / col.DP[k]
+		}
+		if s.Cfg.Qsize > 2 {
+			col.Qr[k] = st.QdpAt(ei, 2)[i] / col.DP[k]
+		}
+	}
+	col.Ps = ps
+	col.Lat = e.Lat[n]
+	col.Ts = m.SurfaceT(e.Lat[n])
+	col.Precip = 0
+
+	m.Suite.Step(col, dt)
+
+	for k := 0; k < nlev; k++ {
+		i := k*npsq + n
+		st.T[ei][i] = col.T[k]
+		st.U[ei][i] = col.U[k]
+		st.V[ei][i] = col.V[k]
+		if s.Cfg.Qsize > 0 {
+			st.QdpAt(ei, 0)[i] = col.Qv[k] * col.DP[k]
+		}
+		if s.Cfg.Qsize > 1 {
+			st.QdpAt(ei, 1)[i] = col.Qc[k] * col.DP[k]
+		}
+		if s.Cfg.Qsize > 2 {
+			st.QdpAt(ei, 2)[i] = col.Qr[k] * col.DP[k]
+		}
+	}
+	return col.Precip * e.SphereMP[n], e.SphereMP[n]
+}
+
+// SurfaceT returns the prescribed SST at a latitude.
+func (m *Model) SurfaceT(lat float64) float64 {
+	c := math.Cos(lat)
+	return m.Cfg.SST - m.Cfg.SSTDelta*(1-c*c)
+}
+
+// applyPhysics runs the suite over every column of the state, advancing
+// it by dtPhys = PhysEvery dynamics steps of simulated time. Columns are
+// independent; with PhysWorkers > 1 they run on a goroutine pool (CAM's
+// chunk parallelism), with identical results.
+func (m *Model) applyPhysics() {
+	s := m.Solver
+	npsq := s.Cfg.Np * s.Cfg.Np
+	dt := s.Cfg.Dt * float64(m.Cfg.PhysEvery)
+	ncols := s.Mesh.NElems() * npsq
+
+	workers := m.Cfg.PhysWorkers
+	if workers <= 1 {
+		var precipSum, areaSum float64
+		for c := 0; c < ncols; c++ {
+			pw, a := m.stepColumn(m.col, c/npsq, c%npsq, dt)
+			precipSum += pw
+			areaSum += a
+		}
+		if areaSum > 0 {
+			m.TotalPrecip += precipSum / areaSum
+		}
+		return
+	}
+
+	type partial struct{ precip, area float64 }
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (ncols + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ncols {
+			hi = ncols
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			col := physics.NewColumn(s.Cfg.Nlev)
+			for c := lo; c < hi; c++ {
+				pw, a := m.stepColumn(col, c/npsq, c%npsq, dt)
+				parts[w].precip += pw
+				parts[w].area += a
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var precipSum, areaSum float64
+	for _, p := range parts {
+		precipSum += p.precip
+		areaSum += p.area
+	}
+	if areaSum > 0 {
+		m.TotalPrecip += precipSum / areaSum
+	}
+}
+
+// Step advances the model one dynamics step, applying physics every
+// PhysEvery steps (the CAM dynamics/physics alternation).
+func (m *Model) Step() {
+	m.Solver.Step(m.State)
+	m.steps++
+	if m.steps%m.Cfg.PhysEvery == 0 {
+		m.applyPhysics()
+	}
+}
+
+// Run advances n steps.
+func (m *Model) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// SimHours returns the simulated time so far in hours.
+func (m *Model) SimHours() float64 { return float64(m.steps) * m.Cfg.Dycore.Dt / 3600 }

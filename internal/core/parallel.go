@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"swcam/internal/dycore"
+	"swcam/internal/exec"
+	"swcam/internal/halo"
+	"swcam/internal/mesh"
+	"swcam/internal/mpirt"
+)
+
+// ParallelJob is the distributed dycore driver: the mesh partitioned
+// over nranks processes (one simulated core group each), every rank
+// running its kernels through an execution backend and resolving shared
+// GLL nodes with the boundary exchange — the full "MPI + X" pipeline of
+// the paper, in miniature. Its results are validated against the serial
+// Solver bit-for-bit up to scan-regrouping rounding.
+type ParallelJob struct {
+	Cfg     dycore.Config
+	Backend exec.Backend
+	Overlap bool // use the redesigned bndry_exchangev (§7.6)
+	NRanks  int
+
+	Mesh   *mesh.Mesh
+	Hybrid *dycore.HybridCoord
+	RankOf []int
+	Plans  []*halo.Plan
+	engs   []*exec.Engine
+
+	steps int
+}
+
+// NewParallelJob partitions the mesh and builds per-rank plans/engines.
+func NewParallelJob(cfg dycore.Config, backend exec.Backend, overlap bool, nranks int) (*ParallelJob, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(cfg.Ne, cfg.Np)
+	rankOf, err := m.Partition(nranks)
+	if err != nil {
+		return nil, err
+	}
+	j := &ParallelJob{
+		Cfg: cfg, Backend: backend, Overlap: overlap, NRanks: nranks,
+		Mesh: m, Hybrid: dycore.NewHybridCoord(cfg.Nlev), RankOf: rankOf,
+	}
+	j.Plans = make([]*halo.Plan, nranks)
+	j.engs = make([]*exec.Engine, nranks)
+	for r := 0; r < nranks; r++ {
+		j.Plans[r] = halo.NewPlan(m, rankOf, r)
+		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)
+	}
+	return j, nil
+}
+
+// Scatter splits a global state (element-indexed like the mesh) into
+// per-rank local states.
+func (j *ParallelJob) Scatter(global *dycore.State) []*dycore.State {
+	out := make([]*dycore.State, j.NRanks)
+	for r := 0; r < j.NRanks; r++ {
+		p := j.Plans[r]
+		st := dycore.NewState(p.NLocal(), j.Cfg.Np, j.Cfg.Nlev, j.Cfg.Qsize)
+		for le, ge := range p.Elems {
+			copy(st.U[le], global.U[ge])
+			copy(st.V[le], global.V[ge])
+			copy(st.T[le], global.T[ge])
+			copy(st.DP[le], global.DP[ge])
+			copy(st.Qdp[le], global.Qdp[ge])
+			copy(st.Phis[le], global.Phis[ge])
+		}
+		out[r] = st
+	}
+	return out
+}
+
+// Gather reassembles a global state from the per-rank locals.
+func (j *ParallelJob) Gather(local []*dycore.State) *dycore.State {
+	g := dycore.NewState(j.Mesh.NElems(), j.Cfg.Np, j.Cfg.Nlev, j.Cfg.Qsize)
+	for r, st := range local {
+		for le, ge := range j.Plans[r].Elems {
+			copy(g.U[ge], st.U[le])
+			copy(g.V[ge], st.V[le])
+			copy(g.T[ge], st.T[le])
+			copy(g.DP[ge], st.DP[le])
+			copy(g.Qdp[ge], st.Qdp[le])
+			copy(g.Phis[ge], st.Phis[le])
+		}
+	}
+	return g
+}
+
+// RunStats aggregates one run's communication and kernel costs.
+type RunStats struct {
+	Halo  halo.Stats
+	Cost  exec.Cost
+	Steps int
+}
+
+// dssFields exchanges a set of level-major fields on one rank.
+func (j *ParallelJob) dssFields(c *mpirt.Comm, r int, st *halo.Stats, levels int, fields ...[][]float64) {
+	lay := halo.LevelMajor(levels, j.Cfg.Np*j.Cfg.Np)
+	if j.Overlap {
+		st.Add(j.Plans[r].DSSOverlap(c, lay, nil, fields...))
+	} else {
+		st.Add(j.Plans[r].DSSOriginal(c, lay, fields...))
+	}
+}
+
+// Run advances the per-rank states n dynamics steps, mirroring the
+// serial Solver.Step sequence exactly: SSP-RK2 dynamics, two-pass
+// hyperviscosity with a global mass fixer, SSP-RK2 tracers with the
+// positivity limiter, and the periodic vertical remap.
+func (j *ParallelJob) Run(local []*dycore.State, n int) RunStats {
+	if len(local) != j.NRanks {
+		panic(fmt.Sprintf("core: %d local states for %d ranks", len(local), j.NRanks))
+	}
+	var stats RunStats
+	stats.Cost.Backend = j.Backend
+	perRank := make([]RunStats, j.NRanks)
+	w := mpirt.NewWorld(j.NRanks)
+	w.Run(func(c *mpirt.Comm) {
+		r := c.Rank()
+		for step := 0; step < n; step++ {
+			j.stepRank(c, r, local[r], &perRank[r], j.steps+step+1)
+		}
+	})
+	j.steps += n
+	for r := range perRank {
+		stats.Halo.Add(perRank[r].Halo)
+		stats.Cost.Add(perRank[r].Cost)
+	}
+	stats.Steps = j.steps
+	return stats
+}
+
+func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunStats, stepNo int) {
+	cfg := j.Cfg
+	en := j.engs[r]
+	nlev := cfg.Nlev
+	npsq := cfg.Np * cfg.Np
+
+	// --- Dynamics: SSP-RK2 with DSS after each stage. ---
+	s1 := st.Clone()
+	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, st, st, s1, cfg.Dt))
+	j.dssFields(c, r, &rs.Halo, nlev, s1.U, s1.V, s1.T, s1.DP)
+	s2 := s1.Clone()
+	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, s1, s1, s2, cfg.Dt))
+	j.dssFields(c, r, &rs.Halo, nlev, s2.U, s2.V, s2.T, s2.DP)
+	for le := range st.U {
+		dycore.SSPRK2Combine(st.U[le], s2.U[le], st.U[le])
+		dycore.SSPRK2Combine(st.V[le], s2.V[le], st.V[le])
+		dycore.SSPRK2Combine(st.T[le], s2.T[le], st.T[le])
+		dycore.SSPRK2Combine(st.DP[le], s2.DP[le], st.DP[le])
+	}
+
+	// --- Hyperviscosity with the proportional mass fixer. ---
+	if cfg.HypervisSubcycle > 0 && (cfg.NuV != 0 || cfg.NuS != 0) {
+		mass0 := c.AllreduceScalar(mpirt.OpSum, j.localMass(r, st))
+		dt := cfg.Dt / float64(cfg.HypervisSubcycle)
+		lapU := allocFields(st.NElem(), nlev*npsq)
+		lapV := allocFields(st.NElem(), nlev*npsq)
+		lapT := allocFields(st.NElem(), nlev*npsq)
+		lapP := allocFields(st.NElem(), nlev*npsq)
+		for sub := 0; sub < cfg.HypervisSubcycle; sub++ {
+			rs.Cost.Add(en.HypervisDP1(j.Backend, st, lapU, lapV, lapT, lapP))
+			j.dssFields(c, r, &rs.Halo, nlev, lapU, lapV, lapT, lapP)
+			rs.Cost.Add(en.HypervisDP2(j.Backend, lapU, lapV, lapT, lapP, st, dt, cfg.NuV, cfg.NuS))
+			j.dssFields(c, r, &rs.Halo, nlev, st.U, st.V, st.T, st.DP)
+		}
+		mass1 := c.AllreduceScalar(mpirt.OpSum, j.localMass(r, st))
+		if mass1 > 0 {
+			scale := mass0 / mass1
+			for le := range st.DP {
+				for i := range st.DP[le] {
+					st.DP[le][i] *= scale
+				}
+			}
+		}
+	}
+
+	// --- Tracers: SSP-RK2 with limiter, all tracers per exchange. ---
+	if cfg.Qsize > 0 {
+		qn := allocFields(st.NElem(), cfg.Qsize*nlev*npsq)
+		for le := range st.Qdp {
+			copy(qn[le], st.Qdp[le])
+		}
+		advance := func() {
+			rs.Cost.Add(en.EulerStep(j.Backend, st, cfg.Dt))
+			if cfg.Limiter {
+				for le, ge := range j.Plans[r].Elems {
+					e := j.Mesh.Elements[ge]
+					for q := 0; q < cfg.Qsize; q++ {
+						qdp := st.QdpAt(le, q)
+						for k := 0; k < nlev; k++ {
+							dycore.LimiterClipAndSum(qdp[k*npsq:(k+1)*npsq], e.SphereMP)
+						}
+					}
+				}
+			}
+			j.dssFields(c, r, &rs.Halo, cfg.Qsize*nlev, st.Qdp)
+		}
+		advance()
+		advance()
+		for le := range st.Qdp {
+			dycore.SSPRK2Combine(qn[le], st.Qdp[le], st.Qdp[le])
+		}
+	}
+
+	// --- Vertical remap every RemapFreq steps (column-local). ---
+	if stepNo%cfg.RemapFreq == 0 {
+		rs.Cost.Add(en.VerticalRemap(j.Backend, j.Hybrid, st))
+	}
+}
+
+// localMass integrates dp over this rank's elements.
+func (j *ParallelJob) localMass(r int, st *dycore.State) float64 {
+	npsq := j.Cfg.Np * j.Cfg.Np
+	total := 0.0
+	for le, ge := range j.Plans[r].Elems {
+		e := j.Mesh.Elements[ge]
+		for n := 0; n < npsq; n++ {
+			col := 0.0
+			for k := 0; k < j.Cfg.Nlev; k++ {
+				col += st.DP[le][k*npsq+n]
+			}
+			total += e.SphereMP[n] * col
+		}
+	}
+	return total
+}
+
+func allocFields(n, per int) [][]float64 {
+	f := make([][]float64, n)
+	for i := range f {
+		f[i] = make([]float64, per)
+	}
+	return f
+}
+
+// newJobWithPartition builds a job over a caller-supplied element-to-
+// rank assignment (partition-quality experiments).
+func newJobWithPartition(cfg dycore.Config, backend exec.Backend, overlap bool, nranks int, rankOf []int) (*ParallelJob, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(cfg.Ne, cfg.Np)
+	if len(rankOf) != m.NElems() {
+		return nil, fmt.Errorf("core: rankOf covers %d of %d elements", len(rankOf), m.NElems())
+	}
+	j := &ParallelJob{
+		Cfg: cfg, Backend: backend, Overlap: overlap, NRanks: nranks,
+		Mesh: m, Hybrid: dycore.NewHybridCoord(cfg.Nlev), RankOf: rankOf,
+	}
+	j.Plans = make([]*halo.Plan, nranks)
+	j.engs = make([]*exec.Engine, nranks)
+	for r := 0; r < nranks; r++ {
+		j.Plans[r] = halo.NewPlan(m, rankOf, r)
+		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)
+	}
+	return j, nil
+}

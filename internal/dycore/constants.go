@@ -1,0 +1,33 @@
+// Package dycore implements a miniature HOMME: the spectral-element
+// dynamical core of CAM-SE on the cubed sphere, with the exact kernel
+// inventory of Table 1 of the paper — compute_and_apply_rhs, euler_step
+// (SSP-RK2 tracer advection), vertical_remap (PPM), hypervis_dp1/dp2 and
+// biharmonic_dp3d — plus the hydrostatic/vertical scans that the Sunway
+// redesign parallelizes with register communication.
+//
+// The equations are the hydrostatic primitive equations in
+// vector-invariant form on floating Lagrangian levels:
+//
+//	dv/dt = -(zeta + f) k x v - grad(KE) - grad(Phi) - (R Tv / p) grad(p)
+//	dT/dt = -v . grad(T) + (kappa T / p) omega
+//	d(dp)/dt = -div(v dp)
+//	d(q dp)/dt = -div(v q dp)          (tracers, in euler_step)
+//
+// with periodic vertical remap back to the reference hybrid levels.
+package dycore
+
+// Physical constants (CAM values).
+const (
+	Rd     = 287.04   // dry-air gas constant, J/kg/K
+	Cp     = 1004.64  // dry-air heat capacity at constant pressure, J/kg/K
+	Kappa  = Rd / Cp  // Poisson constant
+	Gravit = 9.80616  // gravitational acceleration, m/s^2
+	Omega  = 7.292e-5 // Earth's angular velocity, rad/s
+	Rearth = 6.376e6  // Earth radius, m
+	P0     = 100000.0 // reference surface pressure, Pa
+	PTop   = 219.4    // model-top pressure, Pa (CAM 30-level top ~2.194 hPa x 100)
+)
+
+// Rrearth is the reciprocal Earth radius, the factor every horizontal
+// derivative picks up when metric terms are kept on the unit sphere.
+const Rrearth = 1.0 / Rearth

@@ -1,0 +1,68 @@
+package dycore
+
+import "swcam/internal/mesh"
+
+// EulerStepElem advances the tracer mass qdp of one element by one
+// explicit Euler stage of the flux-form advection equation,
+//
+//	d(qdp)/dt = -div(v qdp),
+//
+// the element-local body of CAM-SE's euler_step (Table 1 row 2; the
+// driver composes stages into the strong-stability-preserving RK2 of the
+// paper's description). All slices are level-major; out may alias in.
+func EulerStepElem(e *mesh.Element, derivFlat []float64, np, nlev int,
+	u, v, in, out []float64, dt float64,
+	flxU, flxV, div []float64) {
+	npsq := np * np
+	for k := 0; k < nlev; k++ {
+		o := k * npsq
+		for n := 0; n < npsq; n++ {
+			flxU[n] = u[o+n] * in[o+n]
+			flxV[n] = v[o+n] * in[o+n]
+		}
+		DivergenceSphere(e, derivFlat, np, flxU, flxV, div)
+		for n := 0; n < npsq; n++ {
+			out[o+n] = in[o+n] - dt*div[n]
+		}
+	}
+}
+
+// LimiterClipAndSum enforces tracer positivity on one element while
+// conserving its tracer mass: negative nodal values are clipped to zero
+// and the created mass is removed proportionally from the positive nodes
+// (the optimization-free variant of HOMME's limiter8). Returns the
+// clipped mass (diagnostic). qdp is one level slab; w are the element's
+// SphereMP quadrature weights.
+func LimiterClipAndSum(qdp, w []float64) float64 {
+	var clipped, positive float64
+	for n := range qdp {
+		if qdp[n] < 0 {
+			clipped += -qdp[n] * w[n]
+			qdp[n] = 0
+		} else {
+			positive += qdp[n] * w[n]
+		}
+	}
+	if clipped == 0 || positive <= 0 {
+		return clipped
+	}
+	scale := (positive - clipped) / positive
+	if scale < 0 {
+		scale = 0
+	}
+	for n := range qdp {
+		qdp[n] *= scale
+	}
+	return clipped
+}
+
+// SSPRK2Combine completes the Heun / SSP-RK2 update
+//
+//	q^{n+1} = 1/2 q^n + 1/2 (q1 + dt f(q1))
+//
+// where stage2 already holds q1 + dt f(q1). out may alias qn or stage2.
+func SSPRK2Combine(qn, stage2, out []float64) {
+	for i := range out {
+		out[i] = 0.5*qn[i] + 0.5*stage2[i]
+	}
+}

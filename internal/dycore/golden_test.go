@@ -1,0 +1,48 @@
+package dycore
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression test: a fixed configuration stepped a fixed number
+// of times must land on recorded global diagnostics. This is the
+// climate-modeling answer-changing guard — any change to operators,
+// scans, remap, limiters, DSS weights, or stepping order that alters the
+// trajectory shows up here even when all invariant tests still pass.
+//
+// Tolerances are 1e-9 relative (not bitwise) so benign platform
+// differences in libm (math.Sin/Pow) don't trip it; a real algorithmic
+// change moves these values by far more.
+func TestGoldenBaroclinicTrajectory(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Nlev = 8
+	cfg.Qsize = 1
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	s.InitCosineBellTracer(st, 0, math.Pi/2, 0.2, 0.6)
+	for i := 0; i < 5; i++ {
+		s.Step(st)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"total mass", s.TotalMass(st), 1.253880109438273e+06},
+		{"total energy", s.TotalEnergy(st), 3.186625521849322e+10},
+		{"max wind", s.MaxWind(st), 3.442698857362153e+01},
+		{"tracer mass", s.TracerMass(st, 0), 3.308738404645977e+04},
+		{"T[0][0]", st.T[0][0], 1.985732353525959e+02},
+	}
+	for _, c := range checks {
+		if rel := math.Abs(c.got-c.want) / math.Abs(c.want); rel > 1e-9 {
+			t.Errorf("%s = %.15e, golden %.15e (rel %g) — the answer changed; "+
+				"if intentional, update the golden values", c.name, c.got, c.want, rel)
+		}
+	}
+}

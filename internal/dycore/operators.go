@@ -1,0 +1,169 @@
+package dycore
+
+import "swcam/internal/mesh"
+
+// Horizontal spectral-element operators on one np x np level slab.
+//
+// Each operator exists in two forms: a *Slab form that consumes flat
+// metric buffers (derivFlat row-major np x np, dinv/d flattened as
+// node*4+2*row+col) and caller-provided scratch — the form the Sunway
+// execution backends run against LDM tiles — and a convenience wrapper
+// taking a *mesh.Element that allocates scratch, used by the serial
+// reference solver. Both perform identical arithmetic in identical
+// order, which is what lets backend-equivalence tests demand agreement
+// to rounding.
+
+// covariantDerivSlab computes ds/dalpha and ds/dbeta at every node.
+func covariantDerivSlab(derivFlat []float64, dAlpha float64, np int, s, da, db []float64) {
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		for i := 0; i < np; i++ {
+			ga, gb := 0.0, 0.0
+			for m := 0; m < np; m++ {
+				ga += derivFlat[i*np+m] * s[j*np+m]
+				gb += derivFlat[j*np+m] * s[m*np+i]
+			}
+			da[j*np+i] = ga * fac
+			db[j*np+i] = gb * fac
+		}
+	}
+}
+
+// GradientSlab computes the spherical gradient of scalar slab s into
+// (gx, gy), using scratch slices da, db (np*np each).
+func GradientSlab(derivFlat, dinvFlat []float64, dAlpha float64, np int, s, gx, gy, da, db []float64) {
+	covariantDerivSlab(derivFlat, dAlpha, np, s, da, db)
+	for n := 0; n < np*np; n++ {
+		// spherical = Dinv^T . (da, db), scaled by 1/a.
+		gx[n] = (dinvFlat[4*n+0]*da[n] + dinvFlat[4*n+2]*db[n]) * Rrearth
+		gy[n] = (dinvFlat[4*n+1]*da[n] + dinvFlat[4*n+3]*db[n]) * Rrearth
+	}
+}
+
+// GradientSphere is the element wrapper around GradientSlab.
+func GradientSphere(e *mesh.Element, derivFlat []float64, np int, s, gx, gy []float64) {
+	da := make([]float64, np*np)
+	db := make([]float64, np*np)
+	GradientSlab(derivFlat, e.DinvFlat, e.DAlpha, np, s, gx, gy, da, db)
+}
+
+// DivergenceSlab computes the spherical divergence of (u, v) into div,
+// using scratch gv1, gv2 (np*np each).
+func DivergenceSlab(derivFlat, dinvFlat, metdet []float64, dAlpha float64, np int, u, v, div, gv1, gv2 []float64) {
+	npsq := np * np
+	for n := 0; n < npsq; n++ {
+		c1 := dinvFlat[4*n+0]*u[n] + dinvFlat[4*n+1]*v[n]
+		c2 := dinvFlat[4*n+2]*u[n] + dinvFlat[4*n+3]*v[n]
+		gv1[n] = metdet[n] * c1
+		gv2[n] = metdet[n] * c2
+	}
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		for i := 0; i < np; i++ {
+			dda, ddb := 0.0, 0.0
+			for m := 0; m < np; m++ {
+				dda += derivFlat[i*np+m] * gv1[j*np+m]
+				ddb += derivFlat[j*np+m] * gv2[m*np+i]
+			}
+			n := j*np + i
+			div[n] = (dda + ddb) * fac * Rrearth / metdet[n]
+		}
+	}
+}
+
+// DivergenceSphere is the element wrapper around DivergenceSlab.
+func DivergenceSphere(e *mesh.Element, derivFlat []float64, np int, u, v, div []float64) {
+	npsq := np * np
+	gv1 := make([]float64, npsq)
+	gv2 := make([]float64, npsq)
+	DivergenceSlab(derivFlat, e.DinvFlat, e.Metdet, e.DAlpha, np, u, v, div, gv1, gv2)
+}
+
+// VorticitySlab computes the radial curl component of (u, v) into vort,
+// using scratch cov1, cov2.
+func VorticitySlab(derivFlat, dFlat, metdet []float64, dAlpha float64, np int, u, v, vort, cov1, cov2 []float64) {
+	npsq := np * np
+	for n := 0; n < npsq; n++ {
+		// covariant components: D^T . (u,v)
+		cov1[n] = dFlat[4*n+0]*u[n] + dFlat[4*n+2]*v[n]
+		cov2[n] = dFlat[4*n+1]*u[n] + dFlat[4*n+3]*v[n]
+	}
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		for i := 0; i < np; i++ {
+			dda, ddb := 0.0, 0.0
+			for m := 0; m < np; m++ {
+				dda += derivFlat[i*np+m] * cov2[j*np+m] // d(cov2)/dalpha
+				ddb += derivFlat[j*np+m] * cov1[m*np+i] // d(cov1)/dbeta
+			}
+			n := j*np + i
+			vort[n] = (dda - ddb) * fac * Rrearth / metdet[n]
+		}
+	}
+}
+
+// VorticitySphere is the element wrapper around VorticitySlab.
+func VorticitySphere(e *mesh.Element, derivFlat []float64, np int, u, v, vort []float64) {
+	npsq := np * np
+	cov1 := make([]float64, npsq)
+	cov2 := make([]float64, npsq)
+	VorticitySlab(derivFlat, e.DFlat, e.Metdet, e.DAlpha, np, u, v, vort, cov1, cov2)
+}
+
+// LaplaceSlab computes div(grad s)) with caller scratch (4 slabs).
+func LaplaceSlab(derivFlat, dinvFlat, metdet []float64, dAlpha float64, np int, s, out, s1, s2, s3, s4 []float64) {
+	GradientSlab(derivFlat, dinvFlat, dAlpha, np, s, s1, s2, s3, s4)
+	DivergenceSlab(derivFlat, dinvFlat, metdet, dAlpha, np, s1, s2, out, s3, s4)
+}
+
+// LaplaceSphere computes the scalar Laplacian div(grad s)). The result is
+// element-local; global accuracy requires DSS between repeated
+// applications (as in the biharmonic kernels).
+func LaplaceSphere(e *mesh.Element, derivFlat []float64, np int, s, out []float64) {
+	npsq := np * np
+	s1 := make([]float64, npsq)
+	s2 := make([]float64, npsq)
+	s3 := make([]float64, npsq)
+	s4 := make([]float64, npsq)
+	LaplaceSlab(derivFlat, e.DinvFlat, e.Metdet, e.DAlpha, np, s, out, s1, s2, s3, s4)
+}
+
+// CurlSphere computes k x grad(psi): the nondivergent vector field of a
+// stream function.
+func CurlSphere(e *mesh.Element, derivFlat []float64, np int, psi, u, v []float64) {
+	npsq := np * np
+	gx := make([]float64, npsq)
+	gy := make([]float64, npsq)
+	GradientSphere(e, derivFlat, np, psi, gx, gy)
+	for n := 0; n < npsq; n++ {
+		u[n] = -gy[n]
+		v[n] = gx[n]
+	}
+}
+
+// VecLaplaceSlab computes the sphere-correct vector Laplacian
+// grad(div) - k x grad(vort) with caller scratch (6 slabs).
+func VecLaplaceSlab(derivFlat, dFlat, dinvFlat, metdet []float64, dAlpha float64, np int,
+	u, v, lu, lv, s1, s2, s3, s4, s5, s6 []float64) {
+	npsq := np * np
+	div, vort := s1, s2
+	DivergenceSlab(derivFlat, dinvFlat, metdet, dAlpha, np, u, v, div, s3, s4)
+	VorticitySlab(derivFlat, dFlat, metdet, dAlpha, np, u, v, vort, s3, s4)
+	GradientSlab(derivFlat, dinvFlat, dAlpha, np, div, lu, lv, s3, s4)
+	GradientSlab(derivFlat, dinvFlat, dAlpha, np, vort, s5, s6, s3, s4)
+	for n := 0; n < npsq; n++ {
+		// k x grad(vort) = (-gy, gx); subtract it.
+		lu[n] -= -s6[n]
+		lv[n] -= s5[n]
+	}
+}
+
+// VecLaplaceSphere is the element wrapper around VecLaplaceSlab.
+func VecLaplaceSphere(e *mesh.Element, derivFlat []float64, np int, u, v, lu, lv []float64) {
+	npsq := np * np
+	scr := make([]float64, 6*npsq)
+	VecLaplaceSlab(derivFlat, e.DFlat, e.DinvFlat, e.Metdet, e.DAlpha, np,
+		u, v, lu, lv,
+		scr[0:npsq], scr[npsq:2*npsq], scr[2*npsq:3*npsq],
+		scr[3*npsq:4*npsq], scr[4*npsq:5*npsq], scr[5*npsq:6*npsq])
+}

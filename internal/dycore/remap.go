@@ -1,0 +1,200 @@
+package dycore
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vertical remap (Table 1 row 3): after several dynamics steps on
+// floating Lagrangian levels the layer thicknesses dp have deformed; the
+// state is remapped back to the reference hybrid levels with the
+// monotonic piecewise parabolic method (PPM) of Colella & Woodward, the
+// scheme CAM-SE uses (remap_Q_ppm). The remap is written as a
+// cumulative-mass interpolation, which makes it exactly conservative.
+
+// ppmCoef holds the reconstruction of one source column: for each cell,
+// the left edge value, the jump aR-aL, and the curvature a6.
+type ppmCoef struct {
+	aL, da, a6 []float64
+}
+
+func newPPMCoef(n int) *ppmCoef {
+	return &ppmCoef{aL: make([]float64, n), da: make([]float64, n), a6: make([]float64, n)}
+}
+
+// buildPPM reconstructs monotonic parabolas for cell averages a on cell
+// widths dp (Colella & Woodward 1984, non-uniform grid). Boundary cells
+// fall back to piecewise-constant, as HOMME's remap does at the model
+// top and surface.
+func buildPPM(dp, a []float64, c *ppmCoef) {
+	n := len(a)
+	// Limited slopes (CW84 eq. 1.7-1.8).
+	slope := make([]float64, n)
+	for j := 1; j < n-1; j++ {
+		dm, d0, dp1 := dp[j-1], dp[j], dp[j+1]
+		s := d0 / (dm + d0 + dp1) *
+			((2*dm+d0)/(dp1+d0)*(a[j+1]-a[j]) + (d0+2*dp1)/(dm+d0)*(a[j]-a[j-1]))
+		if (a[j+1]-a[j])*(a[j]-a[j-1]) > 0 {
+			lim := math.Min(math.Abs(s), 2*math.Abs(a[j]-a[j-1]))
+			lim = math.Min(lim, 2*math.Abs(a[j+1]-a[j]))
+			slope[j] = math.Copysign(lim, s)
+		}
+	}
+	// Edge values between cells j and j+1 (CW84 eq. 1.6).
+	edge := make([]float64, n+1)
+	for j := 1; j < n-2; j++ {
+		dm, d0, d1, d2 := dp[j-1], dp[j], dp[j+1], dp[j+2]
+		sum := dm + d0 + d1 + d2
+		e := a[j] + d0/(d0+d1)*(a[j+1]-a[j]) +
+			1/sum*(2*d1*d0/(d0+d1)*((dm+d0)/(2*d0+d1)-(d2+d1)/(2*d1+d0))*(a[j+1]-a[j])-
+				d0*(dm+d0)/(2*d0+d1)*slope[j+1]+
+				d1*(d1+d2)/(d0+2*d1)*slope[j])
+		edge[j+1] = e
+	}
+	// Low-order edges near the column boundaries.
+	edge[0] = a[0]
+	edge[1] = (a[0]*dp[1] + a[1]*dp[0]) / (dp[0] + dp[1])
+	if n >= 2 {
+		edge[n-1] = (a[n-2]*dp[n-1] + a[n-1]*dp[n-2]) / (dp[n-2] + dp[n-1])
+	}
+	edge[n] = a[n-1]
+
+	for j := 0; j < n; j++ {
+		aL, aR := edge[j], edge[j+1]
+		// Monotonize the parabola (CW84 eq. 1.10).
+		if (aR-a[j])*(a[j]-aL) <= 0 {
+			aL, aR = a[j], a[j]
+		} else {
+			d := aR - aL
+			a6 := 6*a[j] - 3*(aL+aR)
+			if d*a6 > d*d {
+				aL = 3*a[j] - 2*aR
+			} else if -d*d > d*a6 {
+				aR = 3*a[j] - 2*aL
+			}
+		}
+		c.aL[j] = aL
+		c.da[j] = aR - aL
+		c.a6[j] = 6*a[j] - 3*(aL+aR)
+	}
+}
+
+// cellMass integrates the parabola of cell j from its left edge to
+// fraction x in [0,1] of its width, returning mass (value * thickness).
+func (c *ppmCoef) cellMass(j int, dp, x float64) float64 {
+	x2 := x * x
+	return dp * (c.aL[j]*x + c.da[j]*x2/2 + c.a6[j]*(x2/2-x2*x/3))
+}
+
+// RemapPPM remaps cell averages a from source thicknesses dpS onto
+// target thicknesses dpT (same column total within roundoff), storing
+// target averages in out. It is exactly conservative: the cumulative
+// mass at the column bottom is reproduced to roundoff.
+func RemapPPM(dpS, a, dpT, out []float64) {
+	n := len(a)
+	if len(dpS) != n || len(dpT) != len(out) {
+		panic("dycore: RemapPPM length mismatch")
+	}
+	var totS, totT float64
+	for _, d := range dpS {
+		totS += d
+	}
+	for _, d := range dpT {
+		totT += d
+	}
+	if math.Abs(totS-totT) > 1e-8*math.Max(totS, 1) {
+		panic(fmt.Sprintf("dycore: RemapPPM column totals differ: %g vs %g", totS, totT))
+	}
+
+	c := newPPMCoef(n)
+	buildPPM(dpS, a, c)
+
+	// Cumulative source mass at source interfaces.
+	cum := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		cum[j+1] = cum[j] + a[j]*dpS[j]
+	}
+	// Walk target interfaces through the source column, evaluating the
+	// cumulative mass with the parabola inside the containing cell.
+	massAt := func(z float64) float64 {
+		if z <= 0 {
+			return 0
+		}
+		// Find containing source cell.
+		zl := 0.0
+		for j := 0; j < n; j++ {
+			zr := zl + dpS[j]
+			if z <= zr || j == n-1 {
+				x := (z - zl) / dpS[j]
+				if x > 1 {
+					x = 1
+				}
+				return cum[j] + c.cellMass(j, dpS[j], x)
+			}
+			zl = zr
+		}
+		return cum[n]
+	}
+	zt := 0.0
+	mPrev := 0.0
+	for j := range dpT {
+		zt += dpT[j]
+		var m float64
+		if j == len(dpT)-1 {
+			m = cum[n] // exact conservation at the column end
+		} else {
+			m = massAt(zt)
+		}
+		out[j] = (m - mPrev) / dpT[j]
+		mPrev = m
+	}
+}
+
+// RemapStateElem remaps one element's state from its deformed Lagrangian
+// thicknesses back to the reference hybrid grid: velocities and
+// temperature as mass-weighted averages (conserving momentum and
+// internal energy), tracers as masses, then resets DP to the reference.
+// Column scratch buffers (len nlev) are supplied by the caller.
+func RemapStateElem(h *HybridCoord, np, nlev, qsize int,
+	u, v, tt, dp, qdp []float64,
+	colSrc, colVal, colRef, colOut []float64) {
+	npsq := np * np
+	for n := 0; n < npsq; n++ {
+		// Deformed column and its implied surface pressure.
+		ps := PTop
+		for k := 0; k < nlev; k++ {
+			colSrc[k] = dp[k*npsq+n]
+			ps += colSrc[k]
+		}
+		h.ReferenceDP(ps, colRef)
+
+		remapField := func(f []float64) {
+			for k := 0; k < nlev; k++ {
+				colVal[k] = f[k*npsq+n]
+			}
+			RemapPPM(colSrc, colVal, colRef, colOut)
+			for k := 0; k < nlev; k++ {
+				f[k*npsq+n] = colOut[k]
+			}
+		}
+		remapField(u)
+		remapField(v)
+		remapField(tt)
+		for q := 0; q < qsize; q++ {
+			// Tracers advect as mass qdp; remap the mixing ratio
+			// q = qdp/dp (a cell average) and rebuild mass on the
+			// reference grid.
+			base := q * nlev * npsq
+			for k := 0; k < nlev; k++ {
+				colVal[k] = qdp[base+k*npsq+n] / colSrc[k]
+			}
+			RemapPPM(colSrc, colVal, colRef, colOut)
+			for k := 0; k < nlev; k++ {
+				qdp[base+k*npsq+n] = colOut[k] * colRef[k]
+			}
+		}
+		for k := 0; k < nlev; k++ {
+			dp[k*npsq+n] = colRef[k]
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package dycore
+
+import (
+	"math"
+
+	"swcam/internal/mesh"
+)
+
+// Semi-Lagrangian tracer transport — the alternative to euler_step that
+// HOMME ships for long tracer timesteps (the lineage that became
+// CAM-SE's SL transport). Instead of flux divergences, each GLL node
+// traces its departure point backward along the wind, and the tracer
+// mixing ratio is interpolated there with the element's own GLL basis:
+//
+//	q^{n+1}(x) = q^n(X_d(x)),  X_d = departure point of x
+//
+// The scheme is unconditionally stable in the advective CFL (the paper's
+// euler_step subcycles instead) but not inherently conservative; a
+// global proportional mass fixer restores the tracer integral, the
+// standard practice.
+
+// SLTransport holds the departure-point search acceleration for a mesh.
+type SLTransport struct {
+	m *mesh.Mesh
+	// Element centres for the coarse search phase.
+	centers []mesh.Vec3
+	// Search radius: max distance from an element centre to its nodes.
+	radius float64
+}
+
+// NewSLTransport prepares semi-Lagrangian transport on a mesh.
+func NewSLTransport(m *mesh.Mesh) *SLTransport {
+	sl := &SLTransport{m: m, centers: make([]mesh.Vec3, m.NElems())}
+	npsq := m.Np * m.Np
+	for ei, e := range m.Elements {
+		var c mesh.Vec3
+		for n := 0; n < npsq; n++ {
+			c = c.Add(e.Pos[n])
+		}
+		sl.centers[ei] = c.Normalize()
+		for n := 0; n < npsq; n++ {
+			if d := mesh.GreatCircleDist(sl.centers[ei], e.Pos[n]); d > sl.radius {
+				sl.radius = d
+			}
+		}
+	}
+	return sl
+}
+
+// departure traces the node at position p with local wind (u, v)
+// backward over dt along a great circle (one midpoint iteration, the
+// standard second-order departure-point estimate).
+func departure(p mesh.Vec3, u, v, dt float64) mesh.Vec3 {
+	east, north := mesh.SphericalBasis(p)
+	// Angular displacement.
+	dir := east.Scale(u).Add(north.Scale(v))
+	speed := dir.Norm()
+	if speed == 0 {
+		return p
+	}
+	angle := speed * dt / Rearth
+	dirN := dir.Scale(1 / speed)
+	// Rotate p by -angle toward dir (backward trajectory).
+	return p.Scale(math.Cos(angle)).Add(dirN.Scale(-math.Sin(angle))).Normalize()
+}
+
+// locate finds the element containing point p (nearest centre whose
+// reference coordinates land inside [-1,1]^2) and returns the element
+// id plus the reference coordinates.
+func (sl *SLTransport) locate(p mesh.Vec3) (int, float64, float64) {
+	bestEi := -1
+	bestD := math.Inf(1)
+	// Nearest centre is almost always the containing element; check its
+	// neighbours too for points near edges.
+	for ei := range sl.centers {
+		if d := mesh.GreatCircleDist(p, sl.centers[ei]); d < bestD {
+			bestD, bestEi = d, ei
+		}
+	}
+	cand := append([]int{bestEi}, sl.m.Elements[bestEi].ShareNeighbors...)
+	for _, ei := range cand {
+		if a, b, ok := sl.invertElement(ei, p); ok {
+			return ei, a, b
+		}
+	}
+	// Fall back to the nearest centre with clamped coordinates.
+	a, b, _ := sl.invertElement(bestEi, p)
+	return bestEi, clamp(a), clamp(b)
+}
+
+func clamp(x float64) float64 { return math.Max(-1, math.Min(1, x)) }
+
+// invertElement maps a sphere point to the element's reference square by
+// Newton iteration on the equiangular gnomonic map. ok reports whether
+// the point lies inside (with a small tolerance).
+func (sl *SLTransport) invertElement(ei int, p mesh.Vec3) (xi, eta float64, ok bool) {
+	e := sl.m.Elements[ei]
+	// Initial guess: centre of the element.
+	alpha := e.Alpha0 + e.DAlpha/2
+	beta := e.Beta0 + e.DAlpha/2
+	for it := 0; it < 25; it++ {
+		q := mesh.CubeToSphere(e.Face, alpha, beta)
+		r := p.Sub(q)
+		if r.Norm() < 1e-13 {
+			break
+		}
+		tA, tB := mesh.SphereTangents(e.Face, alpha, beta)
+		// Solve the 2x2 tangent-plane system [tA tB] [da db]^T = r.
+		a11, a12 := tA.Dot(tA), tA.Dot(tB)
+		a22 := tB.Dot(tB)
+		b1, b2 := tA.Dot(r), tB.Dot(r)
+		det := a11*a22 - a12*a12
+		if det == 0 {
+			return 0, 0, false
+		}
+		da := (b1*a22 - b2*a12) / det
+		db := (b2*a11 - b1*a12) / det
+		alpha += da
+		beta += db
+		if math.Abs(da)+math.Abs(db) < 1e-14 {
+			break
+		}
+	}
+	xi = 2*(alpha-e.Alpha0)/e.DAlpha - 1
+	eta = 2*(beta-e.Beta0)/e.DAlpha - 1
+	const tol = 1e-9
+	ok = xi >= -1-tol && xi <= 1+tol && eta >= -1-tol && eta <= 1+tol
+	return xi, eta, ok
+}
+
+// lagrangeWeights evaluates the GLL cardinal functions at reference
+// coordinate x.
+func lagrangeWeights(nodes []float64, x float64, w []float64) {
+	np := len(nodes)
+	for i := 0; i < np; i++ {
+		l := 1.0
+		for j := 0; j < np; j++ {
+			if j != i {
+				l *= (x - nodes[j]) / (nodes[i] - nodes[j])
+			}
+		}
+		w[i] = l
+	}
+}
+
+// AdvectTracer advances tracer q of the state one semi-Lagrangian step
+// using the state's winds, then applies the global mass fixer. Levels
+// advect independently with their own winds.
+func (sl *SLTransport) AdvectTracer(s *Solver, st *State, q int, dt float64) {
+	m := sl.m
+	np := m.Np
+	npsq := np * np
+	nlev := s.Cfg.Nlev
+
+	// Mixing ratio snapshot (interpolate q, not qdp: dp is not advected
+	// by the SL step).
+	mix := make([][]float64, m.NElems())
+	for ei := range mix {
+		mix[ei] = make([]float64, nlev*npsq)
+		qdp := st.QdpAt(ei, q)
+		for i := range mix[ei] {
+			mix[ei][i] = qdp[i] / st.DP[ei][i]
+		}
+	}
+	mass0 := s.TracerMass(st, q)
+
+	wx := make([]float64, np)
+	wy := make([]float64, np)
+	for ei, e := range m.Elements {
+		qdp := st.QdpAt(ei, q)
+		for k := 0; k < nlev; k++ {
+			o := k * npsq
+			for n := 0; n < npsq; n++ {
+				dp := departure(e.Pos[n], st.U[ei][o+n], st.V[ei][o+n], dt)
+				di, xi, eta := sl.locate(dp)
+				lagrangeWeights(m.Xi, xi, wx)
+				lagrangeWeights(m.Xi, eta, wy)
+				val := 0.0
+				src := mix[di]
+				for j := 0; j < np; j++ {
+					for i := 0; i < np; i++ {
+						val += wy[j] * wx[i] * src[o+j*np+i]
+					}
+				}
+				qdp[o+n] = val * st.DP[ei][o+n]
+			}
+		}
+	}
+	// DSS for continuity, then the proportional mass fixer.
+	qf := make([][]float64, m.NElems())
+	for ei := range qf {
+		qf[ei] = st.QdpAt(ei, q)
+	}
+	s.DSSLevelMajor(qf)
+	if mass1 := s.TracerMass(st, q); mass1 > 0 && mass0 > 0 {
+		scale := mass0 / mass1
+		for ei := range qf {
+			for i := range qf[ei] {
+				qf[ei][i] *= scale
+			}
+		}
+	}
+}
+
+// GLLNodesForTest exposes the np=4 GLL nodes for white-box tests.
+func GLLNodesForTest() ([]float64, []float64) { return mesh.GLL(4) }
+
+// meshCubeToSphere re-exports the gnomonic map for white-box tests.
+func meshCubeToSphere(face int, a, b float64) mesh.Vec3 { return mesh.CubeToSphere(face, a, b) }

@@ -1,0 +1,136 @@
+package dycore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLDeparturePoint(t *testing.T) {
+	// Pure eastward wind at the equator for dt seconds moves the
+	// departure point westward by u*dt/a radians.
+	p := lonLatToCartTest(1.0, 0.0)
+	const u, dt = 50.0, 600.0
+	d := departure(p, u, 0, dt)
+	lon := math.Atan2(d[1], d[0])
+	want := 1.0 - u*dt/Rearth
+	if math.Abs(lon-want) > 1e-10 {
+		t.Errorf("departure lon = %v, want %v", lon, want)
+	}
+	if math.Abs(d[2]) > 1e-12 {
+		t.Errorf("equatorial trajectory left the equator: z=%v", d[2])
+	}
+	// Zero wind: departure is the point itself.
+	if q := departure(p, 0, 0, dt); q != p {
+		t.Error("zero-wind departure moved")
+	}
+}
+
+func lonLatToCartTest(lon, lat float64) [3]float64 {
+	cl := math.Cos(lat)
+	return [3]float64{cl * math.Cos(lon), cl * math.Sin(lon), math.Sin(lat)}
+}
+
+func TestSLLocateRoundTrip(t *testing.T) {
+	// Every GLL node must locate to an element that contains it with
+	// reference coordinates reproducing its position.
+	s := smallSolver(t, 3, 4, 0)
+	sl := NewSLTransport(s.Mesh)
+	for _, e := range s.Mesh.Elements[:12] {
+		for n := 0; n < 16; n++ {
+			ei, xi, eta := sl.locate(e.Pos[n])
+			el := s.Mesh.Elements[ei]
+			alpha := el.Alpha0 + (xi+1)/2*el.DAlpha
+			beta := el.Beta0 + (eta+1)/2*el.DAlpha
+			q := meshCubeToSphere(el.Face, alpha, beta)
+			// Chord distance: acos(dot) loses half the precision near 1.
+			d := e.Pos[n].Sub(q).Norm()
+			if d > 1e-10 {
+				t.Fatalf("locate round trip off by %g (chord)", d)
+			}
+		}
+	}
+}
+
+func TestLagrangeWeightsPartitionOfUnity(t *testing.T) {
+	nodes, _ := GLLNodesForTest()
+	w := make([]float64, 4)
+	for _, x := range []float64{-1, -0.3, 0, 0.7, 1} {
+		lagrangeWeights(nodes, x, w)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("weights at %v sum to %v", x, sum)
+		}
+	}
+	// Cardinal property: at node i, w = e_i.
+	for i, xn := range nodes {
+		lagrangeWeights(nodes, xn, w)
+		for j := range w {
+			want := 0.0
+			if j == i {
+				want = 1
+			}
+			if math.Abs(w[j]-want) > 1e-12 {
+				t.Errorf("cardinality broken at node %d", i)
+			}
+		}
+	}
+}
+
+// TestSLAdvectionMovesAndConserves: solid-body rotation carries the bell
+// eastward; the mass fixer keeps the integral; the SL step allows a CFL
+// far above euler_step's limit.
+func TestSLAdvectionMovesAndConserves(t *testing.T) {
+	s := smallSolver(t, 6, 4, 1)
+	st := s.NewState()
+	const u0 = 80.0
+	s.InitSolidBodyRotation(st, 280, u0, 0)
+	s.InitCosineBellTracer(st, 0, math.Pi, 0, 0.5)
+	sl := NewSLTransport(s.Mesh)
+	q0 := s.TracerMass(st, 0)
+
+	// dt 4x the advective step the euler path would tolerate here.
+	dt := 4 * s.Cfg.Dt
+	steps := 6
+	for i := 0; i < steps; i++ {
+		sl.AdvectTracer(s, st, 0, dt)
+	}
+	if rel := math.Abs(s.TracerMass(st, 0)-q0) / q0; rel > 1e-12 {
+		t.Errorf("SL mass fixer failed: drift %g", rel)
+	}
+	// Centroid moved eastward by roughly u0*dt*steps/a.
+	npsq := 16
+	var sx, sy float64
+	for ei, e := range s.Mesh.Elements {
+		q := st.QdpAt(ei, 0)
+		for n := 0; n < npsq; n++ {
+			w := 0.0
+			for k := 0; k < s.Cfg.Nlev; k++ {
+				w += q[k*npsq+n]
+			}
+			w *= e.SphereMP[n]
+			sx += w * math.Cos(e.Lon[n])
+			sy += w * math.Sin(e.Lon[n])
+		}
+	}
+	moved := math.Atan2(sy, sx) - math.Pi
+	for moved < -math.Pi {
+		moved += 2 * math.Pi
+	}
+	want := u0 * dt * float64(steps) / Rearth
+	if moved < 0.5*want || moved > 1.5*want {
+		t.Errorf("SL bell moved %g rad, want ~%g", moved, want)
+	}
+	// No wild overshoots: mixing ratios stay within ~20% of the initial
+	// extrema (interpolation can overshoot slightly; it must not blow up).
+	for ei := range st.Qdp {
+		q := st.QdpAt(ei, 0)
+		for i, v := range q {
+			if v/st.DP[ei][i%len(st.DP[ei])] > 1.2 || v < -0.2*st.DP[ei][i%len(st.DP[ei])] {
+				t.Fatalf("SL overshoot: mixing ratio %g", v/st.DP[ei][i%len(st.DP[ei])])
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"fmt"
+
+	"swcam/internal/dycore"
+	"swcam/internal/mesh"
+	"swcam/internal/sw"
+)
+
+// Engine runs kernels for one process (one MPI rank = one core group in
+// the TaihuLight model) over that rank's elements.
+type Engine struct {
+	M     *mesh.Mesh
+	CG    *sw.CoreGroup
+	Elems []int // global element ids owned by this rank, in local-slot order
+
+	Np, Nlev, Qsize int
+
+	ws  *dycore.Workspace
+	rhs *dycore.RHS
+	// Serial-backend scratch.
+	flxU, flxV, div []float64
+	colA, colB      []float64
+	colC, colD      []float64
+}
+
+// NewEngine builds an engine for the given local element set. The state
+// passed to kernel methods must index elements in the same order.
+func NewEngine(m *mesh.Mesh, elems []int, nlev, qsize int) *Engine {
+	np := m.Np
+	npsq := np * np
+	return &Engine{
+		M: m, CG: sw.NewCoreGroup(0), Elems: elems,
+		Np: np, Nlev: nlev, Qsize: qsize,
+		ws:   dycore.NewWorkspace(np, nlev),
+		rhs:  dycore.NewRHS(np, nlev),
+		flxU: make([]float64, npsq),
+		flxV: make([]float64, npsq),
+		div:  make([]float64, npsq),
+		colA: make([]float64, nlev),
+		colB: make([]float64, nlev),
+		colC: make([]float64, nlev),
+		colD: make([]float64, nlev),
+	}
+}
+
+// element returns the mesh element of local slot le.
+func (en *Engine) element(le int) *mesh.Element { return en.M.Elements[en.Elems[le]] }
+
+// vlPerCPE returns the vertical-layer block size of the Figure 2
+// decomposition when nlev divides evenly across the 8 mesh rows (the
+// paper's 128-level case). Kernels that support uneven blocks use
+// rowLevels instead.
+func (en *Engine) vlPerCPE() int {
+	if en.Nlev%sw.MeshDim != 0 {
+		panic(fmt.Sprintf("exec: nlev %d not divisible by the %d CPE mesh rows; "+
+			"the Figure 2 vertical decomposition requires it", en.Nlev, sw.MeshDim))
+	}
+	return en.Nlev / sw.MeshDim
+}
+
+// rowLevels returns the level range [start, start+count) owned by a mesh
+// row under the generalized Figure 2 decomposition: blocks differ by at
+// most one level, so any nlev (CAM's 30, the dycore benchmarks' 128)
+// maps onto the 8 rows. Rows beyond nlev get empty ranges and still
+// participate in the register-communication carry chains.
+func (en *Engine) rowLevels(row int) (start, count int) {
+	base := en.Nlev / sw.MeshDim
+	rem := en.Nlev % sw.MeshDim
+	count = base
+	if row < rem {
+		count++
+	}
+	start = row*base + min(row, rem)
+	return start, count
+}
+
+// maxRowLevels is the largest per-row block (tile sizing).
+func (en *Engine) maxRowLevels() int {
+	base := en.Nlev / sw.MeshDim
+	if en.Nlev%sw.MeshDim != 0 {
+		base++
+	}
+	return base
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// collect drains the core-group counters into a Cost and resets them.
+func (en *Engine) collect(b Backend, launches int64) Cost {
+	sum, max := en.CG.Counters()
+	en.CG.ResetCounters()
+	mpe := en.CG.MPE.Ctr
+	en.CG.MPE.Ctr.Reset()
+	return Cost{
+		Backend:     b,
+		FlopsScalar: sum.FlopsScalar + mpe.FlopsScalar,
+		FlopsVector: sum.FlopsVector,
+		MaxCPEFlops: max.FlopsScalar + max.FlopsVector,
+		MemBytes:    sum.DMABytes() + mpe.DMABytes(),
+		DMAOps:      sum.DMAOps,
+		RegMsgs:     sum.RegMsgs,
+		Launches:    launches,
+		LDMPeak:     max.LDMPeak,
+	}
+}
+
+// serialCost builds the cost record of a serial (Intel or MPE) kernel
+// run from analytic flop and byte counts.
+func serialCost(b Backend, flops, bytes int64) Cost {
+	return Cost{Backend: b, FlopsScalar: flops, MaxCPEFlops: flops, MemBytes: bytes}
+}

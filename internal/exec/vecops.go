@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"swcam/internal/dycore"
+	"swcam/internal/sw"
+)
+
+// Vectorized slab operators for the Athread backend: the same arithmetic
+// as the dycore scalar slabs, restructured into 4-lane Vec4 operations
+// over groups of four consecutive nodes (one GLL row), the way the
+// paper's fine-grained redesign hand-vectorizes its inner loops (§7.3).
+// Every lane performs the scalar sequence of operations in the scalar
+// order, so results match the serial kernels bit for bit (no FMA
+// contraction, no reassociation). Only np = 4 is supported — the Vec4
+// width is the reason CAM-SE's np=4 maps so naturally onto the SW26010.
+
+// lanes4 gathers the strided metric coefficients dinvFlat[4*n + off] for
+// the four nodes n = 4*j .. 4*j+3 into one register.
+func lanes4(m []float64, j, off int) sw.Vec4 {
+	base := 16*j + off
+	return sw.Vec4{m[base], m[base+4], m[base+8], m[base+12]}
+}
+
+// divergenceSlabVec4 is dycore.DivergenceSlab vectorized. Scratch gv1,
+// gv2 are np*np LDM buffers. Counts vector flops and shuffle-free
+// gathers on the CPE.
+func divergenceSlabVec4(c *sw.CPE, derivFlat, dinvFlat, metdet []float64, dAlpha float64,
+	u, v, div, gv1, gv2 []float64) {
+	const np = 4
+	// Pointwise: gv = metdet * (Dinv . (u,v)), four nodes per iteration.
+	for j := 0; j < np; j++ {
+		uv := sw.LoadVec4(u, 4*j)
+		vv := sw.LoadVec4(v, 4*j)
+		md := sw.LoadVec4(metdet, 4*j)
+		c1 := lanes4(dinvFlat, j, 0).Mul(uv).Add(lanes4(dinvFlat, j, 1).Mul(vv))
+		c2 := lanes4(dinvFlat, j, 2).Mul(uv).Add(lanes4(dinvFlat, j, 3).Mul(vv))
+		md.Mul(c1).Store(gv1, 4*j)
+		md.Mul(c2).Store(gv2, 4*j)
+	}
+	c.CountVecFlops(4 * np * 8)
+
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		// dda over the four i-lanes: sum_m derivcol(m) * gv1[j][m].
+		dda := sw.Splat(0)
+		ddb := sw.Splat(0)
+		for m := 0; m < np; m++ {
+			dcol := sw.Vec4{derivFlat[0*np+m], derivFlat[1*np+m], derivFlat[2*np+m], derivFlat[3*np+m]}
+			dda = dda.Add(dcol.Mul(sw.Splat(gv1[j*np+m])))
+			drow := sw.Splat(derivFlat[j*np+m])
+			ddb = ddb.Add(drow.Mul(sw.LoadVec4(gv2, m*np)))
+		}
+		out := dda.Add(ddb).Scale(fac).Scale(dycore.Rrearth).Div(sw.LoadVec4(metdet, 4*j))
+		out.Store(div, 4*j)
+	}
+	c.CountVecFlops(4 * np * (4*np + 4))
+}
+
+// gradientSlabVec4 is dycore.GradientSlab vectorized; scratch da, db.
+func gradientSlabVec4(c *sw.CPE, derivFlat, dinvFlat []float64, dAlpha float64,
+	s, gx, gy, da, db []float64) {
+	const np = 4
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		ga := sw.Splat(0)
+		gb := sw.Splat(0)
+		for m := 0; m < np; m++ {
+			dcol := sw.Vec4{derivFlat[0*np+m], derivFlat[1*np+m], derivFlat[2*np+m], derivFlat[3*np+m]}
+			ga = ga.Add(dcol.Mul(sw.Splat(s[j*np+m])))
+			gb = gb.Add(sw.Splat(derivFlat[j*np+m]).Mul(sw.LoadVec4(s, m*np)))
+		}
+		ga.Scale(fac).Store(da, 4*j)
+		gb.Scale(fac).Store(db, 4*j)
+	}
+	c.CountVecFlops(4 * np * (4*np + 2))
+	for j := 0; j < np; j++ {
+		dav := sw.LoadVec4(da, 4*j)
+		dbv := sw.LoadVec4(db, 4*j)
+		gxv := lanes4(dinvFlat, j, 0).Mul(dav).Add(lanes4(dinvFlat, j, 2).Mul(dbv)).Scale(dycore.Rrearth)
+		gyv := lanes4(dinvFlat, j, 1).Mul(dav).Add(lanes4(dinvFlat, j, 3).Mul(dbv)).Scale(dycore.Rrearth)
+		gxv.Store(gx, 4*j)
+		gyv.Store(gy, 4*j)
+	}
+	c.CountVecFlops(4 * np * 8)
+}
+
+// vorticitySlabVec4 is dycore.VorticitySlab vectorized; scratch cov1, cov2.
+func vorticitySlabVec4(c *sw.CPE, derivFlat, dFlat, metdet []float64, dAlpha float64,
+	u, v, vort, cov1, cov2 []float64) {
+	const np = 4
+	for j := 0; j < np; j++ {
+		uv := sw.LoadVec4(u, 4*j)
+		vv := sw.LoadVec4(v, 4*j)
+		c1 := lanes4(dFlat, j, 0).Mul(uv).Add(lanes4(dFlat, j, 2).Mul(vv))
+		c2 := lanes4(dFlat, j, 1).Mul(uv).Add(lanes4(dFlat, j, 3).Mul(vv))
+		c1.Store(cov1, 4*j)
+		c2.Store(cov2, 4*j)
+	}
+	c.CountVecFlops(4 * np * 6)
+	fac := 2 / dAlpha
+	for j := 0; j < np; j++ {
+		dda := sw.Splat(0)
+		ddb := sw.Splat(0)
+		for m := 0; m < np; m++ {
+			dcol := sw.Vec4{derivFlat[0*np+m], derivFlat[1*np+m], derivFlat[2*np+m], derivFlat[3*np+m]}
+			dda = dda.Add(dcol.Mul(sw.Splat(cov2[j*np+m])))
+			ddb = ddb.Add(sw.Splat(derivFlat[j*np+m]).Mul(sw.LoadVec4(cov1, m*np)))
+		}
+		out := dda.Sub(ddb).Scale(fac).Scale(dycore.Rrearth).Div(sw.LoadVec4(metdet, 4*j))
+		out.Store(vort, 4*j)
+	}
+	c.CountVecFlops(4 * np * (4*np + 4))
+}
+
+// laplaceSlabVec4 composes gradient + divergence (scratch s1..s4).
+func laplaceSlabVec4(c *sw.CPE, derivFlat, dinvFlat, metdet []float64, dAlpha float64,
+	s, out, s1, s2, s3, s4 []float64) {
+	gradientSlabVec4(c, derivFlat, dinvFlat, dAlpha, s, s1, s2, s3, s4)
+	divergenceSlabVec4(c, derivFlat, dinvFlat, metdet, dAlpha, s1, s2, out, s3, s4)
+}
+
+// vecLaplaceSlabVec4 is dycore.VecLaplaceSlab vectorized (scratch s1..s6).
+func vecLaplaceSlabVec4(c *sw.CPE, derivFlat, dFlat, dinvFlat, metdet []float64, dAlpha float64,
+	u, v, lu, lv, s1, s2, s3, s4, s5, s6 []float64) {
+	const np = 4
+	div, vort := s1, s2
+	divergenceSlabVec4(c, derivFlat, dinvFlat, metdet, dAlpha, u, v, div, s3, s4)
+	vorticitySlabVec4(c, derivFlat, dFlat, metdet, dAlpha, u, v, vort, s3, s4)
+	gradientSlabVec4(c, derivFlat, dinvFlat, dAlpha, div, lu, lv, s3, s4)
+	gradientSlabVec4(c, derivFlat, dinvFlat, dAlpha, vort, s5, s6, s3, s4)
+	for j := 0; j < np; j++ {
+		// lu -= -gy(vort); lv -= gx(vort) — matching the scalar slab.
+		luv := sw.LoadVec4(lu, 4*j).Sub(sw.LoadVec4(s6, 4*j).Neg())
+		lvv := sw.LoadVec4(lv, 4*j).Sub(sw.LoadVec4(s5, 4*j))
+		luv.Store(lu, 4*j)
+		lvv.Store(lv, 4*j)
+	}
+	c.CountVecFlops(4 * np * 3)
+}

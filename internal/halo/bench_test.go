@@ -1,0 +1,46 @@
+package halo
+
+import (
+	"testing"
+
+	"swcam/internal/mesh"
+	"swcam/internal/mpirt"
+)
+
+func benchExchange(b *testing.B, overlap bool) {
+	m := mesh.New(8, 4)
+	const nranks = 8
+	rankOf, err := m.Partition(nranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := make([]*Plan, nranks)
+	for r := range plans {
+		plans[r] = NewPlan(m, rankOf, r)
+	}
+	global := makeField(m, 8, 1)
+	local := scatterToRanks(global, plans)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := mpirt.NewWorld(nranks)
+		w.Run(func(c *mpirt.Comm) {
+			if overlap {
+				plans[c.Rank()].DSSOverlap(c, NodeMajor(8), nil, local[c.Rank()])
+			} else {
+				plans[c.Rank()].DSSOriginal(c, NodeMajor(8), local[c.Rank()])
+			}
+		})
+	}
+}
+
+func BenchmarkDSSOriginal(b *testing.B) { benchExchange(b, false) }
+func BenchmarkDSSOverlap(b *testing.B)  { benchExchange(b, true) }
+
+func BenchmarkPlanBuild(b *testing.B) {
+	m := mesh.New(8, 4)
+	rankOf, _ := m.Partition(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPlan(m, rankOf, i%8)
+	}
+}

@@ -1,0 +1,224 @@
+package halo
+
+import (
+	"swcam/internal/mpirt"
+)
+
+// Stats reports the data movement of one exchange, the quantity the
+// §7.6 redesign attacks. Wire traffic is identical between the two
+// flavours; staging-copy volume is not.
+type Stats struct {
+	PackBytes    int64 // element/partial data copied into send buffers
+	UnpackBytes  int64 // data copied out of buffers into element storage
+	StagingBytes int64 // extra receive->pack-buffer copies (original only)
+	Msgs         int64 // messages sent
+	WireBytes    int64 // payload bytes sent
+}
+
+// Add accumulates another exchange's stats.
+func (s *Stats) Add(o Stats) {
+	s.PackBytes += o.PackBytes
+	s.UnpackBytes += o.UnpackBytes
+	s.StagingBytes += o.StagingBytes
+	s.Msgs += o.Msgs
+	s.WireBytes += o.WireBytes
+}
+
+// exchange tags; the dycore performs up to three exchanges per RK stage
+// (the paper's "3 sub-cycles edge packing/unpacking"), distinguished by
+// the caller's epoch.
+const tagDSS = 101
+
+// Layout describes how per-node, per-level values are indexed within an
+// element's field slice: value (node, level) lives at
+// node*NodeStride + level*LevelStride. CAM-SE stores tracers node-major
+// in the edge buffers but the state level-major; both appear here.
+type Layout struct {
+	Levels      int
+	NodeStride  int
+	LevelStride int
+}
+
+// NodeMajor is the layout with all of a node's levels contiguous.
+func NodeMajor(levels int) Layout { return Layout{Levels: levels, NodeStride: levels, LevelStride: 1} }
+
+// LevelMajor is the layout with whole np*np level slabs contiguous.
+func LevelMajor(levels, npsq int) Layout {
+	return Layout{Levels: levels, NodeStride: 1, LevelStride: npsq}
+}
+
+// partials computes, for every group in the given list, the weighted sum
+// of its local copies across all fields, storing it in scratch laid out
+// as [slot][field][l].
+func (p *Plan) partials(scratch []float64, lay Layout, nfields int, remoteOnly bool, fields ...[][]float64) {
+	stride := lay.Levels
+	for _, g := range p.Groups {
+		if remoteOnly && !g.Remote {
+			continue
+		}
+		base := g.Slot * nfields * stride
+		for f := 0; f < nfields; f++ {
+			for l := 0; l < stride; l++ {
+				sum := 0.0
+				for r, ref := range g.Refs {
+					sum += g.W[r] * fields[f][ref.Elem][ref.Node*lay.NodeStride+l*lay.LevelStride]
+				}
+				scratch[base+f*stride+l] = sum
+			}
+		}
+	}
+}
+
+// scatter writes the assembled totals back into every local copy of the
+// given groups.
+func (p *Plan) scatter(scratch []float64, lay Layout, nfields int, remoteOnly, localOnly bool, fields ...[][]float64) {
+	stride := lay.Levels
+	for _, g := range p.Groups {
+		if remoteOnly && !g.Remote {
+			continue
+		}
+		if localOnly && g.Remote {
+			continue
+		}
+		base := g.Slot * nfields * stride
+		for f := 0; f < nfields; f++ {
+			for l := 0; l < stride; l++ {
+				v := scratch[base+f*stride+l]
+				for _, ref := range g.Refs {
+					fields[f][ref.Elem][ref.Node*lay.NodeStride+l*lay.LevelStride] = v
+				}
+			}
+		}
+	}
+}
+
+// packNeighbor fills buf with this rank's partials for neighbour nb.
+func (p *Plan) packNeighbor(nb *Neighbor, scratch, buf []float64, stride, nfields int) {
+	k := 0
+	for _, slot := range nb.Slots {
+		base := slot * nfields * stride
+		copy(buf[k:k+nfields*stride], scratch[base:base+nfields*stride])
+		k += nfields * stride
+	}
+}
+
+// accumulateNeighbor adds a received neighbour partial into scratch.
+func (p *Plan) accumulateNeighbor(nb *Neighbor, scratch, buf []float64, stride, nfields int) {
+	k := 0
+	for _, slot := range nb.Slots {
+		base := slot * nfields * stride
+		for i := 0; i < nfields*stride; i++ {
+			scratch[base+i] += buf[k+i]
+		}
+		k += nfields * stride
+	}
+}
+
+// DSSOriginal performs the exchange in HOMME's original unified-buffer
+// style: all contributions staged through pack buffers, blocking
+// communication, and received data copied first into the pack buffer and
+// only then into element storage (the redundant memory copy the paper
+// removes). fields are per-element nodal arrays with `stride` values per
+// GLL node; every field is exchanged in one message per neighbour, as the
+// real code packs multiple tracers/levels together.
+func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) Stats {
+	var st Stats
+	nf := len(fields)
+	if nf == 0 {
+		return st
+	}
+	stride := lay.Levels
+	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
+	p.partials(scratch, lay, nf, false, fields...)
+
+	msgLen := func(nb *Neighbor) int { return len(nb.Slots) * nf * stride }
+
+	// Pack all, send all, receive all: no overlap anywhere.
+	sendBufs := make([][]float64, len(p.Neighbors))
+	for i := range p.Neighbors {
+		nb := &p.Neighbors[i]
+		sendBufs[i] = make([]float64, msgLen(nb))
+		p.packNeighbor(nb, scratch, sendBufs[i], stride, nf)
+		st.PackBytes += int64(msgLen(nb) * 8)
+	}
+	for i := range p.Neighbors {
+		c.Send(p.Neighbors[i].Rank, tagDSS, sendBufs[i])
+		st.Msgs++
+		st.WireBytes += int64(msgLen(&p.Neighbors[i]) * 8)
+	}
+	for i := range p.Neighbors {
+		nb := &p.Neighbors[i]
+		recv := make([]float64, msgLen(nb))
+		c.Recv(nb.Rank, tagDSS, recv)
+		// The original design forwards receive-buffer data through the
+		// unified pack buffer before it reaches the elements: model that
+		// staging copy explicitly so its cost is measurable.
+		staged := make([]float64, len(recv))
+		copy(staged, recv)
+		st.StagingBytes += int64(len(recv) * 8)
+		p.accumulateNeighbor(nb, scratch, staged, stride, nf)
+		st.UnpackBytes += int64(len(recv) * 8)
+	}
+	p.scatter(scratch, lay, nf, false, false, fields...)
+	return st
+}
+
+// DSSOverlap performs the redesigned exchange of §7.6. The caller must
+// already have computed the boundary elements' field values; inner
+// elements are produced by computeInner, which runs while boundary
+// partials are in flight. Received partials are accumulated directly from
+// the receive buffers (no staging copy). computeInner may be nil when
+// there is nothing to overlap.
+func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields ...[][]float64) Stats {
+	var st Stats
+	nf := len(fields)
+	if nf == 0 {
+		if computeInner != nil {
+			computeInner()
+		}
+		return st
+	}
+	stride := lay.Levels
+	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
+
+	// Remote groups live entirely on boundary elements, which are ready:
+	// compute their partials and get the messages moving first.
+	p.partials(scratch, lay, nf, true, fields...)
+
+	msgLen := func(nb *Neighbor) int { return len(nb.Slots) * nf * stride }
+	recvBufs := make([][]float64, len(p.Neighbors))
+	recvReqs := make([]*mpirt.Request, len(p.Neighbors))
+	for i := range p.Neighbors {
+		nb := &p.Neighbors[i]
+		recvBufs[i] = make([]float64, msgLen(nb))
+		recvReqs[i] = c.Irecv(nb.Rank, tagDSS, recvBufs[i])
+	}
+	sendBufs := make([][]float64, len(p.Neighbors))
+	for i := range p.Neighbors {
+		nb := &p.Neighbors[i]
+		sendBufs[i] = make([]float64, msgLen(nb))
+		p.packNeighbor(nb, scratch, sendBufs[i], stride, nf)
+		st.PackBytes += int64(msgLen(nb) * 8)
+		c.Isend(nb.Rank, tagDSS, sendBufs[i]).Wait()
+		st.Msgs++
+		st.WireBytes += int64(msgLen(nb) * 8)
+	}
+
+	// Overlap window: inner elements compute while messages are in flight.
+	if computeInner != nil {
+		computeInner()
+	}
+	// Inner values exist now; resolve the purely local groups.
+	p.partials(scratch, lay, nf, false, fields...)
+	p.scatter(scratch, lay, nf, false, true, fields...)
+
+	// Drain receives straight into the partial sums — the direct
+	// receive-buffer unpack that removes the staging copy.
+	for i := range p.Neighbors {
+		recvReqs[i].Wait()
+		p.accumulateNeighbor(&p.Neighbors[i], scratch, recvBufs[i], stride, nf)
+		st.UnpackBytes += int64(len(recvBufs[i]) * 8)
+	}
+	p.scatter(scratch, lay, nf, true, false, fields...)
+	return st
+}

@@ -1,0 +1,164 @@
+// Package halo implements the distributed boundary exchange of CAM-SE —
+// the bndry_exchangev subroutine the paper redesigns in §7.6 — in two
+// flavours that produce identical results with different data movement:
+//
+//   - DSSOriginal follows HOMME's unified pack-buffer design: every
+//     contribution, local or remote, is staged through pack and unpack
+//     buffers, and received data takes the long path
+//     receive buffer -> pack buffer -> element storage.
+//   - DSSOverlap is the paper's redesign: elements are split into an
+//     inner part and a boundary part, boundary contributions are packed
+//     and sent first, the caller's inner computation runs while messages
+//     are in flight, and received data is accumulated straight from the
+//     receive buffer into element storage, eliminating the intermediate
+//     copy.
+//
+// Both flavours implement the direct stiffness summation (DSS) that makes
+// spectral-element fields C0-continuous: every GLL node shared by several
+// elements — possibly on several ranks — ends up holding the
+// SphereMP-weighted average of all its element copies.
+package halo
+
+import (
+	"fmt"
+	"sort"
+
+	"swcam/internal/mesh"
+)
+
+// LocalRef addresses one element-local copy of a shared node.
+type LocalRef struct {
+	Elem int // local element slot (index into the rank's element list)
+	Node int // local node index within the element, j*np+i
+}
+
+// Group is one shared GLL node as seen from this rank: the local copies
+// that contribute to it and their DSS weights. Remote groups additionally
+// receive partial sums from neighbouring ranks.
+type Group struct {
+	Refs   []LocalRef
+	W      []float64 // DSSW weight of each local copy
+	Slot   int       // index into the rank's partial-sum scratch
+	Remote bool      // true when other ranks also hold copies
+}
+
+// Neighbor is one adjacent rank and the agreed-order list of shared
+// groups exchanged with it. Both sides sort shared nodes by global id, so
+// position i of the message refers to the same physical node on each.
+type Neighbor struct {
+	Rank  int
+	Slots []int // partial-sum slots, in global-node-id order
+}
+
+// Plan is the rank-local exchange schedule, built once per partition and
+// reused every timestep (HOMME builds its edge schedules the same way).
+type Plan struct {
+	Rank    int
+	Np      int
+	Elems   []int       // global element ids owned by this rank, ascending
+	LocalOf map[int]int // global element id -> local slot
+
+	Groups    []Group
+	Neighbors []Neighbor
+
+	// BoundaryElems are local slots owning at least one remote-shared
+	// node; InnerElems are the rest. The redesigned exchange computes
+	// boundary elements first so their contributions can be in flight
+	// while inner elements compute (§7.6).
+	BoundaryElems []int
+	InnerElems    []int
+
+	scratch []float64 // partial sums, len = len(Groups)*maxStride (grown on demand)
+}
+
+// NewPlan builds the exchange schedule for one rank of a partition.
+// rankOf maps every global element id to its owning rank.
+func NewPlan(m *mesh.Mesh, rankOf []int, rank int) *Plan {
+	if len(rankOf) != m.NElems() {
+		panic(fmt.Sprintf("halo: rankOf has %d entries for %d elements", len(rankOf), m.NElems()))
+	}
+	p := &Plan{Rank: rank, Np: m.Np, LocalOf: make(map[int]int)}
+	for id, r := range rankOf {
+		if r == rank {
+			p.LocalOf[id] = len(p.Elems)
+			p.Elems = append(p.Elems, id)
+		}
+	}
+
+	// Walk every global node touched by this rank; build groups for the
+	// shared ones and per-neighbour slot lists for the remote ones.
+	type remoteKey struct{ nbRank, gid int }
+	remoteSlots := map[int][]struct{ gid, slot int }{} // neighbour rank -> slots
+	boundary := map[int]bool{}
+
+	for gid, refs := range m.NodeElems {
+		var local []LocalRef
+		var w []float64
+		remoteRanks := map[int]bool{}
+		for _, r := range refs {
+			if rankOf[r.Elem] == rank {
+				le := p.LocalOf[r.Elem]
+				local = append(local, LocalRef{Elem: le, Node: r.Idx})
+				w = append(w, m.Elements[r.Elem].DSSW[r.Idx])
+			} else {
+				remoteRanks[rankOf[r.Elem]] = true
+			}
+		}
+		if len(local) == 0 {
+			continue // node not on this rank
+		}
+		if len(local) == 1 && len(remoteRanks) == 0 {
+			continue // unshared node, no DSS needed
+		}
+		g := Group{Refs: local, W: w, Slot: len(p.Groups), Remote: len(remoteRanks) > 0}
+		p.Groups = append(p.Groups, g)
+		for nb := range remoteRanks {
+			remoteSlots[nb] = append(remoteSlots[nb], struct{ gid, slot int }{gid, g.Slot})
+		}
+		if g.Remote {
+			for _, lr := range local {
+				boundary[lr.Elem] = true
+			}
+		}
+	}
+
+	// Deterministic neighbour ordering and agreed per-message node order.
+	nbRanks := make([]int, 0, len(remoteSlots))
+	for nb := range remoteSlots {
+		nbRanks = append(nbRanks, nb)
+	}
+	sort.Ints(nbRanks)
+	for _, nb := range nbRanks {
+		slots := remoteSlots[nb]
+		sort.Slice(slots, func(a, b int) bool { return slots[a].gid < slots[b].gid })
+		n := Neighbor{Rank: nb}
+		for _, s := range slots {
+			n.Slots = append(n.Slots, s.slot)
+		}
+		p.Neighbors = append(p.Neighbors, n)
+	}
+
+	for le := range p.Elems {
+		if boundary[le] {
+			p.BoundaryElems = append(p.BoundaryElems, le)
+		} else {
+			p.InnerElems = append(p.InnerElems, le)
+		}
+	}
+	return p
+}
+
+// NLocal returns the number of elements owned by this rank.
+func (p *Plan) NLocal() int { return len(p.Elems) }
+
+// SharedNodes returns the count of distinct nodes this rank exchanges
+// with neighbour i — the per-message element count used by the machine
+// model.
+func (p *Plan) SharedNodes(i int) int { return len(p.Neighbors[i].Slots) }
+
+func (p *Plan) ensureScratch(n int) []float64 {
+	if cap(p.scratch) < n {
+		p.scratch = make([]float64, n)
+	}
+	return p.scratch[:n]
+}

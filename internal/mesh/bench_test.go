@@ -1,0 +1,34 @@
+package mesh
+
+import "testing"
+
+func BenchmarkMeshBuildNe8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New(8, 4)
+	}
+}
+
+func BenchmarkDSS(b *testing.B) {
+	m := New(8, 4)
+	field := make([][]float64, m.NElems())
+	for i := range field {
+		field[i] = make([]float64, 16)
+		for k := range field[i] {
+			field[i][k] = float64(i + k)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DSS(field)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	m := New(16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Partition(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

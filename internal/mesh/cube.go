@@ -1,0 +1,113 @@
+package mesh
+
+import "math"
+
+// NFaces is the number of cube faces.
+const NFaces = 6
+
+// Vec3 is a point or direction in R^3.
+type Vec3 [3]float64
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a[0], s * a[1], s * a[2]} }
+
+// Dot returns the inner product.
+func (a Vec3) Dot(b Vec3) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a / |a|.
+func (a Vec3) Normalize() Vec3 { return a.Scale(1 / a.Norm()) }
+
+// faceFrame defines the gnomonic frame of one cube face: the point on
+// the cube is q = O + X*EX + Y*EY with X = tan(alpha), Y = tan(beta),
+// alpha, beta in [-pi/4, pi/4], then projected radially onto the sphere.
+type faceFrame struct {
+	O, EX, EY Vec3
+}
+
+// faceFrames lists the six faces: four equatorial faces in longitude
+// order, then the north and south polar caps — the standard cubed-sphere
+// layout. Connectivity between faces is discovered geometrically (by
+// matching global node positions), so only orthonormality matters here.
+var faceFrames = [NFaces]faceFrame{
+	{O: Vec3{1, 0, 0}, EX: Vec3{0, 1, 0}, EY: Vec3{0, 0, 1}},   // face 0: lon 0
+	{O: Vec3{0, 1, 0}, EX: Vec3{-1, 0, 0}, EY: Vec3{0, 0, 1}},  // face 1: lon 90E
+	{O: Vec3{-1, 0, 0}, EX: Vec3{0, -1, 0}, EY: Vec3{0, 0, 1}}, // face 2: lon 180
+	{O: Vec3{0, -1, 0}, EX: Vec3{1, 0, 0}, EY: Vec3{0, 0, 1}},  // face 3: lon 90W
+	{O: Vec3{0, 0, 1}, EX: Vec3{0, 1, 0}, EY: Vec3{-1, 0, 0}},  // face 4: north
+	{O: Vec3{0, 0, -1}, EX: Vec3{0, 1, 0}, EY: Vec3{1, 0, 0}},  // face 5: south
+}
+
+// CubeToSphere maps equiangular face coordinates (alpha, beta) on the
+// given face to a unit-sphere position.
+func CubeToSphere(face int, alpha, beta float64) Vec3 {
+	f := faceFrames[face]
+	x, y := math.Tan(alpha), math.Tan(beta)
+	q := f.O.Add(f.EX.Scale(x)).Add(f.EY.Scale(y))
+	return q.Normalize()
+}
+
+// SphereTangents returns the tangent vectors t_alpha = dp/dalpha and
+// t_beta = dp/dbeta of the equiangular map at (alpha, beta), computed
+// analytically. These define the covariant basis from which all metric
+// terms derive.
+func SphereTangents(face int, alpha, beta float64) (tAlpha, tBeta Vec3) {
+	f := faceFrames[face]
+	x, y := math.Tan(alpha), math.Tan(beta)
+	q := f.O.Add(f.EX.Scale(x)).Add(f.EY.Scale(y))
+	r := q.Norm()
+	// dq/dalpha = sec^2(alpha) * EX; projection derivative of q/|q|:
+	// d(q/|q|)/ds = q'/|q| - q (q.q')/|q|^3.
+	dxa := 1 + x*x // sec^2(alpha)
+	dyb := 1 + y*y
+	qa := f.EX.Scale(dxa)
+	qb := f.EY.Scale(dyb)
+	tAlpha = qa.Scale(1 / r).Sub(q.Scale(q.Dot(qa) / (r * r * r)))
+	tBeta = qb.Scale(1 / r).Sub(q.Scale(q.Dot(qb) / (r * r * r)))
+	return tAlpha, tBeta
+}
+
+// LonLat converts a unit-sphere position to longitude in [0, 2*pi) and
+// latitude in [-pi/2, pi/2].
+func LonLat(p Vec3) (lon, lat float64) {
+	lon = math.Atan2(p[1], p[0])
+	if lon < 0 {
+		lon += 2 * math.Pi
+	}
+	lat = math.Asin(math.Max(-1, math.Min(1, p[2])))
+	return lon, lat
+}
+
+// SphericalBasis returns the local zonal (east) and meridional (north)
+// unit vectors at a point on the sphere.
+func SphericalBasis(p Vec3) (east, north Vec3) {
+	lon, lat := LonLat(p)
+	sl, cl := math.Sincos(lon)
+	sp, cp := math.Sincos(lat)
+	east = Vec3{-sl, cl, 0}
+	north = Vec3{-sp * cl, -sp * sl, cp}
+	return east, north
+}
+
+// GreatCircleDist returns the central angle between two unit vectors,
+// numerically robust for both small and near-antipodal separations.
+func GreatCircleDist(a, b Vec3) float64 {
+	return math.Atan2(a.Cross(b).Norm(), a.Dot(b))
+}

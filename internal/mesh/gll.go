@@ -1,0 +1,97 @@
+// Package mesh builds the equiangular gnomonic cubed-sphere
+// spectral-element grid used by CAM-SE (the HOMME dynamical core): 6 cube
+// faces of ne x ne elements, each element carrying an np x np tensor grid
+// of Gauss-Lobatto-Legendre (GLL) nodes, with metric terms, a global
+// unique-node numbering for direct stiffness summation, edge
+// connectivity, and a space-filling-curve partitioner.
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// LegendreP evaluates the Legendre polynomial P_n and its first
+// derivative at x using the three-term recurrence.
+func LegendreP(n int, x float64) (p, dp float64) {
+	if n == 0 {
+		return 1, 0
+	}
+	pm1, p := 1.0, x // P_0, P_1
+	for k := 2; k <= n; k++ {
+		pm1, p = p, ((2*float64(k)-1)*x*p-(float64(k)-1)*pm1)/float64(k)
+	}
+	// Derivative identity: (x^2-1)/n * P_n' = x P_n - P_{n-1}.
+	if x == 1 || x == -1 {
+		dp = math.Pow(x, float64(n-1)) * float64(n) * float64(n+1) / 2
+	} else {
+		dp = float64(n) * (x*p - pm1) / (x*x - 1)
+	}
+	return p, dp
+}
+
+// GLL returns the np Gauss-Lobatto-Legendre nodes on [-1,1] (ascending)
+// and the matching quadrature weights. GLL quadrature with np points is
+// exact for polynomials of degree 2*np-3 and is the basis of CAM-SE's
+// diagonal mass matrix. np must be at least 2.
+func GLL(np int) (nodes, weights []float64) {
+	if np < 2 {
+		panic(fmt.Sprintf("mesh: GLL needs np >= 2, got %d", np))
+	}
+	n := np - 1 // polynomial degree
+	nodes = make([]float64, np)
+	weights = make([]float64, np)
+	nodes[0], nodes[n] = -1, 1
+	// Interior nodes are the roots of P_n'. Newton from Chebyshev-like
+	// initial guesses; P_n'' from the Legendre ODE.
+	for i := 1; i < n; i++ {
+		x := -math.Cos(math.Pi * float64(i) / float64(n))
+		for it := 0; it < 100; it++ {
+			p, dp := LegendreP(n, x)
+			ddp := (2*x*dp - float64(n)*float64(n+1)*p) / (1 - x*x)
+			dx := dp / ddp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = x
+	}
+	for i := 0; i <= n; i++ {
+		p, _ := LegendreP(n, nodes[i])
+		weights[i] = 2 / (float64(n) * float64(n+1) * p * p)
+	}
+	return nodes, weights
+}
+
+// DerivativeMatrix returns the np x np GLL differentiation matrix D with
+// D[i][j] = L_j'(x_i), so that (D f)_i approximates df/dxi at node i for
+// f given by its nodal values. This is the matrix at the heart of every
+// spectral-element operator in the dycore.
+func DerivativeMatrix(np int) [][]float64 {
+	nodes, _ := GLL(np)
+	n := np - 1
+	d := make([][]float64, np)
+	for i := range d {
+		d[i] = make([]float64, np)
+	}
+	pn := make([]float64, np)
+	for i, x := range nodes {
+		pn[i], _ = LegendreP(n, x)
+	}
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			switch {
+			case i == j && i == 0:
+				d[i][j] = -float64(n) * float64(n+1) / 4
+			case i == j && i == n:
+				d[i][j] = float64(n) * float64(n+1) / 4
+			case i == j:
+				d[i][j] = 0
+			default:
+				d[i][j] = pn[i] / (pn[j] * (nodes[i] - nodes[j]))
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGLLNp4Values(t *testing.T) {
+	// The CAM-SE default: np=4. Nodes are +-1 and +-1/sqrt(5); weights
+	// 1/6 and 5/6.
+	nodes, weights := GLL(4)
+	s5 := 1 / math.Sqrt(5)
+	wantN := []float64{-1, -s5, s5, 1}
+	wantW := []float64{1.0 / 6, 5.0 / 6, 5.0 / 6, 1.0 / 6}
+	for i := range wantN {
+		if math.Abs(nodes[i]-wantN[i]) > 1e-14 {
+			t.Errorf("node %d = %.16f, want %.16f", i, nodes[i], wantN[i])
+		}
+		if math.Abs(weights[i]-wantW[i]) > 1e-14 {
+			t.Errorf("weight %d = %.16f, want %.16f", i, weights[i], wantW[i])
+		}
+	}
+}
+
+func TestGLLWeightsSumToTwo(t *testing.T) {
+	for np := 2; np <= 12; np++ {
+		_, w := GLL(np)
+		sum := 0.0
+		for _, x := range w {
+			sum += x
+		}
+		if math.Abs(sum-2) > 1e-13 {
+			t.Errorf("np=%d: weights sum to %.16f", np, sum)
+		}
+	}
+}
+
+func TestGLLQuadratureExactness(t *testing.T) {
+	// GLL with np points integrates polynomials up to degree 2np-3 exactly.
+	for np := 2; np <= 8; np++ {
+		x, w := GLL(np)
+		maxDeg := 2*np - 3
+		for deg := 0; deg <= maxDeg; deg++ {
+			got := 0.0
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(deg))
+			}
+			want := 0.0
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("np=%d deg=%d: integral = %v, want %v", np, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestGLLNodesSymmetricAscending(t *testing.T) {
+	for np := 2; np <= 10; np++ {
+		x, _ := GLL(np)
+		for i := 1; i < np; i++ {
+			if x[i] <= x[i-1] {
+				t.Fatalf("np=%d: nodes not ascending at %d", np, i)
+			}
+		}
+		for i := 0; i < np; i++ {
+			if math.Abs(x[i]+x[np-1-i]) > 1e-13 {
+				t.Fatalf("np=%d: nodes not symmetric", np)
+			}
+		}
+	}
+}
+
+func TestDerivativeMatrixExactOnPolynomials(t *testing.T) {
+	// D must differentiate polynomials of degree < np exactly at the nodes.
+	for np := 2; np <= 8; np++ {
+		x, _ := GLL(np)
+		d := DerivativeMatrix(np)
+		for deg := 0; deg < np; deg++ {
+			for i := 0; i < np; i++ {
+				got := 0.0
+				for j := 0; j < np; j++ {
+					got += d[i][j] * math.Pow(x[j], float64(deg))
+				}
+				want := 0.0
+				if deg > 0 {
+					want = float64(deg) * math.Pow(x[i], float64(deg-1))
+				}
+				if math.Abs(got-want) > 1e-10 {
+					t.Errorf("np=%d deg=%d node=%d: D f = %v, want %v", np, deg, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDerivativeMatrixRowSumZero(t *testing.T) {
+	// Differentiating a constant gives zero: rows sum to 0.
+	d := DerivativeMatrix(6)
+	for i, row := range d {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestLegendrePKnownValues(t *testing.T) {
+	// P_2(x) = (3x^2-1)/2, P_2'(x) = 3x.
+	p, dp := LegendreP(2, 0.5)
+	if math.Abs(p-(-0.125)) > 1e-15 || math.Abs(dp-1.5) > 1e-15 {
+		t.Fatalf("P_2(0.5) = %v, %v", p, dp)
+	}
+	// P_n(1) = 1 for all n.
+	for n := 0; n <= 10; n++ {
+		p, _ := LegendreP(n, 1)
+		if math.Abs(p-1) > 1e-13 {
+			t.Fatalf("P_%d(1) = %v", n, p)
+		}
+	}
+}
+
+func TestGLLPanicsOnBadNp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("np=1 did not panic")
+		}
+	}()
+	GLL(1)
+}

@@ -1,0 +1,102 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// mortonInterleave interleaves the low 16 bits of x and y, giving the
+// Z-order (Morton) index used to order elements within a cube face.
+func mortonInterleave(x, y uint32) uint64 {
+	spread := func(v uint32) uint64 {
+		z := uint64(v) & 0xFFFF
+		z = (z | z<<16) & 0x0000FFFF0000FFFF
+		z = (z | z<<8) & 0x00FF00FF00FF00FF
+		z = (z | z<<4) & 0x0F0F0F0F0F0F0F0F
+		z = (z | z<<2) & 0x3333333333333333
+		z = (z | z<<1) & 0x5555555555555555
+		return z
+	}
+	return spread(x) | spread(y)<<1
+}
+
+// SFCOrder returns element ids ordered along a space-filling curve:
+// face-major, Z-order within each face. HOMME partitions elements along
+// a space-filling curve for exactly the reason we do — contiguous chunks
+// of the curve are compact patches with short boundaries, which keeps
+// halo-exchange volume near the surface-to-volume lower bound.
+func (m *Mesh) SFCOrder() []int {
+	type keyed struct {
+		key uint64
+		id  int
+	}
+	ks := make([]keyed, m.NElems())
+	for i, e := range m.Elements {
+		ks[i] = keyed{
+			key: uint64(e.Face)<<40 | mortonInterleave(uint32(e.FI), uint32(e.FJ)),
+			id:  e.ID,
+		}
+	}
+	sort.Slice(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+	order := make([]int, len(ks))
+	for i, k := range ks {
+		order[i] = k.id
+	}
+	return order
+}
+
+// Partition assigns every element to one of nranks ranks by chopping the
+// space-filling curve into contiguous chunks whose sizes differ by at
+// most one element. It returns rankOf[elemID] = rank.
+func (m *Mesh) Partition(nranks int) ([]int, error) {
+	n := m.NElems()
+	if nranks < 1 {
+		return nil, fmt.Errorf("mesh: partition into %d ranks", nranks)
+	}
+	if nranks > n {
+		return nil, fmt.Errorf("mesh: %d ranks exceed %d elements", nranks, n)
+	}
+	order := m.SFCOrder()
+	rankOf := make([]int, n)
+	base, extra := n/nranks, n%nranks
+	pos := 0
+	for r := 0; r < nranks; r++ {
+		size := base
+		if r < extra {
+			size++
+		}
+		for k := 0; k < size; k++ {
+			rankOf[order[pos]] = r
+			pos++
+		}
+	}
+	return rankOf, nil
+}
+
+// RankElems inverts a partition: for each rank, the sorted list of its
+// element ids.
+func RankElems(rankOf []int, nranks int) [][]int {
+	out := make([][]int, nranks)
+	for id, r := range rankOf {
+		out[r] = append(out[r], id)
+	}
+	for _, l := range out {
+		sort.Ints(l)
+	}
+	return out
+}
+
+// CutEdges counts element edges crossing rank boundaries under a
+// partition — the communication volume proxy used by the machine model
+// and by partition-quality tests.
+func (m *Mesh) CutEdges(rankOf []int) int {
+	cut := 0
+	for _, e := range m.Elements {
+		for _, nb := range e.EdgeNeighbors {
+			if nb > e.ID && rankOf[nb] != rankOf[e.ID] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,115 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBalance(t *testing.T) {
+	m := New(4, 4) // 96 elements
+	for _, nranks := range []int{1, 2, 3, 5, 6, 7, 16, 96} {
+		rankOf, err := m.Partition(nranks)
+		if err != nil {
+			t.Fatalf("nranks=%d: %v", nranks, err)
+		}
+		counts := make([]int, nranks)
+		for _, r := range rankOf {
+			counts[r]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("nranks=%d: imbalance %d..%d", nranks, min, max)
+		}
+		if min == 0 {
+			t.Errorf("nranks=%d: empty rank", nranks)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	m := New(1, 4) // 6 elements
+	if _, err := m.Partition(0); err == nil {
+		t.Error("nranks=0 accepted")
+	}
+	if _, err := m.Partition(7); err == nil {
+		t.Error("more ranks than elements accepted")
+	}
+}
+
+func TestSFCOrderIsPermutation(t *testing.T) {
+	m := New(4, 4)
+	order := m.SFCOrder()
+	seen := make([]bool, m.NElems())
+	for _, id := range order {
+		if id < 0 || id >= m.NElems() || seen[id] {
+			t.Fatalf("SFC order is not a permutation")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSFCLocality(t *testing.T) {
+	// A contiguous SFC chunk must have far fewer cut edges than a
+	// round-robin assignment — that's the entire point of the curve.
+	m := New(8, 4) // 384 elements
+	const nranks = 16
+	sfc, err := m.Partition(nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := make([]int, m.NElems())
+	for i := range rr {
+		rr[i] = i % nranks
+	}
+	sfcCut, rrCut := m.CutEdges(sfc), m.CutEdges(rr)
+	if sfcCut >= rrCut {
+		t.Fatalf("SFC cut %d >= round-robin cut %d", sfcCut, rrCut)
+	}
+	// SFC boundary should be within a small factor of the perfect-square
+	// perimeter bound: nranks patches of 24 elements, perimeter ~4*sqrt(24).
+	perfect := nranks * 4 * int(math.Sqrt(24))
+	if sfcCut > 2*perfect {
+		t.Errorf("SFC cut %d far above perimeter bound %d", sfcCut, perfect)
+	}
+}
+
+func TestRankElemsInvertsPartition(t *testing.T) {
+	m := New(4, 4)
+	rankOf, _ := m.Partition(7)
+	lists := RankElems(rankOf, 7)
+	total := 0
+	for r, l := range lists {
+		total += len(l)
+		for _, id := range l {
+			if rankOf[id] != r {
+				t.Fatalf("element %d listed under wrong rank", id)
+			}
+		}
+	}
+	if total != m.NElems() {
+		t.Fatalf("rank lists cover %d of %d elements", total, m.NElems())
+	}
+}
+
+func TestMortonInterleaveProperty(t *testing.T) {
+	// Morton code must be strictly monotone in each coordinate when the
+	// other is fixed (it's a bijection on 16-bit pairs).
+	f := func(x, y uint16) bool {
+		m := mortonInterleave(uint32(x), uint32(y))
+		return mortonInterleave(uint32(x)|0, uint32(y)) == m &&
+			(x == 0xFFFF || mortonInterleave(uint32(x)+1, uint32(y)) > m) &&
+			(y == 0xFFFF || mortonInterleave(uint32(x), uint32(y)+1) > m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

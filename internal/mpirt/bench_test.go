@@ -1,0 +1,29 @@
+package mpirt
+
+import "testing"
+
+func BenchmarkAllreduce16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := NewWorld(16)
+		w.Run(func(c *Comm) {
+			c.AllreduceScalar(OpSum, float64(c.Rank()))
+		})
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2)
+	b.ResetTimer()
+	w.Run(func(c *Comm) {
+		buf := make([]float64, 128)
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, buf)
+				c.Recv(1, 1, buf)
+			} else {
+				c.Recv(0, 0, buf)
+				c.Send(0, 1, buf)
+			}
+		}
+	})
+}

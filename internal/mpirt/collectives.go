@@ -1,0 +1,156 @@
+package mpirt
+
+import "sync"
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.barrier.wait() }
+
+// ReduceOp combines two values during reductions.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+)
+
+// collective tags live in a reserved negative space so they can never
+// collide with user point-to-point tags.
+const (
+	tagReduce = -1 - iota
+	tagBcast
+	tagGather
+	tagAlltoall
+)
+
+// Reduce combines in[] element-wise across ranks with op; the result
+// lands in out[] on root only. Implemented as a fan-in tree on rank ids.
+func (c *Comm) Reduce(root int, op ReduceOp, in, out []float64) {
+	// Rotate ranks so the tree roots at 'root'.
+	me := (c.rank - root + c.world.n) % c.world.n
+	n := c.world.n
+	acc := append([]float64(nil), in...)
+	// Binomial tree fan-in.
+	for step := 1; step < n; step *= 2 {
+		if me&step != 0 {
+			dst := ((me - step) + root) % n
+			c.Send(dst, tagReduce, acc)
+			break
+		}
+		src := me + step
+		if src < n {
+			buf := make([]float64, len(acc))
+			c.Recv((src+root)%n, tagReduce, buf)
+			for i := range acc {
+				acc[i] = op(acc[i], buf[i])
+			}
+		}
+	}
+	if c.rank == root {
+		copy(out, acc)
+	}
+}
+
+// Bcast distributes root's buf to every rank (binomial tree).
+func (c *Comm) Bcast(root int, buf []float64) {
+	me := (c.rank - root + c.world.n) % c.world.n
+	n := c.world.n
+	// Find the highest power-of-two step at which this rank receives.
+	mask := 1
+	for mask < n {
+		mask *= 2
+	}
+	if me != 0 {
+		// Receive from the parent: clear the lowest set bit of me.
+		parent := me & (me - 1)
+		c.Recv((parent+root)%n, tagBcast, buf)
+	}
+	// Forward to children: set bits above the lowest set bit of me.
+	low := me & -me
+	if me == 0 {
+		low = mask
+	}
+	for step := low / 2; step >= 1; step /= 2 {
+		child := me | step
+		if child != me && child < n {
+			c.Send((child+root)%n, tagBcast, buf)
+		}
+	}
+}
+
+// Allreduce combines in[] across all ranks into out[] on every rank.
+func (c *Comm) Allreduce(op ReduceOp, in, out []float64) {
+	tmp := make([]float64, len(in))
+	c.Reduce(0, op, in, tmp)
+	if c.rank == 0 {
+		copy(out, tmp)
+	}
+	c.Bcast(0, out)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(op ReduceOp, x float64) float64 {
+	in := []float64{x}
+	out := make([]float64, 1)
+	c.Allreduce(op, in, out)
+	return out[0]
+}
+
+// Gather collects equal-length contributions from every rank into out on
+// root, ordered by rank. out must have len(in)*Size() elements on root
+// and may be nil elsewhere.
+func (c *Comm) Gather(root int, in, out []float64) {
+	if c.rank == root {
+		copy(out[root*len(in):(root+1)*len(in)], in)
+		for r := 0; r < c.world.n; r++ {
+			if r == root {
+				continue
+			}
+			c.Recv(r, tagGather, out[r*len(in):(r+1)*len(in)])
+		}
+		return
+	}
+	c.Send(root, tagGather, in)
+}

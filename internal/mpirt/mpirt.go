@@ -1,0 +1,216 @@
+// Package mpirt is a miniature in-process message-passing runtime with
+// MPI-like semantics: a fixed set of ranks running concurrently (as
+// goroutines), point-to-point Send/Isend/Recv/Irecv with tag matching,
+// and the collectives CAM-SE needs (Barrier, Allreduce, Bcast, Gather).
+//
+// On TaihuLight one MPI process runs per core group ("MPI + X", §5.3 of
+// the paper); here one goroutine runs per rank and owns one simulated
+// core group. The runtime counts messages and bytes per rank so the
+// machine model in internal/perf can convert communication volume into
+// modeled network time with a LogGP-style cost.
+package mpirt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats accumulates per-rank communication counters.
+type Stats struct {
+	MsgsSent   int64
+	BytesSent  int64
+	MsgsRecvd  int64
+	BytesRecvd int64
+}
+
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// World owns the mailboxes and counters of an nranks-rank job.
+type World struct {
+	n     int
+	boxes []*mailbox // one per destination rank
+	stats []Stats
+
+	barrier *barrier
+	coll    []chan []float64 // dedicated collective channels, one per rank
+}
+
+// mailbox is the receive queue of one rank: a condition-variable-guarded
+// list supporting tag- and source-selective matching like MPI.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message from src with the given tag is available
+// and removes it (first matching message, preserving per-pair order).
+func (b *mailbox) take(src, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.pending {
+			if m.src == src && m.tag == tag {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+// NewWorld creates a world with nranks ranks.
+func NewWorld(nranks int) *World {
+	if nranks < 1 {
+		panic(fmt.Sprintf("mpirt: world size %d", nranks))
+	}
+	w := &World{
+		n:       nranks,
+		boxes:   make([]*mailbox, nranks),
+		stats:   make([]Stats, nranks),
+		barrier: newBarrier(nranks),
+		coll:    make([]chan []float64, nranks),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+		w.coll[i] = make(chan []float64, 1)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Stats returns a copy of the accumulated counters for a rank.
+func (w *World) Stats(rank int) Stats { return w.stats[rank] }
+
+// TotalBytes returns the total bytes sent across all ranks.
+func (w *World) TotalBytes() int64 {
+	var total int64
+	for i := range w.stats {
+		total += w.stats[i].BytesSent
+	}
+	return total
+}
+
+// Run spawns fn on every rank and blocks until all return. Each rank
+// receives its own Comm handle. A panic in any rank is re-raised in the
+// caller with the rank attached.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.n)
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpirt: rank %d faulted: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's handle to the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// Send delivers a copy of data to dst with the given tag. The copy makes
+// the semantics of a real network explicit: the sender may reuse its
+// buffer immediately (MPI's buffered-send behaviour).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.n {
+		panic(fmt.Sprintf("mpirt: send to rank %d of %d", dst, c.world.n))
+	}
+	buf := append([]float64(nil), data...)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
+	st := &c.world.stats[c.rank]
+	st.MsgsSent++
+	st.BytesSent += int64(len(data) * 8)
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// copies it into buf, whose length must match the sent length.
+func (c *Comm) Recv(src, tag int, buf []float64) {
+	m := c.world.boxes[c.rank].take(src, tag)
+	if len(m.data) != len(buf) {
+		panic(fmt.Sprintf("mpirt: recv size mismatch from %d tag %d: sent %d, buffer %d",
+			src, tag, len(m.data), len(buf)))
+	}
+	copy(buf, m.data)
+	st := &c.world.stats[c.rank]
+	st.MsgsRecvd++
+	st.BytesRecvd += int64(len(buf) * 8)
+}
+
+// Request is the handle of a pending non-blocking operation.
+type Request struct {
+	done bool
+	wait func()
+}
+
+// Wait blocks until the operation completes. Waiting twice panics.
+func (r *Request) Wait() {
+	if r.done {
+		panic("mpirt: Wait on completed request")
+	}
+	r.done = true
+	if r.wait != nil {
+		r.wait()
+	}
+}
+
+// WaitAll completes every request in the slice.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Isend starts a non-blocking send. Delivery is eager (the runtime has
+// unbounded mailboxes), so the returned request completes immediately;
+// it exists so callers keep the issue/wait structure of the real code.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	c.Send(dst, tag, data)
+	return &Request{}
+}
+
+// Irecv starts a non-blocking receive into buf. The matching and copy
+// happen at Wait, so computation placed between Irecv and Wait genuinely
+// overlaps with message arrival — the property the redesigned
+// bndry_exchangev (§7.6) exploits.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	return &Request{wait: func() { c.Recv(src, tag, buf) }}
+}

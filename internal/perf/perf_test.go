@@ -1,0 +1,417 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"swcam/internal/exec"
+)
+
+func TestKernelTimePositiveAndOrdered(t *testing.T) {
+	// A compute-heavy cost: MPE must be slower than Intel; a vectorized
+	// CPE run must beat both.
+	mk := func(b exec.Backend, scalar, vector, maxCPE, bytes int64) exec.Cost {
+		return exec.Cost{Backend: b, FlopsScalar: scalar, FlopsVector: vector,
+			MaxCPEFlops: maxCPE, MemBytes: bytes, Launches: 1}
+	}
+	flops := int64(1e9)
+	intel := KernelTime(mk(exec.Intel, flops, 0, flops, 1e8))
+	mpe := KernelTime(mk(exec.MPE, flops, 0, flops, 1e8))
+	ath := KernelTime(mk(exec.Athread, 0, flops, flops/64, 1e8))
+	if intel <= 0 || mpe <= 0 || ath <= 0 {
+		t.Fatal("non-positive kernel time")
+	}
+	if mpe <= intel {
+		t.Errorf("MPE (%g) not slower than Intel (%g)", mpe, intel)
+	}
+	if ratio := mpe / intel; ratio < 2 || ratio > 10 {
+		t.Errorf("MPE/Intel ratio %.1f outside the paper's 2-10x band", ratio)
+	}
+	if ath >= intel {
+		t.Errorf("vectorized CPE cluster (%g) not faster than one Intel core (%g)", ath, intel)
+	}
+}
+
+func TestKernelTimeMemoryBound(t *testing.T) {
+	// A byte-heavy cost must be bandwidth-limited, not flop-limited.
+	c := exec.Cost{Backend: exec.Athread, FlopsVector: 1e6, MaxCPEFlops: 1e6 / 64,
+		MemBytes: 1e9, Launches: 1}
+	got := KernelTime(c)
+	wantAtLeast := 1e9 / CGMemBW
+	if got < wantAtLeast {
+		t.Errorf("time %g below bandwidth bound %g", got, wantAtLeast)
+	}
+}
+
+func TestACCLaunchOverheadVisible(t *testing.T) {
+	// Tiny kernels: the OpenACC region overhead must dominate.
+	c := exec.Cost{Backend: exec.OpenACC, FlopsScalar: 1000, MaxCPEFlops: 100, Launches: 1}
+	if got := KernelTime(c); got < ACCRegionOverhead {
+		t.Errorf("ACC kernel time %g below region overhead", got)
+	}
+}
+
+func TestNetTime(t *testing.T) {
+	small := NetTime(8, true)
+	if small < NetLatencyLocal {
+		t.Error("message faster than latency")
+	}
+	big := NetTime(1<<20, false)
+	if big < float64(1<<20)/NetBWPerCG {
+		t.Error("bandwidth term missing")
+	}
+	if NetTime(1024, true) >= NetTime(1024, false) {
+		t.Error("local messages should be cheaper")
+	}
+}
+
+func TestExchangeOverlapHidesComm(t *testing.T) {
+	inner := 1e-3
+	noOv := ExchangeTime(8, 1<<16, false, false, inner)
+	ov := ExchangeTime(8, 1<<16, false, true, inner)
+	if ov >= noOv {
+		t.Errorf("overlap (%g) not cheaper than sequential (%g)", ov, noOv)
+	}
+	// When compute dominates, the overlapped exchange costs ~compute.
+	if math.Abs(ov-inner)/inner > 0.5 {
+		t.Errorf("overlapped exchange %g far from inner compute %g", ov, inner)
+	}
+	if ExchangeTime(0, 0, true, false, inner) != inner {
+		t.Error("no neighbours should cost exactly the compute")
+	}
+}
+
+// Figure 6 shape assertions against the paper's published anchors.
+func TestFig6CAMAnchors(t *testing.T) {
+	c := DefaultCAMConfig(30)
+	ath5400 := c.SYPD(VersionAthread, 5400)
+	if ath5400 < 21.5*0.85 || ath5400 > 21.5*1.15 {
+		t.Errorf("ne30 athread @5400 = %.2f SYPD, paper 21.5 (+-15%%)", ath5400)
+	}
+	for _, np := range []int{216, 600, 900, 1350, 5400} {
+		ori := c.SYPD(VersionOri, np)
+		acc := c.SYPD(VersionOpenACC, np)
+		ath := c.SYPD(VersionAthread, np)
+		if !(ori < acc && acc < ath) {
+			t.Errorf("np=%d: ordering violated: ori %.2f acc %.2f ath %.2f", np, ori, acc, ath)
+		}
+		if r := acc / ori; r < 1.3 || r > 1.8 {
+			t.Errorf("np=%d: openacc/ori = %.2f, paper band 1.4-1.5", np, r)
+		}
+		if r := ath / acc; r < 1.05 || r > 1.6 {
+			t.Errorf("np=%d: athread/openacc = %.2f, paper band 1.1-1.4", np, r)
+		}
+	}
+	// SYPD must rise monotonically with process count over Fig 6's range.
+	prev := 0.0
+	for _, np := range []int{216, 600, 900, 1350, 5400} {
+		s := c.SYPD(VersionAthread, np)
+		if s <= prev {
+			t.Errorf("SYPD not increasing at np=%d", np)
+		}
+		prev = s
+	}
+
+	c120 := DefaultCAMConfig(120)
+	acc28800 := c120.SYPD(VersionOpenACC, 28800)
+	if acc28800 < 3.4*0.8 || acc28800 > 3.4*1.2 {
+		t.Errorf("ne120 openacc @28800 = %.2f SYPD, paper 3.4 (+-20%%)", acc28800)
+	}
+}
+
+// Figure 7 shape: both problem sizes lose efficiency under strong
+// scaling; the larger problem (ne1024) retains much more.
+func TestFig7StrongScalingShape(t *testing.T) {
+	h256 := DefaultHOMMEConfig(256)
+	h1024 := DefaultHOMMEConfig(1024)
+
+	prevPF := 0.0
+	for _, np := range []int{4096, 8192, 16384, 32768, 65536, 131072} {
+		pf := h256.PFlops(np, true)
+		if pf <= prevPF {
+			t.Errorf("ne256 PFlops not increasing at np=%d", np)
+		}
+		prevPF = pf
+	}
+	eff256 := h256.Efficiency(131072, 4096, true)
+	eff1024 := h1024.Efficiency(131072, 8192, true)
+	if eff256 >= eff1024 {
+		t.Errorf("ne256 efficiency (%.3f) should be far below ne1024 (%.3f)", eff256, eff1024)
+	}
+	// Bands around the paper's 21.7%% and 51.2%% (model tolerance 2x).
+	if eff256 < 0.217/2 || eff256 > 0.217*2 {
+		t.Errorf("ne256 eff @131072 = %.3f, paper 0.217 (x/2)", eff256)
+	}
+	if eff1024 < 0.512/2 || eff1024 > 0.512*1.5 {
+		t.Errorf("ne1024 eff @131072 = %.3f, paper 0.512", eff1024)
+	}
+	// PFlops at the endpoints within 2x of the paper's labels.
+	if pf := h256.PFlops(4096, true); pf < 0.07/2 || pf > 0.07*2 {
+		t.Errorf("ne256 @4096 = %.3f PFlops, paper 0.07", pf)
+	}
+	if pf := h1024.PFlops(131072, true); pf < 1.76/2 || pf > 1.76*1.5 {
+		t.Errorf("ne1024 @131072 = %.3f PFlops, paper 1.76", pf)
+	}
+}
+
+// Figure 8 shape: weak scaling holds high efficiency, larger per-process
+// loads scale better, and the 650-element full-machine run sustains
+// ~3.3 PFlops.
+func TestFig8WeakScalingShape(t *testing.T) {
+	for _, e := range []int{48, 192, 768} {
+		eff := WeakEfficiency(e, 131072, 512, 128, 4)
+		if eff < 0.85 || eff > 1.0 {
+			t.Errorf("weak eff (e=%d) @131072 = %.3f, paper band 0.88-0.93", e, eff)
+		}
+	}
+	if e48, e768 := WeakEfficiency(48, 131072, 512, 128, 4),
+		WeakEfficiency(768, 131072, 512, 128, 4); e48 >= e768 {
+		t.Errorf("bigger per-process load should scale better: 48->%.3f, 768->%.3f", e48, e768)
+	}
+	full := WeakScaling(650, 155000, 128, 4)
+	if full.PFlops < 3.3*0.85 || full.PFlops > 3.3*1.15 {
+		t.Errorf("650 elems @155000 = %.2f PFlops, paper 3.3 (+-15%%)", full.PFlops)
+	}
+	// 10,075,000 cores = 155,000 CGs x 65 cores.
+	if cores := 155000 * CoresPerCG; cores != 10075000 {
+		t.Errorf("core count arithmetic: %d", cores)
+	}
+}
+
+func TestMachineConstantsSanity(t *testing.T) {
+	if TotalCores != 10649600 {
+		t.Errorf("TaihuLight core count %d, spec 10,649,600", TotalCores)
+	}
+	if CPEVectorRate <= CPERate {
+		t.Error("vector rate must exceed scalar rate")
+	}
+	if MPERate >= IntelRate {
+		t.Error("the paper's premise: MPE slower than a Xeon core")
+	}
+	if 64*CPEVectorRate <= IntelRate {
+		t.Error("a full CPE cluster must beat one Xeon core")
+	}
+}
+
+func TestCAMVersionString(t *testing.T) {
+	if VersionOri.String() != "ori" || VersionOpenACC.String() != "openacc" ||
+		VersionAthread.String() != "athread" {
+		t.Error("version names must match Figure 6's legend")
+	}
+	if CAMVersion(9).String() != "?" {
+		t.Error("unknown version")
+	}
+}
+
+func TestHOMMEConfigBasics(t *testing.T) {
+	h := DefaultHOMMEConfig(256)
+	if h.NElems() != 393216 {
+		t.Errorf("ne256 elements = %d, Table 2 says 393,216", h.NElems())
+	}
+	if h.FlopsPerElemStep() <= 0 || h.BytesPerElemStep() <= 0 {
+		t.Error("non-positive per-element costs")
+	}
+	// Overlap must never be slower than no overlap.
+	for _, np := range []int{4096, 131072} {
+		tOv, _ := h.StepTime(np, true)
+		tNo, _ := h.StepTime(np, false)
+		if tOv > tNo {
+			t.Errorf("np=%d: overlap slower (%g > %g)", np, tOv, tNo)
+		}
+	}
+}
+
+// Table 1 / Figure 5 band assertions: who wins each kernel, by roughly
+// the paper's factors. Uses a reduced sample (2 elements scaled to 64)
+// to keep the functional simulation fast; costs are linear in elements.
+func TestTable1Fig5Bands(t *testing.T) {
+	cfg := DefaultTable1Config()
+	cfg.SampleElems = 8
+	rows := Table1(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	byName := map[string]KernelRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		for b, tm := range r.Times {
+			if tm <= 0 {
+				t.Fatalf("%s/%v: non-positive time", r.Name, b)
+			}
+		}
+		// MPE is 2-11x slower than one Intel core on every kernel.
+		slow := r.Times[exec.MPE] / r.Times[exec.Intel]
+		if slow < 2 || slow > 11 {
+			t.Errorf("%s: MPE %0.1fx slower than Intel, paper band 2-11x", r.Name, slow)
+		}
+		// Athread beats Intel on every kernel, by 2-46x.
+		sp := r.Speedup(exec.Intel, exec.Athread)
+		if sp < 2 || sp > 46 {
+			t.Errorf("%s: Athread %0.1fx vs Intel, paper band ~7-46x (remap lower)", r.Name, sp)
+		}
+		// Athread always beats OpenACC.
+		if r.Speedup(exec.OpenACC, exec.Athread) < 2 {
+			t.Errorf("%s: Athread should clearly beat OpenACC", r.Name)
+		}
+	}
+	// The dependency-heavy kernel loses under OpenACC (paper: 6x slower
+	// than Intel), while euler_step gains ~1.5x.
+	if r := byName["compute_and_apply_rhs"]; r.Speedup(exec.Intel, exec.OpenACC) > 0.5 {
+		t.Errorf("rhs under OpenACC should lose to Intel, got %.2fx",
+			r.Speedup(exec.Intel, exec.OpenACC))
+	}
+	if r := byName["euler_step"]; r.Speedup(exec.Intel, exec.OpenACC) < 1.0 ||
+		r.Speedup(exec.Intel, exec.OpenACC) > 2.5 {
+		t.Errorf("euler under OpenACC = %.2fx vs Intel, paper 1.56x",
+			r.Speedup(exec.Intel, exec.OpenACC))
+	}
+	// Peak Athread-over-OpenACC gain lands in the tens (paper: up to 50x).
+	maxGain := 0.0
+	for _, r := range rows {
+		if g := r.Speedup(exec.OpenACC, exec.Athread); g > maxGain {
+			maxGain = g
+		}
+	}
+	if maxGain < 20 || maxGain > 150 {
+		t.Errorf("peak Athread/OpenACC gain = %.0fx, paper 'up to 50x'", maxGain)
+	}
+}
+
+// Table 3 band assertions: our SE core beats FV3 beats MPAS at both
+// NGGPS workloads, and the margin widens at 3 km (paper: 1.31x/2.79x at
+// 12.5 km, 2.11x/4.51x at 3 km).
+func TestTable3Bands(t *testing.T) {
+	cases := Table3()
+	if len(cases) != 2 {
+		t.Fatalf("Table 3 has %d cases", len(cases))
+	}
+	ratios := make([][]float64, 2)
+	for i, c := range cases {
+		if len(c.Rows) != 3 || c.Rows[0].Name != "our work" {
+			t.Fatalf("case %d malformed", i)
+		}
+		base := c.Rows[0].RunTime
+		for _, r := range c.Rows {
+			if r.RunTime <= 0 {
+				t.Fatalf("%s/%s: non-positive runtime", c.Label, r.Name)
+			}
+			ratios[i] = append(ratios[i], r.RunTime/base)
+		}
+		if !(ratios[i][1] > 1 && ratios[i][2] > ratios[i][1]) {
+			t.Errorf("%s: ordering violated: %v", c.Label, ratios[i])
+		}
+	}
+	// 12.5 km bands.
+	if r := ratios[0][1]; r < 1.1 || r > 1.8 {
+		t.Errorf("FV3 @12.5km = %.2fx ours, paper 1.31x", r)
+	}
+	if r := ratios[0][2]; r < 2.0 || r > 3.5 {
+		t.Errorf("MPAS @12.5km = %.2fx ours, paper 2.79x", r)
+	}
+	// 3 km bands.
+	if r := ratios[1][1]; r < 1.4 || r > 2.6 {
+		t.Errorf("FV3 @3km = %.2fx ours, paper 2.11x", r)
+	}
+	if r := ratios[1][2]; r < 3.0 || r > 5.5 {
+		t.Errorf("MPAS @3km = %.2fx ours, paper 4.51x", r)
+	}
+	// The gap widens at higher resolution for both baselines.
+	if ratios[1][1] <= ratios[0][1] || ratios[1][2] <= ratios[0][2] {
+		t.Errorf("margins should widen at 3 km: 12.5km %v vs 3km %v", ratios[0], ratios[1])
+	}
+	// The anchor itself (catches calibration regressions).
+	if math.Abs(cases[0].Rows[0].RunTime-2.712) > 1e-9 {
+		t.Errorf("our 12.5 km entry = %v, anchored to 2.712 s", cases[0].Rows[0].RunTime)
+	}
+}
+
+// The paper's 750-m headline: the 650-elements-per-process full-machine
+// run IS the ne4096 grid — 100,663,296 elements over 155,000 processes
+// is 649.4 elements each. Verify the arithmetic that ties Figure 8's
+// flagship point to Table 2's ne4096 row and the 3.3 PFlops claim.
+func TestUltraHighRes750m(t *testing.T) {
+	const ne4096Elems = 6 * 4096 * 4096
+	if ne4096Elems != 100663296 {
+		t.Fatalf("ne4096 = %d elements", ne4096Elems)
+	}
+	perProc := float64(ne4096Elems) / 155000
+	if perProc < 645 || perProc > 655 {
+		t.Errorf("ne4096 over 155,000 processes = %.1f elements each, expected ~650", perProc)
+	}
+	// Grid spacing: ~3000/ne km -> ne4096 ~ 0.73 km ("750-m resolution").
+	dx := 3000.0 / 4096 * 1000
+	if dx < 700 || dx > 800 {
+		t.Errorf("ne4096 spacing %.0f m, paper says 750 m", dx)
+	}
+	pf := WeakScaling(650, 155000, 128, 4).PFlops
+	if pf < 2.8 || pf > 3.8 {
+		t.Errorf("750-m full-machine run = %.2f PFlops, paper 3.3", pf)
+	}
+}
+
+// Vectorization ablation: disabling the vector unit must slow the
+// Athread kernels whenever they are compute-bound, and never speed them
+// up. (Memory-bound kernels shift less — also informative.)
+func TestVectorizationAblation(t *testing.T) {
+	// Compute-bound cost: the scalar fallback must pay the full vector
+	// speedup.
+	c := exec.Cost{Backend: exec.Athread, FlopsVector: 1e9, MaxCPEFlops: 1e9 / 64, Launches: 1}
+	tv := KernelTime(c)
+	ts := KernelTimeNoVec(c)
+	if ts <= tv {
+		t.Errorf("scalar fallback (%g) not slower than vectorized (%g)", ts, tv)
+	}
+	if ratio := ts / tv; ratio < 2 || ratio > 6 {
+		t.Errorf("vector speedup %0.1fx outside the 256-bit unit's plausible band", ratio)
+	}
+	// Memory-bound cost: disabling the vector unit barely matters — the
+	// paper's insight that bandwidth, not arithmetic, limits these
+	// kernels once the data movement is wrong.
+	mb := exec.Cost{Backend: exec.Athread, FlopsVector: 1e6, MaxCPEFlops: 1e6 / 64,
+		MemBytes: 1e9, Launches: 1}
+	if KernelTimeNoVec(mb)/KernelTime(mb) > 1.05 {
+		t.Error("memory-bound kernel should be insensitive to vectorization")
+	}
+}
+
+// The Table 1 generator scales an 8-element sample to the 64-element
+// per-process load assuming kernel costs are linear in elements. Verify
+// the assumption: doubling the sample must leave the scaled times
+// within a few percent.
+func TestTable1SampleLinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the functional simulator twice")
+	}
+	small := DefaultTable1Config()
+	small.SampleElems = 8
+	big := DefaultTable1Config()
+	big.SampleElems = 16
+	rs := Table1(small)
+	rb := Table1(big)
+	for i := range rs {
+		for _, b := range exec.Backends {
+			a, c := rs[i].Times[b], rb[i].Times[b]
+			if rel := math.Abs(a-c) / c; rel > 0.05 {
+				t.Errorf("%s/%v: sample-size dependence %.1f%% (8 elems: %g, 16 elems: %g)",
+					rs[i].Name, b, 100*rel, a, c)
+			}
+		}
+	}
+}
+
+// Power model anchors: Linpack's 93 PFlops on the full machine is
+// 6.06 GFlops/W by construction; the 3.3-PFlops dycore run on the
+// 155,000-CG partition lands near 0.23 GFlops/W — the typical 20-30x
+// gap between Linpack and memory-bound real applications.
+func TestPowerEfficiency(t *testing.T) {
+	if e := PowerEfficiency(93, TotalCGs); math.Abs(e-6.06) > 0.01 {
+		t.Errorf("Linpack anchor = %.2f GFlops/W, want 6.06", e)
+	}
+	app := PowerEfficiency(3.3, 155000)
+	if app < 0.1 || app > 0.6 {
+		t.Errorf("dycore run = %.2f GFlops/W, expected a few tenths", app)
+	}
+	if PowerEfficiency(1, 1024) <= PowerEfficiency(1, 2048) {
+		t.Error("same flops on more hardware must be less efficient")
+	}
+}

@@ -1,0 +1,45 @@
+package physics
+
+import "testing"
+
+func BenchmarkMoistSuiteStep(b *testing.B) {
+	s := NewMoistSuite()
+	c := testColumnBench(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(c, 1800)
+	}
+}
+
+func BenchmarkHeldSuarezStep(b *testing.B) {
+	s := NewHeldSuarezSuite()
+	c := testColumnBench(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(c, 1800)
+	}
+}
+
+func BenchmarkGrayRadiation(b *testing.B) {
+	c := testColumnBench(30)
+	rp := DefaultRadParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GrayRadiation(c, rp, 1800)
+	}
+}
+
+func testColumnBench(nlev int) *Column {
+	c := NewColumn(nlev)
+	c.Lat = 0.3
+	c.Ps = P0
+	c.Ts = 300
+	for k := 0; k < nlev; k++ {
+		frac := (float64(k) + 0.5) / float64(nlev)
+		c.P[k] = 200 + frac*(P0-200)
+		c.DP[k] = (P0 - 200) / float64(nlev)
+		c.T[k] = 220 + 80*frac
+		c.Qv[k] = 0.01 * frac
+	}
+	return c
+}

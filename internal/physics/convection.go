@@ -1,0 +1,122 @@
+package physics
+
+import "math"
+
+// Betts-Miller moist convective adjustment: where a column is
+// conditionally unstable and moist enough, temperature and humidity
+// relax toward a moist-adiabatic, subsaturated reference profile over a
+// fixed timescale, with an enthalpy correction that makes the scheme
+// exactly energy-conserving; removed moisture falls as convective rain.
+
+// ConvParams configures the adjustment.
+type ConvParams struct {
+	TauAdj  float64 // relaxation timescale, s
+	RHRef   float64 // reference relative humidity of the post-convective profile
+	MinCAPE float64 // trigger threshold on parcel buoyancy integral, J/kg
+}
+
+// DefaultConvParams returns standard Betts-Miller settings.
+func DefaultConvParams() ConvParams {
+	return ConvParams{TauAdj: 7200, RHRef: 0.8, MinCAPE: 10}
+}
+
+// moistAdiabatFrom lifts a parcel from level k0 and returns the
+// temperature profile it implies for levels above (smaller k), following
+// a pseudoadiabat integrated in pressure.
+func moistAdiabatFrom(c *Column, k0 int, tRef []float64) {
+	tp := c.T[k0]
+	qp := c.Qv[k0]
+	tRef[k0] = tp
+	for k := k0 - 1; k >= 0; k-- {
+		dp := c.P[k] - c.P[k+1] // negative upward
+		// Dry-adiabatic estimate, then latent correction if saturated.
+		dT := Rd * tp / (Cp * c.P[k+1]) * dp
+		tp += dT
+		qs := QSat(tp, c.P[k])
+		if qp > qs {
+			// Condense: release latent heat, reduce parcel vapor, one
+			// Newton correction on the saturation balance.
+			excess := qp - qs
+			gamma := Lv / Cp * DQSatDT(tp, c.P[k])
+			dTl := Lv / Cp * excess / (1 + gamma)
+			tp += dTl
+			qp = QSat(tp, c.P[k])
+		}
+		tRef[k] = tp
+	}
+}
+
+// CAPE computes the convective available potential energy of a parcel
+// lifted from the lowest model level, using virtual temperature excess.
+func CAPE(c *Column) float64 {
+	n := c.Nlev
+	tRef := make([]float64, n)
+	moistAdiabatFrom(c, n-1, tRef)
+	cape := 0.0
+	for k := n - 2; k >= 0; k-- {
+		buoy := (tRef[k] - c.T[k]) / c.T[k]
+		if buoy > 0 {
+			cape += Rd * (tRef[k] - c.T[k]) * math.Log(c.P[k+1]/c.P[k])
+		}
+	}
+	return cape
+}
+
+// BettsMiller applies one convective-adjustment step. Returns the
+// convective precipitation produced (kg/m^2).
+func BettsMiller(c *Column, cp ConvParams, dt float64) float64 {
+	n := c.Nlev
+	if CAPE(c) < cp.MinCAPE {
+		return 0
+	}
+	tRef := make([]float64, n)
+	moistAdiabatFrom(c, n-1, tRef)
+
+	// Find the cloud top: highest level where the parcel is buoyant.
+	top := n - 1
+	for k := 0; k < n-1; k++ {
+		if tRef[k] > c.T[k] {
+			top = k
+			break
+		}
+	}
+	if top >= n-1 {
+		return 0
+	}
+
+	// First-guess tendencies toward (tRef, RHRef * qsat(tRef)).
+	frac := dt / cp.TauAdj
+	if frac > 1 {
+		frac = 1
+	}
+	dTsum, dQsum := 0.0, 0.0 // mass-weighted changes
+	dT := make([]float64, n)
+	dQ := make([]float64, n)
+	for k := top; k < n; k++ {
+		qRef := cp.RHRef * QSat(tRef[k], c.P[k])
+		dT[k] = frac * (tRef[k] - c.T[k])
+		dQ[k] = frac * (qRef - c.Qv[k])
+		dTsum += Cp * dT[k] * c.DP[k]
+		dQsum += Lv * dQ[k] * c.DP[k]
+	}
+	// Enthalpy correction: shift the temperature adjustment uniformly so
+	// cp*dT + Lv*dq integrates to zero (Betts' energy closure).
+	var massSum float64
+	for k := top; k < n; k++ {
+		massSum += c.DP[k]
+	}
+	corr := -(dTsum + dQsum) / (Cp * massSum)
+	precip := 0.0
+	for k := top; k < n; k++ {
+		c.T[k] += dT[k] + corr
+		c.Qv[k] += dQ[k]
+		precip += -dQ[k] * c.DP[k] / Gravit
+	}
+	if precip < 0 {
+		// Net moistening columns don't rain; the closure above already
+		// balanced energy, so just report zero precipitation.
+		precip = 0
+	}
+	c.Precip += precip
+	return precip
+}

@@ -1,0 +1,60 @@
+package physics
+
+import "math"
+
+// Held-Suarez (1994) forcing: Newtonian relaxation of temperature
+// toward a prescribed radiative-equilibrium profile plus Rayleigh
+// friction on low-level winds. It is the standard idealized test for
+// dry dynamical cores and drives the Figure 4 climatology comparison.
+
+// HSParams are the published Held-Suarez constants.
+type HSParams struct {
+	KfDay  float64 // friction rate at the surface, 1/day
+	KaDay  float64 // thermal relaxation in the free atmosphere, 1/day
+	KsDay  float64 // thermal relaxation at the surface, 1/day
+	DeltaT float64 // equator-pole equilibrium contrast, K
+	DeltaZ float64 // static-stability parameter, K
+	SigB   float64 // boundary-layer top in sigma
+	TStrat float64 // stratospheric floor temperature, K
+}
+
+// DefaultHSParams returns the values from Held & Suarez (1994).
+func DefaultHSParams() HSParams {
+	return HSParams{KfDay: 1, KaDay: 1.0 / 40, KsDay: 1.0 / 4,
+		DeltaT: 60, DeltaZ: 10, SigB: 0.7, TStrat: 200}
+}
+
+const secPerDay = 86400.0
+
+// TEq returns the Held-Suarez equilibrium temperature at latitude lat
+// and pressure p.
+func (h HSParams) TEq(lat, p float64) float64 {
+	sl, cl := math.Sin(lat), math.Cos(lat)
+	t := (315 - h.DeltaT*sl*sl - h.DeltaZ*math.Log(p/P0)*cl*cl) *
+		math.Pow(p/P0, Rd/Cp)
+	if t < h.TStrat {
+		t = h.TStrat
+	}
+	return t
+}
+
+// HeldSuarez applies one forcing step to the column.
+func HeldSuarez(c *Column, h HSParams, dt float64) {
+	for k := 0; k < c.Nlev; k++ {
+		sigma := c.P[k] / c.Ps
+		sigFac := (sigma - h.SigB) / (1 - h.SigB)
+		if sigFac < 0 {
+			sigFac = 0
+		}
+		// Thermal relaxation, stronger near the surface at low latitudes.
+		cl := math.Cos(c.Lat)
+		kt := (h.KaDay + (h.KsDay-h.KaDay)*sigFac*cl*cl*cl*cl) / secPerDay
+		teq := h.TEq(c.Lat, c.P[k])
+		c.T[k] -= dt * kt * (c.T[k] - teq)
+
+		// Rayleigh friction in the boundary layer.
+		kv := h.KfDay / secPerDay * sigFac
+		c.U[k] -= dt * kv * c.U[k]
+		c.V[k] -= dt * kv * c.V[k]
+	}
+}

@@ -1,0 +1,143 @@
+package physics
+
+import "math"
+
+// Boundary-layer vertical diffusion with bulk surface fluxes, solved
+// implicitly (backward Euler) with the Thomas tridiagonal algorithm —
+// the numerical pattern of CAM's vertical_diffusion module.
+
+// PBLParams configures the diffusion and surface exchange.
+type PBLParams struct {
+	KMax    float64 // peak eddy diffusivity, m^2/s
+	PBLTop  float64 // diffusivity decays above this pressure, Pa
+	Cd      float64 // bulk drag/exchange coefficient
+	MinWind float64 // gustiness floor for the bulk formulas, m/s
+}
+
+// DefaultPBLParams returns typical values.
+func DefaultPBLParams() PBLParams {
+	return PBLParams{KMax: 30, PBLTop: 85000, Cd: 1.2e-3, MinWind: 1}
+}
+
+// SolveTridiag solves the tridiagonal system (a: sub, b: diag, c: super)
+// x = d in place using the Thomas algorithm; a[0] and c[n-1] are ignored.
+// d is overwritten with the solution.
+func SolveTridiag(a, b, c, d []float64) {
+	n := len(b)
+	cp := make([]float64, n)
+	cp[0] = c[0] / b[0]
+	d[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		m := b[i] - a[i]*cp[i-1]
+		cp[i] = c[i] / m
+		d[i] = (d[i] - a[i]*d[i-1]) / m
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= cp[i] * d[i+1]
+	}
+}
+
+// eddyK returns the diffusivity profile at pressure p: KMax below
+// PBLTop, decaying quadratically to zero one scale height above it.
+func (pp PBLParams) eddyK(p, ps float64) float64 {
+	top := pp.PBLTop * ps / P0
+	if p >= top {
+		return pp.KMax
+	}
+	frac := p / top
+	return pp.KMax * frac * frac
+}
+
+// PBLDiffusion applies one implicit vertical-diffusion step to T, Qv, U
+// and V with bulk surface fluxes as the bottom boundary condition.
+// Returns the surface sensible and latent heat fluxes (W/m^2,
+// diagnostics).
+func PBLDiffusion(c *Column, pp PBLParams, dt float64) (shf, lhf float64) {
+	n := c.Nlev
+	if n < 2 {
+		return 0, 0
+	}
+	// Geometry: layer thickness in meters and interface spacing.
+	dz := make([]float64, n)
+	rho := make([]float64, n)
+	for k := 0; k < n; k++ {
+		rho[k] = c.P[k] / (Rd * c.T[k])
+		dz[k] = c.DP[k] / (Gravit * rho[k])
+	}
+	// Interface diffusive conductance g[k] couples layers k-1 and k:
+	// g = rho_int * K / dz_int (kg/m^2/s after dividing by dz later).
+	g := make([]float64, n) // g[0] unused
+	for k := 1; k < n; k++ {
+		rhoInt := (rho[k-1] + rho[k]) / 2
+		dzInt := (dz[k-1] + dz[k]) / 2
+		pInt := (c.P[k-1] + c.P[k]) / 2
+		g[k] = rhoInt * pp.eddyK(pInt, c.Ps) / dzInt
+	}
+	// Surface exchange coefficients.
+	wind := math.Hypot(c.U[n-1], c.V[n-1])
+	if wind < pp.MinWind {
+		wind = pp.MinWind
+	}
+	gSfc := rho[n-1] * pp.Cd * wind // kg/m^2/s
+
+	// Mass per layer (kg/m^2).
+	mass := make([]float64, n)
+	for k := 0; k < n; k++ {
+		mass[k] = c.DP[k] / Gravit
+	}
+
+	solve := func(x []float64, sfcValue float64, sfcCoupled bool) {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		cc := make([]float64, n)
+		d := make([]float64, n)
+		for k := 0; k < n; k++ {
+			b[k] = mass[k] / dt
+			d[k] = mass[k] / dt * x[k]
+			if k > 0 {
+				a[k] = -g[k]
+				b[k] += g[k]
+			}
+			if k < n-1 {
+				cc[k] = -g[k+1]
+				b[k] += g[k+1]
+			}
+		}
+		if sfcCoupled {
+			b[n-1] += gSfc
+			d[n-1] += gSfc * sfcValue
+		}
+		SolveTridiag(a, b, cc, d)
+		copy(x, d)
+	}
+
+	// Heat diffuses as dry static energy s = cp*T + g*z, not raw
+	// temperature — diffusing T would mix the adiabatic lapse rate
+	// itself downward. Heights come from the hydrostatic integral of
+	// the current profile and are held fixed across the implicit solve
+	// (the standard approximation).
+	z := make([]float64, n)
+	zInt := 0.0
+	for k := n - 1; k >= 0; k-- {
+		half := c.DP[k] / (2 * Gravit * rho[k])
+		z[k] = zInt + half
+		zInt += 2 * half
+	}
+	s := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s[k] = Cp*c.T[k] + Gravit*z[k]
+	}
+	s1Before := s[n-1]
+	q1Before := c.Qv[n-1]
+	solve(s, Cp*c.Ts, true) // surface DSE at z=0
+	for k := 0; k < n; k++ {
+		c.T[k] = (s[k] - Gravit*z[k]) / Cp
+	}
+	solve(c.Qv, QSat(c.Ts, c.Ps), true) // saturated ocean surface
+	solve(c.U, 0, true)                 // surface drag pulls wind to zero
+	solve(c.V, 0, true)
+
+	shf = gSfc * (Cp*c.Ts - (s1Before+s[n-1])/2)
+	lhf = gSfc * Lv * (QSat(c.Ts, c.Ps) - (q1Before+c.Qv[n-1])/2)
+	return shf, lhf
+}

@@ -1,0 +1,86 @@
+package physics
+
+import "math"
+
+// Gray-atmosphere two-stream radiation (Frierson et al. 2006 style):
+// longwave optical depth increases toward the surface, upward and
+// downward fluxes integrate the Schwarzschild equations level by level,
+// and the heating rate is the flux divergence. Shortwave is a simple
+// absorbed-at-surface solar beam modulated by latitude.
+
+// RadParams configures the gray radiation.
+type RadParams struct {
+	TauEq    float64 // longwave optical depth at the equatorial surface
+	TauPole  float64 // at the polar surface
+	LinFrac  float64 // fraction of tau growing linearly with p/ps (rest quartic)
+	Solar    float64 // solar constant x (1-albedo)/4, W/m^2
+	SolarDel float64 // latitudinal contrast of insolation
+}
+
+// DefaultRadParams returns the Frierson-like defaults.
+func DefaultRadParams() RadParams {
+	return RadParams{TauEq: 6.0, TauPole: 1.5, LinFrac: 0.1, Solar: 238, SolarDel: 1.4}
+}
+
+const sbSigma = 5.670374419e-8 // Stefan-Boltzmann
+
+// lwTau returns longwave optical depth at normalized pressure s = p/ps.
+func (rp RadParams) lwTau(lat, s float64) float64 {
+	tau0 := rp.TauEq + (rp.TauPole-rp.TauEq)*math.Sin(lat)*math.Sin(lat)
+	return tau0 * (rp.LinFrac*s + (1-rp.LinFrac)*s*s*s*s)
+}
+
+// Insolation returns the absorbed shortwave flux at latitude lat.
+func (rp RadParams) Insolation(lat float64) float64 {
+	sl := math.Sin(lat)
+	return rp.Solar * (1 + rp.SolarDel/4*(1-3*sl*sl)) // P2-weighted annual mean
+}
+
+// GrayRadiation applies one radiative timestep to the column: longwave
+// cooling from the two-stream integration and shortwave heating of the
+// surface layer. Returns the net top-of-atmosphere outgoing longwave
+// flux (diagnostic).
+func GrayRadiation(c *Column, rp RadParams, dt float64) (olr float64) {
+	n := c.Nlev
+	// Interface optical depths.
+	tau := make([]float64, n+1)
+	pInt := 0.0
+	for k := 0; k < n; k++ {
+		pInt += c.DP[k]
+		tau[k+1] = rp.lwTau(c.Lat, pInt/c.Ps)
+	}
+	// Planck source per layer.
+	b := make([]float64, n)
+	for k := 0; k < n; k++ {
+		b[k] = sbSigma * c.T[k] * c.T[k] * c.T[k] * c.T[k]
+	}
+	// Downward beam: D(0) = 0; dD/dtau = B - D.
+	down := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		dtau := tau[k+1] - tau[k]
+		e := math.Exp(-dtau)
+		down[k+1] = down[k]*e + b[k]*(1-e)
+	}
+	// Upward beam from the surface: U(ns) = sigma Ts^4.
+	up := make([]float64, n+1)
+	up[n] = sbSigma * c.Ts * c.Ts * c.Ts * c.Ts
+	for k := n - 1; k >= 0; k-- {
+		dtau := tau[k+1] - tau[k]
+		e := math.Exp(-dtau)
+		up[k] = up[k+1]*e + b[k]*(1-e)
+	}
+	// Heating from net flux divergence.
+	for k := 0; k < n; k++ {
+		netTop := up[k] - down[k]
+		netBot := up[k+1] - down[k+1]
+		heat := -(netTop - netBot) * Gravit / (Cp * c.DP[k]) // K/s
+		c.T[k] += dt * heat
+	}
+	// Shortwave: deposit insolation in the lowest model layer (the
+	// gray atmosphere is SW-transparent; the surface flux heats the
+	// boundary layer through the surface scheme in a full model — here
+	// the bottom layer absorbs it directly, a standard simplification).
+	sw := rp.Insolation(c.Lat)
+	c.T[n-1] += dt * sw * Gravit / (Cp * c.DP[n-1])
+	return up[0]
+}

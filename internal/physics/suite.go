@@ -1,0 +1,68 @@
+package physics
+
+// Suite bundles the schemes in CAM's calling order and applies them to
+// one column per physics timestep. Two modes exist:
+//
+//   - Moist: radiation -> surface/PBL diffusion -> convection ->
+//     microphysics, the CAM5-lite full suite.
+//   - HeldSuarez: the idealized dry forcing alone, used for the
+//     climatology validation (Figure 4) where CAM runs are compared
+//     across hardware.
+type Suite struct {
+	Mode SuiteMode
+
+	Rad   RadParams
+	PBL   PBLParams
+	Conv  ConvParams
+	Micro MicroParams
+	HS    HSParams
+}
+
+// SuiteMode selects the active scheme set.
+type SuiteMode int
+
+// Suite modes.
+const (
+	Moist SuiteMode = iota
+	HeldSuarezMode
+)
+
+// NewMoistSuite returns the full CAM5-lite suite with defaults.
+func NewMoistSuite() *Suite {
+	return &Suite{
+		Mode:  Moist,
+		Rad:   DefaultRadParams(),
+		PBL:   DefaultPBLParams(),
+		Conv:  DefaultConvParams(),
+		Micro: DefaultMicroParams(),
+	}
+}
+
+// NewHeldSuarezSuite returns the idealized forcing suite.
+func NewHeldSuarezSuite() *Suite {
+	return &Suite{Mode: HeldSuarezMode, HS: DefaultHSParams()}
+}
+
+// Diag carries the per-column diagnostics of one physics step.
+type Diag struct {
+	OLR   float64 // outgoing longwave radiation, W/m^2
+	SHF   float64 // surface sensible heat flux, W/m^2
+	LHF   float64 // surface latent heat flux, W/m^2
+	PrecC float64 // convective precipitation, kg/m^2
+	PrecL float64 // large-scale precipitation, kg/m^2
+}
+
+// Step advances one column by dt through the active schemes.
+func (s *Suite) Step(c *Column, dt float64) Diag {
+	var d Diag
+	switch s.Mode {
+	case HeldSuarezMode:
+		HeldSuarez(c, s.HS, dt)
+	case Moist:
+		d.OLR = GrayRadiation(c, s.Rad, dt)
+		d.SHF, d.LHF = PBLDiffusion(c, s.PBL, dt)
+		d.PrecC = BettsMiller(c, s.Conv, dt)
+		d.PrecL = Kessler(c, s.Micro, dt)
+	}
+	return d
+}

@@ -1,0 +1,62 @@
+package sw
+
+import "testing"
+
+func BenchmarkColumnScan128(b *testing.B) {
+	cg := NewCoreGroup(0)
+	const perCPE = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.Spawn(func(c *CPE) {
+			local := c.LDM.MustAlloc("l", perCPE)
+			out := c.LDM.MustAlloc("o", perCPE)
+			for k := range local {
+				local[k] = float64(k)
+			}
+			ColumnScan(c, local, out, 0)
+		})
+	}
+}
+
+func BenchmarkRowTranspose(b *testing.B) {
+	const dim = MeshDim * BlockDim
+	m := make([]float64, dim*dim)
+	for i := range m {
+		m[i] = float64(i)
+	}
+	cg := NewCoreGroup(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.Spawn(func(c *CPE) {
+			if c.Row != 0 {
+				return
+			}
+			blocks := make([][]float64, MeshDim)
+			for j := range blocks {
+				blocks[j] = c.LDM.MustAlloc("blk", BlockDim*BlockDim)
+			}
+			GatherBlocks(c, m, dim, c.Col, blocks)
+			RowTranspose(c, blocks)
+			ScatterBlocks(c, m, dim, c.Col, blocks)
+		})
+	}
+}
+
+func BenchmarkSpawnOverhead(b *testing.B) {
+	cg := NewCoreGroup(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.Spawn(func(c *CPE) {})
+	}
+}
+
+func BenchmarkTranspose4x4(b *testing.B) {
+	r0 := Vec4{0, 1, 2, 3}
+	r1 := Vec4{4, 5, 6, 7}
+	r2 := Vec4{8, 9, 10, 11}
+	r3 := Vec4{12, 13, 14, 15}
+	for i := 0; i < b.N; i++ {
+		r0, r1, r2, r3, _ = Transpose4x4(r0, r1, r2, r3)
+	}
+	_ = r0
+}

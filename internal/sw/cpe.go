@@ -1,0 +1,135 @@
+package sw
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CPE is one computing processing element: a user-mode-only RISC core
+// with a 64 KB LDM, a DMA engine into the core group's shared memory, a
+// 4-lane vector unit, and register-communication links along its row and
+// column of the 8x8 mesh.
+type CPE struct {
+	Row, Col int
+	ID       int // Row*8 + Col
+	LDM      *LDM
+	DMA      *DMA
+	Ctr      PerfCounter
+	cg       *CoreGroup
+}
+
+// CountFlops accounts n double-precision scalar operations.
+func (c *CPE) CountFlops(n int64) { c.Ctr.FlopsScalar += n }
+
+// CountVecFlops accounts n double-precision operations retired through
+// the vector unit (already multiplied out to element count by the caller).
+func (c *CPE) CountVecFlops(n int64) { c.Ctr.FlopsVector += n }
+
+// CountShuffles accounts n shuffle instructions.
+func (c *CPE) CountShuffles(n int64) { c.Ctr.Shuffles += n }
+
+// MPE is the management processing element of a core group: a full
+// RISC core with a conventional cache hierarchy. It runs the serial
+// portions of a kernel and drives MPI communication; the "MPE-only"
+// execution backend of Table 1 runs whole kernels here.
+type MPE struct {
+	Ctr PerfCounter
+	cg  *CoreGroup
+}
+
+// CountFlops accounts n double-precision operations on the MPE.
+func (m *MPE) CountFlops(n int64) { m.Ctr.FlopsScalar += n }
+
+// CoreGroup is one of the four CGs of an SW26010: one MPE, 64 CPEs, and
+// a memory controller sharing one main-memory partition. In the
+// "MPI + X" programming model of TaihuLight one MPI process maps to one
+// CG (§5.3), so the simulator treats the CG as the unit a rank owns.
+type CoreGroup struct {
+	Index  int
+	MPE    *MPE
+	CPEs   [CPEsPerCG]*CPE
+	fabric *regFabric
+}
+
+// NewCoreGroup builds a core group with fresh LDMs, counters, and
+// register fabric.
+func NewCoreGroup(index int) *CoreGroup {
+	cg := &CoreGroup{Index: index, fabric: newRegFabric()}
+	cg.MPE = &MPE{cg: cg}
+	for i := 0; i < CPEsPerCG; i++ {
+		cpe := &CPE{Row: i / MeshDim, Col: i % MeshDim, ID: i, LDM: NewLDM(), cg: cg}
+		cpe.DMA = &DMA{ctr: &cpe.Ctr}
+		cg.CPEs[i] = cpe
+	}
+	return cg
+}
+
+// Spawn runs fn concurrently on all 64 CPEs (the athread_spawn /
+// athread_join pattern) and blocks until every CPE returns. Each CPE's
+// LDM is reset before fn starts, matching a fresh kernel launch. A panic
+// on any CPE (LDM overflow, illegal register communication) is re-raised
+// on the caller with the CPE coordinates attached.
+func (cg *CoreGroup) Spawn(fn func(c *CPE)) {
+	var wg sync.WaitGroup
+	panics := make([]any, CPEsPerCG)
+	for i := 0; i < CPEsPerCG; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[idx] = r
+				}
+			}()
+			c := cg.CPEs[idx]
+			c.LDM.Reset()
+			fn(c)
+			if hw := int64(c.LDM.HighWater()); hw > c.Ctr.LDMPeak {
+				c.Ctr.LDMPeak = hw
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("sw: CPE(%d,%d) faulted: %v", i/MeshDim, i%MeshDim, p))
+		}
+	}
+}
+
+// Counters returns the sum and the per-CPE maximum of the 64 CPE
+// counters accumulated since the last ResetCounters. The sum feeds flop
+// totals; the max bounds the makespan of load-imbalanced regions.
+func (cg *CoreGroup) Counters() (sum, max PerfCounter) {
+	for _, c := range cg.CPEs {
+		sum.Add(&c.Ctr)
+		max.MaxInPlace(&c.Ctr)
+	}
+	return sum, max
+}
+
+// ResetCounters zeroes the MPE and all CPE counters.
+func (cg *CoreGroup) ResetCounters() {
+	cg.MPE.Ctr.Reset()
+	for _, c := range cg.CPEs {
+		c.Ctr.Reset()
+	}
+}
+
+// Chip is a full SW26010 processor: 4 core groups on a network-on-chip,
+// 260 cores in total.
+type Chip struct {
+	CGs [4]*CoreGroup
+}
+
+// NewChip builds a full processor.
+func NewChip() *Chip {
+	ch := &Chip{}
+	for i := range ch.CGs {
+		ch.CGs[i] = NewCoreGroup(i)
+	}
+	return ch
+}
+
+// Cores returns the total core count of the chip (4 CGs x (1 MPE + 64 CPEs)).
+func (ch *Chip) Cores() int { return len(ch.CGs) * (1 + CPEsPerCG) }

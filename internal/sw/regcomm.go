@@ -1,0 +1,117 @@
+package sw
+
+import "fmt"
+
+// MeshDim is the side of the CPE mesh: 8x8 = 64 CPEs per core group.
+const MeshDim = 8
+
+// CPEsPerCG is the number of computing processing elements per core group.
+const CPEsPerCG = MeshDim * MeshDim
+
+// regFabric is the register-communication fabric of one core group.
+// The SW26010 lets a CPE push a 256-bit register directly into the
+// receive buffer of another CPE in the same row or column of the mesh,
+// within tens of cycles (§7.4). The fabric is modeled as one small
+// buffered channel per ordered (src,dst) pair that shares a row or a
+// column; sends to any other CPE are an architectural violation and
+// panic, so kernels cannot accidentally assume all-to-all connectivity
+// the hardware does not have.
+type regFabric struct {
+	// ch[src][dst] is non-nil iff src and dst share a row or column.
+	ch [CPEsPerCG][CPEsPerCG]chan Vec4
+}
+
+// regBufDepth is the modeled depth of a CPE's register receive buffer.
+// The hardware buffers a handful of in-flight registers per link; a
+// depth of 4 lets the paper's pipelined scan run without artificial
+// serialization while still exerting back-pressure.
+const regBufDepth = 4
+
+func newRegFabric() *regFabric {
+	f := &regFabric{}
+	for s := 0; s < CPEsPerCG; s++ {
+		for d := 0; d < CPEsPerCG; d++ {
+			if s == d {
+				continue
+			}
+			sameRow := s/MeshDim == d/MeshDim
+			sameCol := s%MeshDim == d%MeshDim
+			if sameRow || sameCol {
+				f.ch[s][d] = make(chan Vec4, regBufDepth)
+			}
+		}
+	}
+	return f
+}
+
+func cpeID(row, col int) int { return row*MeshDim + col }
+
+// send pushes one register from CPE (srow,scol) to CPE (drow,dcol).
+func (f *regFabric) send(srow, scol, drow, dcol int, v Vec4) {
+	c := f.ch[cpeID(srow, scol)][cpeID(drow, dcol)]
+	if c == nil {
+		panic(fmt.Sprintf("sw: register communication between CPE(%d,%d) and CPE(%d,%d): not in same row or column",
+			srow, scol, drow, dcol))
+	}
+	c <- v
+}
+
+// recv blocks until a register from CPE (srow,scol) arrives at (drow,dcol).
+func (f *regFabric) recv(srow, scol, drow, dcol int) Vec4 {
+	c := f.ch[cpeID(srow, scol)][cpeID(drow, dcol)]
+	if c == nil {
+		panic(fmt.Sprintf("sw: register communication between CPE(%d,%d) and CPE(%d,%d): not in same row or column",
+			srow, scol, drow, dcol))
+	}
+	return <-c
+}
+
+// RegSend transfers one 256-bit register to the CPE at (drow,dcol), which
+// must share a row or column with this CPE. Blocks when the destination's
+// receive buffer is full (back-pressure), like the hardware.
+func (c *CPE) RegSend(drow, dcol int, v Vec4) {
+	c.cg.fabric.send(c.Row, c.Col, drow, dcol, v)
+	c.Ctr.RegMsgs++
+	c.Ctr.RegBytes += VecWidth * F64Bytes
+}
+
+// RegRecv blocks until a register sent by the CPE at (srow,scol) arrives.
+func (c *CPE) RegRecv(srow, scol int) Vec4 {
+	return c.cg.fabric.recv(srow, scol, c.Row, c.Col)
+}
+
+// RegSendScalar sends a single float64 through the register fabric
+// (occupying a full register slot, as on hardware).
+func (c *CPE) RegSendScalar(drow, dcol int, x float64) {
+	c.RegSend(drow, dcol, Vec4{x, 0, 0, 0})
+}
+
+// RegRecvScalar receives a single float64 sent with RegSendScalar.
+func (c *CPE) RegRecvScalar(srow, scol int) float64 {
+	return c.RegRecv(srow, scol)[0]
+}
+
+// ExchangeBlock swaps a data block with the CPE at (drow,dcol) over the
+// register fabric: send[] goes out, the partner's block arrives in
+// recv[] (same length). Transfers are chunked to the receive-buffer
+// depth with a symmetric send-then-drain schedule, so two CPEs
+// exchanging blocks concurrently cannot deadlock regardless of block
+// size. Lengths must match on both sides and be multiples of VecWidth.
+func (c *CPE) ExchangeBlock(drow, dcol int, send, recv []float64) {
+	if len(send) != len(recv) || len(send)%VecWidth != 0 {
+		panic("sw: ExchangeBlock needs equal vector-multiple lengths")
+	}
+	chunk := regBufDepth * VecWidth // values per safe burst
+	for off := 0; off < len(send); off += chunk {
+		end := off + chunk
+		if end > len(send) {
+			end = len(send)
+		}
+		for i := off; i < end; i += VecWidth {
+			c.RegSend(drow, dcol, LoadVec4(send, i))
+		}
+		for i := off; i < end; i += VecWidth {
+			c.RegRecv(drow, dcol).Store(recv, i)
+		}
+	}
+}

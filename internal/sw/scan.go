@@ -1,0 +1,147 @@
+package sw
+
+// ColumnScan computes an inclusive prefix sum distributed down one column
+// of the CPE mesh — the three-stage accumulation algorithm of §7.4 used
+// to parallelize the vertical pressure integral in compute_and_apply_rhs.
+//
+// The atmospheric column of nlev layers is split into MeshDim groups of
+// nlev/MeshDim contiguous layers; the CPE in mesh row i owns group i and
+// passes local[] = its layer increments a_k. base is the initial value
+// (the paper's p0, the top-of-column geopotential/pressure). On return
+// out[k] = base + sum of all increments up to and including local[k],
+// globally across the column.
+//
+//	Stage 1, local accumulation:   each CPE prefix-sums its own layers.
+//	Stage 2, partial sum exchange: CPE (i,j) waits for the running total
+//	    from CPE (i-1,j) over register communication, adds its own block
+//	    total, and forwards it to CPE (i+1,j).
+//	Stage 3, global accumulation:  the carry is added to every local
+//	    prefix.
+//
+// The result is written into out (which may alias local). Flops are
+// accounted on the CPE.
+func ColumnScan(c *CPE, local, out []float64, base float64) {
+	n := len(local)
+	if len(out) != n {
+		panic("sw: ColumnScan length mismatch")
+	}
+	// Stage 1: local inclusive prefix sums.
+	run := 0.0
+	for k := 0; k < n; k++ {
+		run += local[k]
+		out[k] = run
+	}
+	c.CountFlops(int64(n))
+
+	// Stage 2: carry chain down the mesh column. Row 0 starts from base;
+	// every other row blocks on the register read from the row above —
+	// the pipelined dependency the paper exploits: while CPE i waits, it
+	// has already done its stage-1 work.
+	carry := base
+	if c.Row > 0 {
+		carry = c.RegRecvScalar(c.Row-1, c.Col)
+	}
+	if c.Row < MeshDim-1 {
+		c.RegSendScalar(c.Row+1, c.Col, carry+run)
+		c.CountFlops(1)
+	}
+
+	// Stage 3: apply the carry to every local prefix.
+	for k := 0; k < n; k++ {
+		out[k] += carry
+	}
+	c.CountFlops(int64(n))
+}
+
+// ColumnScanExclusive is ColumnScan returning exclusive prefix sums:
+// out[k] = base + sum of increments strictly before local[k]. The
+// hydrostatic integral needs pressure at layer interfaces, which is the
+// exclusive scan of layer thicknesses.
+func ColumnScanExclusive(c *CPE, local, out []float64, base float64) {
+	n := len(local)
+	if len(out) != n {
+		panic("sw: ColumnScanExclusive length mismatch")
+	}
+	run := 0.0
+	// Stage 1 with a one-slot delay so out[k] excludes local[k].
+	for k := 0; k < n; k++ {
+		out[k] = run
+		run += local[k]
+	}
+	c.CountFlops(int64(n))
+
+	carry := base
+	if c.Row > 0 {
+		carry = c.RegRecvScalar(c.Row-1, c.Col)
+	}
+	if c.Row < MeshDim-1 {
+		c.RegSendScalar(c.Row+1, c.Col, carry+run)
+		c.CountFlops(1)
+	}
+	for k := 0; k < n; k++ {
+		out[k] += carry
+	}
+	c.CountFlops(int64(n))
+}
+
+// ColumnScanReverse computes the upward (surface-to-top) counterpart of
+// ColumnScan: out[k] = base + sum of increments at indices >= k within
+// the global column, where mesh row MeshDim-1 holds the bottom of the
+// column. It parallelizes the hydrostatic geopotential integral, which
+// accumulates from the surface upward. The half parameter subtracts half
+// of the local increment (out[k] = carry_below + sum_{l>k} local[l] +
+// local[k]*frac), matching the midpoint geopotential formula with
+// frac = 0.5 and plain inclusive scans with frac = 1.
+func ColumnScanReverse(c *CPE, local, out []float64, base, frac float64) {
+	n := len(local)
+	if len(out) != n {
+		panic("sw: ColumnScanReverse length mismatch")
+	}
+	// Stage 1: local reverse scan with the fractional top contribution.
+	run := 0.0
+	for k := n - 1; k >= 0; k-- {
+		out[k] = run + local[k]*frac
+		run += local[k]
+	}
+	c.CountFlops(int64(3 * n))
+
+	// Stage 2: carry chain up the mesh column (from the last row to row 0).
+	carry := base
+	if c.Row < MeshDim-1 {
+		carry = c.RegRecvScalar(c.Row+1, c.Col)
+	}
+	if c.Row > 0 {
+		c.RegSendScalar(c.Row-1, c.Col, carry+run)
+		c.CountFlops(1)
+	}
+	for k := 0; k < n; k++ {
+		out[k] += carry
+	}
+	c.CountFlops(int64(n))
+}
+
+// ColumnReduce sums one value per CPE down a mesh column and returns the
+// total on every CPE of the column. It is built from the same carry chain
+// as ColumnScan plus a broadcast back up, and is used for column-integral
+// diagnostics (total mass, energy) inside Athread kernels.
+func ColumnReduce(c *CPE, x float64) float64 {
+	carry := x
+	if c.Row > 0 {
+		carry = c.RegRecvScalar(c.Row-1, c.Col) + x
+		c.CountFlops(1)
+	}
+	if c.Row < MeshDim-1 {
+		c.RegSendScalar(c.Row+1, c.Col, carry)
+		// Wait for the full total to come back up the column.
+		total := c.RegRecvScalar(c.Row+1, c.Col)
+		if c.Row > 0 {
+			c.RegSendScalar(c.Row-1, c.Col, total)
+		}
+		return total
+	}
+	// Bottom row holds the grand total; start the upward broadcast.
+	if c.Row > 0 {
+		c.RegSendScalar(c.Row-1, c.Col, carry)
+	}
+	return carry
+}

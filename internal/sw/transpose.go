@@ -1,0 +1,89 @@
+package sw
+
+// BlockDim is the side of the register-level transpose tile: a 4x4 block
+// of float64 fits four Vec4 registers and transposes in 8 shuffles.
+const BlockDim = VecWidth
+
+// TransposeBlock transposes a 4x4 row-major block in place in LDM using
+// the 8-shuffle register sequence of Figure 3 (intra-CPE stage). The
+// shuffle count is accounted on the CPE.
+func TransposeBlock(c *CPE, blk []float64) {
+	if len(blk) < BlockDim*BlockDim {
+		panic("sw: TransposeBlock needs a 16-element block")
+	}
+	r0 := LoadVec4(blk, 0)
+	r1 := LoadVec4(blk, 4)
+	r2 := LoadVec4(blk, 8)
+	r3 := LoadVec4(blk, 12)
+	c0, c1, c2, c3, n := Transpose4x4(r0, r1, r2, r3)
+	c0.Store(blk, 0)
+	c1.Store(blk, 4)
+	c2.Store(blk, 8)
+	c3.Store(blk, 12)
+	c.CountShuffles(int64(n))
+}
+
+// RowTranspose performs the inter-CPE stage of the paper's two-level
+// transposition (§7.5, Figure 3 right) across the n CPEs of one mesh row.
+//
+// Each CPE col=i holds, in LDM, one block-row of an (n*4) x (n*4) matrix:
+// blocks[j] is the 4x4 row-major submatrix C[i][j]. On return CPE i holds
+// the block-row of the transposed matrix: blocks[j] = transpose(C[j][i]).
+//
+// The exchange runs in n-1 collision-free phases; in phase k CPE i swaps
+// its block i XOR k with CPE i XOR k, each block crossing the register
+// fabric as four Vec4 registers. The diagonal block and every received
+// block are transposed locally with TransposeBlock.
+//
+// n must be a power of two no larger than MeshDim so that i XOR k stays
+// inside the row (the paper uses the full 8).
+func RowTranspose(c *CPE, blocks [][]float64) {
+	n := len(blocks)
+	if n == 0 || n&(n-1) != 0 || n > MeshDim {
+		panic("sw: RowTranspose needs a power-of-two CPE count <= 8")
+	}
+	i := c.Col
+	if i >= n {
+		panic("sw: RowTranspose called on a CPE outside the active columns")
+	}
+	// Diagonal block transposes in place, no communication.
+	TransposeBlock(c, blocks[i])
+
+	for k := 1; k < n; k++ {
+		p := i ^ k
+		mine := blocks[p] // submatrix C[i][p], destined for CPE p
+		// Push my block to the partner as four registers, then pull the
+		// partner's block. The per-pair receive buffer holds exactly one
+		// block (4 registers), so the symmetric send-then-receive order
+		// cannot deadlock.
+		for r := 0; r < BlockDim; r++ {
+			c.RegSend(c.Row, p, LoadVec4(mine, r*BlockDim))
+		}
+		for r := 0; r < BlockDim; r++ {
+			v := c.RegRecv(c.Row, p)
+			v.Store(mine, r*BlockDim)
+		}
+		TransposeBlock(c, blocks[p])
+	}
+}
+
+// GatherBlocks copies an (n*4 x n*4) row-major matrix slice into per-CPE
+// 4x4 blocks for one block-row, and ScatterBlocks writes them back. They
+// bridge main-memory layout and the LDM block layout RowTranspose works
+// in; DMA traffic is accounted through the CPE's engine.
+func GatherBlocks(c *CPE, m []float64, dim, blockRow int, blocks [][]float64) {
+	for j := range blocks {
+		// Block (blockRow, j): rows blockRow*4..+3, cols j*4..+3.
+		c.DMA.GetStride(blocks[j],
+			m[blockRow*BlockDim*dim+j*BlockDim:],
+			BlockDim, dim, BlockDim)
+	}
+}
+
+// ScatterBlocks writes per-CPE blocks back into the row-major matrix m.
+func ScatterBlocks(c *CPE, m []float64, dim, blockRow int, blocks [][]float64) {
+	for j := range blocks {
+		c.DMA.PutStride(m[blockRow*BlockDim*dim+j*BlockDim:],
+			blocks[j], BlockDim, dim, BlockDim)
+	}
+}

@@ -1,0 +1,148 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransposeBlock(t *testing.T) {
+	cg := NewCoreGroup(0)
+	blk := make([]float64, 16)
+	for i := range blk {
+		blk[i] = float64(i)
+	}
+	cg.Spawn(func(c *CPE) {
+		if c.ID != 0 {
+			return
+		}
+		tile := c.LDM.MustAlloc("blk", 16)
+		copy(tile, blk)
+		TransposeBlock(c, tile)
+		copy(blk, tile)
+	})
+	for r := 0; r < 4; r++ {
+		for cc := 0; cc < 4; cc++ {
+			if blk[r*4+cc] != float64(cc*4+r) {
+				t.Fatalf("blk[%d,%d] = %v", r, cc, blk[r*4+cc])
+			}
+		}
+	}
+	sum, _ := cg.Counters()
+	if sum.Shuffles != 8 {
+		t.Fatalf("shuffles = %d, want 8", sum.Shuffles)
+	}
+}
+
+// TestRowTranspose runs the full two-level transposition of §7.5 on the
+// first row of the mesh: an NxN matrix (N = 8 CPEs x 4 lanes = 32)
+// distributed block-row per CPE, transposed via 7 collision-free exchange
+// phases plus intra-CPE shuffles, and verified against a serial transpose.
+func TestRowTranspose(t *testing.T) {
+	const nCPE = MeshDim
+	const dim = nCPE * BlockDim
+	m := make([]float64, dim*dim)
+	rng := rand.New(rand.NewSource(11))
+	for i := range m {
+		m[i] = rng.Float64()
+	}
+	orig := make([]float64, len(m))
+	copy(orig, m)
+
+	cg := NewCoreGroup(0)
+	cg.Spawn(func(c *CPE) {
+		if c.Row != 0 {
+			return // only the first mesh row participates
+		}
+		blocks := make([][]float64, nCPE)
+		for j := range blocks {
+			blocks[j] = c.LDM.MustAlloc("blk", BlockDim*BlockDim)
+		}
+		GatherBlocks(c, m, dim, c.Col, blocks)
+		RowTranspose(c, blocks)
+		ScatterBlocks(c, m, dim, c.Col, blocks)
+	})
+
+	for r := 0; r < dim; r++ {
+		for cc := 0; cc < dim; cc++ {
+			if m[r*dim+cc] != orig[cc*dim+r] {
+				t.Fatalf("m[%d,%d] = %v, want %v", r, cc, m[r*dim+cc], orig[cc*dim+r])
+			}
+		}
+	}
+}
+
+func TestRowTransposeSmallPowerOfTwo(t *testing.T) {
+	// 2 CPEs x 4 lanes = 8x8 matrix, exercising the n < MeshDim path.
+	const nCPE = 2
+	const dim = nCPE * BlockDim
+	m := make([]float64, dim*dim)
+	for i := range m {
+		m[i] = float64(i)
+	}
+	orig := make([]float64, len(m))
+	copy(orig, m)
+	cg := NewCoreGroup(0)
+	cg.Spawn(func(c *CPE) {
+		if c.Row != 0 || c.Col >= nCPE {
+			return
+		}
+		blocks := make([][]float64, nCPE)
+		for j := range blocks {
+			blocks[j] = c.LDM.MustAlloc("blk", BlockDim*BlockDim)
+		}
+		GatherBlocks(c, m, dim, c.Col, blocks)
+		RowTranspose(c, blocks)
+		ScatterBlocks(c, m, dim, c.Col, blocks)
+	})
+	for r := 0; r < dim; r++ {
+		for cc := 0; cc < dim; cc++ {
+			if m[r*dim+cc] != orig[cc*dim+r] {
+				t.Fatalf("m[%d,%d] = %v, want %v", r, cc, m[r*dim+cc], orig[cc*dim+r])
+			}
+		}
+	}
+}
+
+func TestRowTransposeRejectsNonPowerOfTwo(t *testing.T) {
+	cg := NewCoreGroup(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two CPE count did not panic")
+		}
+	}()
+	cg.Spawn(func(c *CPE) {
+		if c.Row != 0 || c.Col != 0 {
+			return
+		}
+		blocks := make([][]float64, 3)
+		for j := range blocks {
+			blocks[j] = c.LDM.MustAlloc("blk", 16)
+		}
+		RowTranspose(c, blocks)
+	})
+}
+
+// The exchange schedule must be collision-free: in phase k, the pairing
+// i <-> i XOR k is an involution, so every CPE has exactly one partner.
+func TestTransposeScheduleCollisionFree(t *testing.T) {
+	for n := 2; n <= MeshDim; n *= 2 {
+		for k := 1; k < n; k++ {
+			seen := make(map[int]int)
+			for i := 0; i < n; i++ {
+				p := i ^ k
+				if p == i {
+					t.Fatalf("n=%d phase %d: CPE %d paired with itself", n, k, i)
+				}
+				if q, ok := seen[p]; ok && q != i {
+					t.Fatalf("n=%d phase %d: collision at partner %d", n, k, p)
+				}
+				seen[i] = p
+			}
+			for i, p := range seen {
+				if seen[p] != i {
+					t.Fatalf("n=%d phase %d: pairing not symmetric", n, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package tc
+
+// BestTrackEntry is one 6-hourly fix of an observed tropical cyclone.
+type BestTrackEntry struct {
+	Hours   float64 // since 2005-08-23 18:00 UTC
+	LatDeg  float64 // degrees north
+	LonDeg  float64 // degrees east (Katrina: 360 - west longitude)
+	MSWkt   float64 // maximum sustained wind, knots
+	MinPhPa float64 // central pressure, hPa
+}
+
+// KatrinaBestTrack is the NHC best track of hurricane Katrina (Tropical
+// Cyclone Report, Knabb et al. 2005; values to best-track precision),
+// from tropical-depression formation at 1800 UTC 23 August 2005 through
+// the Ohio-valley decay at 1200 UTC 31 August — the observation series
+// behind Figure 9c (positions) and 9d (maximum sustained wind). This is
+// the "close-to-observation" reference the paper verifies against.
+var KatrinaBestTrack = []BestTrackEntry{
+	{0, 23.1, 360 - 75.1, 30, 1008},   // Aug 23 18Z, tropical depression
+	{6, 23.4, 360 - 75.7, 30, 1007},   // Aug 24 00Z
+	{12, 23.8, 360 - 76.2, 30, 1007},  // Aug 24 06Z
+	{18, 24.5, 360 - 76.5, 35, 1006},  // Aug 24 12Z, TS Katrina
+	{24, 25.4, 360 - 76.9, 40, 1003},  // Aug 24 18Z
+	{30, 26.0, 360 - 77.7, 45, 1000},  // Aug 25 00Z
+	{36, 26.1, 360 - 78.4, 50, 997},   // Aug 25 06Z
+	{42, 26.2, 360 - 79.0, 55, 994},   // Aug 25 12Z
+	{48, 26.2, 360 - 79.6, 60, 988},   // Aug 25 18Z
+	{54, 25.9, 360 - 80.3, 70, 983},   // Aug 26 00Z, hurricane, FL landfall
+	{60, 25.4, 360 - 81.3, 65, 987},   // Aug 26 06Z
+	{66, 25.1, 360 - 82.0, 75, 979},   // Aug 26 12Z
+	{72, 24.9, 360 - 82.6, 85, 968},   // Aug 26 18Z
+	{78, 24.6, 360 - 83.3, 90, 959},   // Aug 27 00Z
+	{84, 24.4, 360 - 84.0, 95, 950},   // Aug 27 06Z
+	{90, 24.4, 360 - 84.7, 100, 942},  // Aug 27 12Z
+	{96, 24.5, 360 - 85.3, 100, 948},  // Aug 27 18Z
+	{102, 24.8, 360 - 85.9, 100, 941}, // Aug 28 00Z
+	{108, 25.2, 360 - 86.7, 125, 930}, // Aug 28 06Z, category 4
+	{114, 25.7, 360 - 87.7, 145, 909}, // Aug 28 12Z, category 5
+	{120, 26.3, 360 - 88.6, 150, 902}, // Aug 28 18Z, peak intensity
+	{126, 27.2, 360 - 89.2, 140, 905}, // Aug 29 00Z
+	{132, 28.2, 360 - 89.6, 125, 913}, // Aug 29 06Z
+	{138, 29.5, 360 - 89.6, 110, 920}, // Aug 29 12Z, LA landfall
+	{144, 31.1, 360 - 89.6, 80, 948},  // Aug 29 18Z
+	{150, 32.6, 360 - 89.1, 50, 961},  // Aug 30 00Z
+	{156, 34.1, 360 - 88.6, 40, 978},  // Aug 30 06Z
+	{162, 35.6, 360 - 88.0, 30, 985},  // Aug 30 12Z
+	{168, 37.0, 360 - 87.0, 30, 990},  // Aug 30 18Z
+	{174, 38.6, 360 - 85.3, 25, 994},  // Aug 31 00Z
+	{180, 39.5, 360 - 84.2, 25, 996},  // Aug 31 06Z
+	{186, 40.1, 360 - 82.9, 25, 996},  // Aug 31 12Z, extratropical
+}
+
+// KatrinaPeak returns the peak observed intensity (knots) and the hour
+// it occurred.
+func KatrinaPeak() (kt, hours float64) {
+	for _, e := range KatrinaBestTrack {
+		if e.MSWkt > kt {
+			kt, hours = e.MSWkt, e.Hours
+		}
+	}
+	return kt, hours
+}
+
+// KatrinaAt linearly interpolates the best track to an arbitrary hour.
+func KatrinaAt(hours float64) BestTrackEntry {
+	bt := KatrinaBestTrack
+	if hours <= bt[0].Hours {
+		return bt[0]
+	}
+	for i := 1; i < len(bt); i++ {
+		if hours <= bt[i].Hours {
+			f := (hours - bt[i-1].Hours) / (bt[i].Hours - bt[i-1].Hours)
+			lerp := func(a, b float64) float64 { return a + f*(b-a) }
+			return BestTrackEntry{
+				Hours:   hours,
+				LatDeg:  lerp(bt[i-1].LatDeg, bt[i].LatDeg),
+				LonDeg:  lerp(bt[i-1].LonDeg, bt[i].LonDeg),
+				MSWkt:   lerp(bt[i-1].MSWkt, bt[i].MSWkt),
+				MinPhPa: lerp(bt[i-1].MinPhPa, bt[i].MinPhPa),
+			}
+		}
+	}
+	return bt[len(bt)-1]
+}

@@ -1,0 +1,322 @@
+package tc
+
+import (
+	"math"
+	"testing"
+
+	"swcam/internal/core"
+	"swcam/internal/dycore"
+	"swcam/internal/mesh"
+	"swcam/internal/physics"
+)
+
+func TestGradientWindProfile(t *testing.T) {
+	vp := KatrinaLikeVortex()
+	rho := 1.15
+	// Zero at the centre, positive in the core, decaying far away.
+	if v := vp.gradientWind(0.5, vp.LatC, rho); v != 0 {
+		t.Errorf("wind at centre = %v", v)
+	}
+	vmax, rmax := 0.0, 0.0
+	for r := 5e3; r < 1500e3; r += 5e3 {
+		v := vp.gradientWind(r, vp.LatC, rho)
+		if v < 0 {
+			t.Fatalf("negative gradient wind at r=%g", r)
+		}
+		if v > vmax {
+			vmax, rmax = v, r
+		}
+	}
+	// A 20 hPa depression over 200 km supports a tropical-storm-force
+	// vortex with a compact radius of maximum wind.
+	if vmax < 15 || vmax > 60 {
+		t.Errorf("peak gradient wind %v m/s, expected tropical-storm strength", vmax)
+	}
+	if rmax < 50e3 || rmax > 400e3 {
+		t.Errorf("radius of maximum wind %v km", rmax/1000)
+	}
+	far := vp.gradientWind(1500e3, vp.LatC, rho)
+	if far > 0.2*vmax {
+		t.Errorf("wind does not decay: %v at 1500 km vs peak %v", far, vmax)
+	}
+}
+
+func TestVortexInstallAndTrack(t *testing.T) {
+	cfg := dycore.DefaultConfig(8)
+	cfg.Nlev = 8
+	cfg.Qsize = 1
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitRest(st, 288)
+	vp := KatrinaLikeVortex()
+	vp.SteerU, vp.SteerV = 0, 0 // no background flow for this check
+	vp.Install(s, st)
+
+	// Surface pressure minimum near the prescribed centre and depth.
+	tr := NewTracker()
+	fix := tr.Locate(s, st, 0, nil)
+	if err := TrackError(fix, vp.LonC*180/math.Pi, vp.LatC*180/math.Pi); err > 600 {
+		t.Errorf("tracker missed the centre by %v km", err)
+	}
+	if fix.MinPs > vp.Background-0.3*vp.DeltaP {
+		t.Errorf("central pressure %v, expected a clear depression", fix.MinPs)
+	}
+	if fix.MSWms <= 2 {
+		t.Errorf("no vortex winds found: %v m/s", fix.MSWms)
+	}
+	// Mass must be consistent: total dry mass close to the background.
+	m := s.TotalMass(st)
+	ref := (vp.Background - dycore.PTop) * 4 * math.Pi
+	if rel := math.Abs(m-ref) / ref; rel > 0.02 {
+		t.Errorf("vortex state mass off by %v relative", rel)
+	}
+}
+
+func TestVortexSurvivesDynamics(t *testing.T) {
+	run, err := RunResolution(8, 8, 6, 3, KatrinaLikeVortex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Fixes) != 3 {
+		t.Fatalf("fixes = %d", len(run.Fixes))
+	}
+	last := run.Fixes[len(run.Fixes)-1]
+	if math.IsNaN(last.MSWms) || last.MSWms <= 0 {
+		t.Fatalf("vortex lost: %+v", last)
+	}
+	if last.MinPs > KatrinaLikeVortex().Background {
+		t.Errorf("depression vanished entirely")
+	}
+}
+
+// The Figure 9a/9b contrast: after a few hours of dynamics, the coarse
+// grid has diffused the Katrina-scale vortex away (its hyperviscosity
+// acts at the storm's own scale) while the finer grids retain it —
+// resolution controls whether the simulated storm exists at all.
+func TestResolutionControlsIntensity(t *testing.T) {
+	vp := KatrinaLikeVortex()
+	run := func(ne int) ResolutionRun {
+		t.Helper()
+		r, err := RunResolution(ne, 8, 24, 12, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	coarse := run(4) // ~750 km grid
+	fine := run(12)  // ~250 km grid
+	retC := coarse.FinalKt / coarse.InitialKt
+	retF := fine.FinalKt / fine.InitialKt
+	if retF <= retC {
+		t.Errorf("finer grid should retain the storm better: fine %.2f vs coarse %.2f", retF, retC)
+	}
+	if retC > 0.4 {
+		t.Errorf("coarse grid retained %.2f of the vortex; the Figure 9a claim is that it cannot", retC)
+	}
+	if retF < 0.5 {
+		t.Errorf("fine grid retained only %.2f of the vortex", retF)
+	}
+}
+
+func TestKatrinaBestTrackData(t *testing.T) {
+	bt := KatrinaBestTrack
+	if len(bt) != 32 {
+		t.Fatalf("best track entries = %d", len(bt))
+	}
+	for i := 1; i < len(bt); i++ {
+		if bt[i].Hours != bt[i-1].Hours+6 {
+			t.Fatalf("entry %d not 6-hourly", i)
+		}
+	}
+	kt, hours := KatrinaPeak()
+	if kt != 150 || hours != 120 {
+		t.Errorf("peak = %v kt at %v h, expected 150 kt at 120 h (Aug 28 18Z)", kt, hours)
+	}
+	// Pressure and wind are anti-correlated at peak.
+	for _, e := range bt {
+		if e.MSWkt == 150 && e.MinPhPa != 902 {
+			t.Errorf("902 hPa expected at peak, got %v", e.MinPhPa)
+		}
+	}
+	// Track: moves west across the Gulf, then north at landfall.
+	if !(bt[0].LonDeg > bt[20].LonDeg) {
+		t.Error("track should move west through hour 120")
+	}
+	if !(bt[31].LatDeg > bt[20].LatDeg+10) {
+		t.Error("track should turn sharply north after peak")
+	}
+}
+
+func TestKatrinaInterpolation(t *testing.T) {
+	// At a best-track time, interpolation returns the entry exactly.
+	e := KatrinaAt(120)
+	if e.MSWkt != 150 {
+		t.Errorf("KatrinaAt(120) = %v kt", e.MSWkt)
+	}
+	// Midway between 114 and 120: between 145 and 150.
+	m := KatrinaAt(117)
+	if m.MSWkt <= 145 || m.MSWkt >= 150 {
+		t.Errorf("interpolated wind %v outside (145, 150)", m.MSWkt)
+	}
+	// Clamped at the ends.
+	if KatrinaAt(-5).Hours != 0 || KatrinaAt(1e4).MSWkt != 25 {
+		t.Error("interpolation not clamped")
+	}
+}
+
+func TestMeanTrackErrorZeroOnPerfectTrack(t *testing.T) {
+	var fixes []Fix
+	var obs []BestTrackEntry
+	for _, e := range KatrinaBestTrack[:5] {
+		fixes = append(fixes, Fix{
+			Hours: e.Hours,
+			Lon:   e.LonDeg * math.Pi / 180,
+			Lat:   e.LatDeg * math.Pi / 180,
+		})
+		obs = append(obs, e)
+	}
+	if err := MeanTrackError(fixes, obs); err > 1e-9 {
+		t.Errorf("perfect track has error %v km", err)
+	}
+	// A 1-degree offset is ~111 km at the equator, less at 23N in lon.
+	fixes[0].Lat += math.Pi / 180
+	if err := MeanTrackError(fixes[:1], obs[:1]); math.Abs(err-111) > 3 {
+		t.Errorf("1-degree error = %v km, want ~111", err)
+	}
+}
+
+func TestGridSpacing(t *testing.T) {
+	if GridSpacingKM(30) != 100 {
+		t.Errorf("ne30 = %v km, the paper's 100 km", GridSpacingKM(30))
+	}
+	if GridSpacingKM(120) != 25 {
+		t.Errorf("ne120 = %v km, the paper's 25 km", GridSpacingKM(120))
+	}
+}
+
+func TestWarmCoreCriterion(t *testing.T) {
+	cfg := dycore.DefaultConfig(8)
+	cfg.Nlev = 8
+	cfg.Qsize = 0
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker()
+
+	// A proper warm-core vortex passes.
+	st := s.NewState()
+	s.InitRest(st, 288)
+	vp := KatrinaLikeVortex()
+	vp.SteerU, vp.SteerV = 0, 0
+	vp.Install(s, st)
+	fix := tr.Locate(s, st, 0, nil)
+	if !tr.WarmCore(s, st, fix) {
+		t.Error("installed warm-core vortex rejected")
+	}
+
+	// A cold-core low (same pressure depression, cold anomaly aloft)
+	// is rejected.
+	cold := s.NewState()
+	s.InitRest(cold, 288)
+	vp.Install(s, cold)
+	npsq := s.Cfg.Np * s.Cfg.Np
+	centre := lonLatToCart(vp.LonC, vp.LatC)
+	for ei, e := range s.Mesh.Elements {
+		for n := 0; n < npsq; n++ {
+			d := mesh.GreatCircleDist(centre, e.Pos[n]) * dycore.Rearth
+			if d < 800e3 {
+				for k := 0; k < s.Cfg.Nlev; k++ {
+					// Invert the thermal structure: cold aloft.
+					cold.T[ei][k*npsq+n] -= 8 * math.Exp(-d/400e3)
+				}
+			}
+		}
+	}
+	coldFix := tr.Locate(s, cold, 0, nil)
+	if tr.WarmCore(s, cold, coldFix) {
+		t.Error("cold-core low accepted as a tropical cyclone")
+	}
+}
+
+// Mechanism behind the Figure 9a dichotomy: at fixed resolution, the
+// storm's survival is controlled by the scale-selective dissipation —
+// multiplying the hyperviscosity coefficient accelerates the decay the
+// way coarsening the grid does (coarser grids carry larger nu AND larger
+// truncation error).
+func TestHypervisCoefficientControlsDecay(t *testing.T) {
+	vp := KatrinaLikeVortex()
+	retention := func(nuScale float64) float64 {
+		cfg := dycore.DefaultConfig(8)
+		cfg.Nlev = 8
+		cfg.Qsize = 0
+		cfg.NuV *= nuScale
+		cfg.NuS *= nuScale
+		s, err := dycore.NewSolver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.NewState()
+		s.InitRest(st, 288)
+		vp.Install(s, st)
+		tr := NewTracker()
+		first := tr.Locate(s, st, 0, nil)
+		for i := 0; i < 12; i++ {
+			s.Step(st)
+		}
+		last := tr.Locate(s, st, 1, &first)
+		return last.MSWms / first.MSWms
+	}
+	weak := retention(1)
+	strong := retention(8)
+	if strong >= weak {
+		t.Errorf("8x hyperviscosity should decay the vortex faster: %0.2f vs %0.2f", strong, weak)
+	}
+}
+
+// Full moist coupling at coarse resolution: the vortex rains and keeps
+// its warm core, but the grid cannot sustain it — maximum winds decay.
+// This is precisely the paper's coarse-grid result ("the ne30 test
+// failed to simulate hurricane Katrina", Figure 9a): tropical-cyclone
+// intensification requires <= 50 km grid spacing (paper §9, citing
+// Bengtsson et al.), far finer than any laptop-scale run here. The
+// resolution-retention contrast is established by
+// TestResolutionControlsIntensity; this test verifies the moist
+// machinery engages and the coarse-grid failure mode is the observed
+// one.
+func TestMoistCoarseGridFailsToIntensify(t *testing.T) {
+	cfg := core.DefaultConfig(8)
+	cfg.Dycore.Nlev = 8
+	cfg.Dycore.Qsize = 3
+	cfg.Physics = physics.Moist
+	cfg.PhysEvery = 2
+	cfg.SST = 303
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Solver.InitRest(m.State, 288)
+	vp := KatrinaLikeVortex()
+	vp.SteerU, vp.SteerV = 0, 0
+	vp.Install(m.Solver, m.State)
+
+	tr := NewTracker()
+	first := tr.Locate(m.Solver, m.State, 0, nil)
+	for i := 0; i < 24; i++ {
+		m.Step()
+	}
+	last := tr.Locate(m.Solver, m.State, m.SimHours(), &first)
+	if m.TotalPrecip <= 0 {
+		t.Error("moist vortex produced no precipitation")
+	}
+	if !tr.WarmCore(m.Solver, m.State, last) {
+		t.Error("vortex lost its warm core unphysically fast")
+	}
+	if last.MSWkt() >= first.MSWkt() {
+		t.Errorf("coarse grid should NOT intensify the storm: %0.1f -> %0.1f kt",
+			first.MSWkt(), last.MSWkt())
+	}
+}

@@ -1,0 +1,132 @@
+package tc
+
+import (
+	"math"
+
+	"swcam/internal/dycore"
+	"swcam/internal/mesh"
+)
+
+// Fix is one tracker position: the storm centre and intensity at one
+// time.
+type Fix struct {
+	Hours float64 // since initialization
+	Lon   float64 // radians
+	Lat   float64 // radians
+	MSWms float64 // maximum sustained wind within the search radius, m/s
+	MinPs float64 // minimum surface pressure, Pa
+}
+
+// MSWkt returns the maximum sustained wind in knots, Figure 9d's unit.
+func (f Fix) MSWkt() float64 { return f.MSWms * 1.9438 }
+
+// Tracker locates a warm-core cyclone in a model state by the standard
+// two-pass algorithm: find the surface-pressure minimum, then measure
+// the maximum wind within SearchRadius of it.
+type Tracker struct {
+	SearchRadius float64 // m, wind search radius around the pressure centre
+}
+
+// NewTracker returns a tracker with the NHC-style 500 km search radius.
+func NewTracker() *Tracker { return &Tracker{SearchRadius: 500e3} }
+
+// Locate finds the storm in the state, returning its fix at the given
+// forecast hour. The previous fix (may be nil) restricts the search to
+// 1000 km of the last position, preventing jumps to unrelated lows.
+func (tr *Tracker) Locate(s *dycore.Solver, st *dycore.State, hours float64, prev *Fix) Fix {
+	npsq := s.Cfg.Np * s.Cfg.Np
+	var prevPos mesh.Vec3
+	if prev != nil {
+		prevPos = lonLatToCart(prev.Lon, prev.Lat)
+	}
+
+	best := Fix{Hours: hours, MinPs: math.Inf(1)}
+	var bestPos mesh.Vec3
+	for ei, e := range s.Mesh.Elements {
+		for n := 0; n < npsq; n++ {
+			if prev != nil {
+				if mesh.GreatCircleDist(prevPos, e.Pos[n])*dycore.Rearth > 1000e3 {
+					continue
+				}
+			}
+			ps := st.SurfacePressure(ei, n)
+			if ps < best.MinPs {
+				best.MinPs = ps
+				best.Lon = e.Lon[n]
+				best.Lat = e.Lat[n]
+				bestPos = e.Pos[n]
+			}
+		}
+	}
+
+	// Maximum near-surface wind within the search radius (lowest level).
+	k := s.Cfg.Nlev - 1
+	for ei, e := range s.Mesh.Elements {
+		for n := 0; n < npsq; n++ {
+			if mesh.GreatCircleDist(bestPos, e.Pos[n])*dycore.Rearth > tr.SearchRadius {
+				continue
+			}
+			w := math.Hypot(st.U[ei][k*npsq+n], st.V[ei][k*npsq+n])
+			if w > best.MSWms {
+				best.MSWms = w
+			}
+		}
+	}
+	return best
+}
+
+// TrackError returns the great-circle distance (km) between a model fix
+// and an observed position.
+func TrackError(model Fix, obsLonDeg, obsLatDeg float64) float64 {
+	a := lonLatToCart(model.Lon, model.Lat)
+	b := lonLatToCart(obsLonDeg*math.Pi/180, obsLatDeg*math.Pi/180)
+	return mesh.GreatCircleDist(a, b) * dycore.Rearth / 1000
+}
+
+// MeanTrackError averages TrackError over paired fixes and observations
+// (matched by index).
+func MeanTrackError(fixes []Fix, obs []BestTrackEntry) float64 {
+	n := len(fixes)
+	if len(obs) < n {
+		n = len(obs)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += TrackError(fixes[i], obs[i].LonDeg, obs[i].LatDeg)
+	}
+	return sum / float64(n)
+}
+
+// WarmCore reports whether the fix has the warm-core signature of a
+// tropical cyclone: the mid-tropospheric temperature near the centre
+// exceeds the mean of an annulus at 3-6x the search radius around it.
+// Trackers use this criterion to reject extratropical and cold-core
+// lows (Zarzycki & Ullrich style).
+func (tr *Tracker) WarmCore(s *dycore.Solver, st *dycore.State, fix Fix) bool {
+	npsq := s.Cfg.Np * s.Cfg.Np
+	kMid := s.Cfg.Nlev * 2 / 5 // ~400 hPa for a standard distribution
+	centre := lonLatToCart(fix.Lon, fix.Lat)
+
+	var coreSum, coreW, envSum, envW float64
+	for ei, e := range s.Mesh.Elements {
+		for n := 0; n < npsq; n++ {
+			d := mesh.GreatCircleDist(centre, e.Pos[n]) * dycore.Rearth
+			tv := st.T[ei][kMid*npsq+n]
+			switch {
+			case d < tr.SearchRadius:
+				coreSum += tv * e.SphereMP[n]
+				coreW += e.SphereMP[n]
+			case d > 3*tr.SearchRadius && d < 6*tr.SearchRadius:
+				envSum += tv * e.SphereMP[n]
+				envW += e.SphereMP[n]
+			}
+		}
+	}
+	if coreW == 0 || envW == 0 {
+		return false
+	}
+	return coreSum/coreW > envSum/envW
+}

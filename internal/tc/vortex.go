@@ -1,0 +1,139 @@
+// Package tc provides the tropical-cyclone machinery of the paper's
+// hurricane-Katrina experiment (Figure 9): an analytic warm-core vortex
+// initialization in the style of Reed & Jablonowski (2011), a vortex
+// tracker (minimum surface pressure + maximum sustained wind), the
+// observed NHC best track of hurricane Katrina as verification data, and
+// the resolution-sensitivity experiment — the paper's central Figure 9
+// claim is that 25 km resolves the storm while 100 km cannot.
+package tc
+
+import (
+	"math"
+
+	"swcam/internal/dycore"
+	"swcam/internal/mesh"
+)
+
+// VortexParams describes the initial analytic cyclone.
+type VortexParams struct {
+	LonC, LatC float64 // centre, radians
+	DeltaP     float64 // central surface-pressure depression, Pa
+	RadiusP    float64 // pressure-profile radius, m
+	ZWidth     float64 // vertical decay scale of the warm core, in sigma
+	Background float64 // environmental surface pressure, Pa
+	SST        float64 // underlying sea-surface temperature, K
+	SteerU     float64 // uniform steering flow, m/s (zonal)
+	SteerV     float64 // meridional steering
+}
+
+// KatrinaLikeVortex returns parameters shaped on Katrina's genesis: a
+// weak tropical-storm vortex at Katrina's 23 Aug position with a
+// westward-then-northward steering current.
+func KatrinaLikeVortex() VortexParams {
+	return VortexParams{
+		LonC:       (360 - 75.1) * math.Pi / 180,
+		LatC:       23.1 * math.Pi / 180,
+		DeltaP:     2000,
+		RadiusP:    200e3,
+		ZWidth:     0.5,
+		Background: dycore.P0,
+		SST:        302,
+		SteerU:     -5.5,
+		SteerV:     1.0,
+	}
+}
+
+// gradientWind returns the gradient-wind-balanced tangential speed at
+// radius r (m) and latitude lat for the exponential pressure profile
+// p_s(r) = bg - dp * exp(-(r/rp)^1.5): solving v^2/r + f v = (1/rho)
+// dp/dr for the positive root.
+func (vp VortexParams) gradientWind(r, lat, rho float64) float64 {
+	if r < 1 {
+		return 0
+	}
+	x := math.Pow(r/vp.RadiusP, 1.5)
+	dpdr := vp.DeltaP * 1.5 * x / r * math.Exp(-x)
+	f := math.Abs(2 * dycore.Omega * math.Sin(lat))
+	// v = -fr/2 + sqrt((fr/2)^2 + r/rho dp/dr)
+	a := f * r / 2
+	return -a + math.Sqrt(a*a+r/rho*dpdr)
+}
+
+// Install writes the balanced vortex plus steering flow onto a rest
+// state: surface pressure depression through the layer thicknesses,
+// gradient-wind tangential flow decaying with height, a warm core, and a
+// moist envelope in tracer 0 (specific humidity x dp) if present.
+func (vp VortexParams) Install(s *dycore.Solver, st *dycore.State) {
+	npsq := s.Cfg.Np * s.Cfg.Np
+	nlev := s.Cfg.Nlev
+	center := mesh.CubeToSphere(0, 0, 0) // placeholder, replaced below
+	center = lonLatToCart(vp.LonC, vp.LatC)
+	dpRef := make([]float64, nlev)
+
+	for ei, e := range s.Mesh.Elements {
+		for n := 0; n < npsq; n++ {
+			p := e.Pos[n]
+			r := mesh.GreatCircleDist(center, p) * dycore.Rearth
+			x := math.Pow(r/vp.RadiusP, 1.5)
+			ps := vp.Background - vp.DeltaP*math.Exp(-x)
+			s.Hybrid.ReferenceDP(ps, dpRef)
+
+			// Tangential unit vector (cyclonic around the centre):
+			// k x (radial direction), projected on the local basis.
+			east, north := mesh.SphericalBasis(p)
+			toC := center.Sub(p.Scale(center.Dot(p))) // tangent-plane direction to centre
+			var tHatE, tHatN float64
+			if nrm := toC.Norm(); nrm > 1e-12 {
+				toC = toC.Scale(1 / nrm)
+				// Cyclonic (counter-clockwise in the N hemisphere):
+				// tangential = k x radial_outward = -(k x toC).
+				radE, radN := -toC.Dot(east), -toC.Dot(north)
+				tHatE, tHatN = -radN, radE
+				if vp.LatC < 0 {
+					tHatE, tHatN = radN, -radE
+				}
+			}
+
+			rho := ps / (dycore.Rd * vp.SST)
+			vt := vp.gradientWind(r, vp.LatC, rho)
+			for k := 0; k < nlev; k++ {
+				i := k*npsq + n
+				sig := (s.Hybrid.HyAM[k]*dycore.P0 + s.Hybrid.HyBM[k]*ps) / ps
+				vert := math.Exp(-(1 - sig) * (1 - sig) / (vp.ZWidth * vp.ZWidth))
+				st.U[ei][i] = vp.SteerU + vt*vert*tHatE
+				st.V[ei][i] = vp.SteerV + vt*vert*tHatN
+				st.DP[ei][i] = dpRef[k]
+				// Warm core: peak anomaly in the mid troposphere.
+				core := 3.0 * math.Exp(-x) * math.Exp(-(sig-0.4)*(sig-0.4)/0.08)
+				st.T[ei][i] = baseT(sig, vp.SST) + core
+			}
+			if s.Cfg.Qsize > 0 {
+				qdp := st.QdpAt(ei, 0)
+				for k := 0; k < nlev; k++ {
+					i := k*npsq + n
+					sig := (s.Hybrid.HyAM[k]*dycore.P0 + s.Hybrid.HyBM[k]*ps) / ps
+					qv := 0.018 * math.Exp(-(1-sig)/0.25) // moist marine layer
+					qdp[i] = qv * st.DP[ei][i]
+				}
+			}
+		}
+	}
+}
+
+// baseT is the environmental temperature profile at normalized pressure
+// sigma over an ocean with the given SST: a 6.5 K/km troposphere over an
+// isothermal stratosphere.
+func baseT(sig, sst float64) float64 {
+	height := -7500 * math.Log(math.Max(sig, 1e-6))
+	t := sst - 0.0065*height
+	if t < 200 {
+		t = 200
+	}
+	return t
+}
+
+// lonLatToCart converts spherical coordinates to a unit vector.
+func lonLatToCart(lon, lat float64) mesh.Vec3 {
+	cl := math.Cos(lat)
+	return mesh.Vec3{cl * math.Cos(lon), cl * math.Sin(lon), math.Sin(lat)}
+}
