@@ -20,6 +20,7 @@ import (
 	"swcam/internal/core"
 	"swcam/internal/dycore"
 	"swcam/internal/exec"
+	"swcam/internal/mpirt"
 	"swcam/internal/physics"
 )
 
@@ -34,11 +35,17 @@ func main() {
 	restart := flag.String("restart", "", "resume from a checkpoint file")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint file at the end")
 	history := flag.String("history", "", "write lat-lon history frames to this file")
+	faults := flag.String("faults", "", "fault-injection spec for -parallel, comma-separated: kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED")
+	ckEvery := flag.Int("checkpoint-every", 0, "with -parallel: checkpoint every N steps and auto-recover from faults (0 = no supervision)")
 	flag.Parse()
 
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint)
 		return
+	}
+	if *faults != "" || *ckEvery > 0 {
+		fmt.Fprintln(os.Stderr, "camsw: -faults and -checkpoint-every require -parallel")
+		os.Exit(2)
 	}
 
 	cfg := core.DefaultConfig(*ne)
@@ -155,7 +162,7 @@ func moisten(m *core.Model) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName string) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -187,10 +194,47 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName str
 	if steps < 1 {
 		steps = 1
 	}
+	if faultSpec != "" {
+		// A rank performs on the order of 40 communication ops per step;
+		// chaos:N@SEED events are spread over that estimated span.
+		plan, err := mpirt.ParseFaultPlan(faultSpec, nranks, int64(steps)*40)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camsw:", err)
+			os.Exit(2)
+		}
+		job.Faults = plan
+		job.RecvTimeout = 2 * time.Second // so dropped messages are detected
+		job.CheckEvery = 1                // blowup watchdog every step
+	}
 	fmt.Printf("camsw: distributed dynamics, %d ranks, %v backend, %d steps\n",
 		nranks, backend, steps)
 	start := time.Now()
-	stats := job.Run(local, steps)
+	var stats core.RunStats
+	if ckEvery > 0 {
+		rj := core.NewResilientJob(job)
+		rj.CheckpointEvery = ckEvery
+		rj.MaxRetries = 10
+		rj.DiskPath = ckPath
+		rj.OnEvent = func(e core.RecoveryEvent) {
+			if e.Kind != "checkpoint" {
+				fmt.Printf("  recovery: %v\n", e)
+			}
+		}
+		rs, err := rj.Run(local, steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camsw:", err)
+			os.Exit(1)
+		}
+		stats = rs.Run
+		fmt.Printf("  resilience: %d checkpoints, %d rollbacks\n", rs.Checkpoints, rs.Rollbacks)
+	} else {
+		stats, err = job.RunChecked(local, steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camsw:", err)
+			fmt.Fprintln(os.Stderr, "camsw: (use -checkpoint-every N to recover from faults automatically)")
+			os.Exit(1)
+		}
+	}
 	wall := time.Since(start).Seconds()
 	got := job.Gather(local)
 	fmt.Printf("  maxwind %.1f m/s, mass %.6e\n", s.MaxWind(got), s.TotalMass(got))

@@ -3,7 +3,10 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -15,11 +18,28 @@ import (
 // The format is a fixed little-endian header plus the raw field arrays,
 // exactly restorable (bit-for-bit restart, the climate-model
 // requirement).
+//
+// Version history:
+//   - v1: header + fields.
+//   - v2: header + fields + CRC32-C of all field bytes, so a truncated
+//     or bit-flipped restart file is rejected instead of silently
+//     seeding a run with corrupt initial conditions. v1 files are still
+//     readable (no payload verification possible).
+//
+// SaveCheckpoint additionally fsyncs before the atomic rename: a crash
+// between rename and writeback must not leave a valid-looking name on
+// top of unwritten data.
 
 const (
 	checkpointMagic   = 0x53574341 // "SWCA"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
+
+// ErrChecksum reports a v2 checkpoint whose payload does not match its
+// stored CRC (torn write, bit rot, truncated-then-padded file).
+var ErrChecksum = errors.New("core: checkpoint payload checksum mismatch")
+
+var checkpointCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 type checkpointHeader struct {
 	Magic   uint32
@@ -31,7 +51,12 @@ type checkpointHeader struct {
 	Step    int64
 }
 
-// WriteCheckpoint serializes a state (and the step counter) to w.
+func stateFields(st *dycore.State) [][][]float64 {
+	return [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis}
+}
+
+// WriteCheckpoint serializes a state (and the step counter) to w in the
+// current (v2, CRC-trailed) format.
 func WriteCheckpoint(w io.Writer, st *dycore.State, step int) error {
 	bw := bufio.NewWriter(w)
 	h := checkpointHeader{
@@ -42,18 +67,25 @@ func WriteCheckpoint(w io.Writer, st *dycore.State, step int) error {
 	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
 		return fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	for _, field := range [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis} {
+	crc := crc32.New(checkpointCRCTable)
+	body := io.MultiWriter(bw, crc)
+	for _, field := range stateFields(st) {
 		for _, e := range field {
-			if err := binary.Write(bw, binary.LittleEndian, e); err != nil {
+			if err := binary.Write(body, binary.LittleEndian, e); err != nil {
 				return fmt.Errorf("core: checkpoint field: %w", err)
 			}
 		}
 	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("core: checkpoint crc: %w", err)
+	}
 	return bw.Flush()
 }
 
-// ReadCheckpoint restores a state written by WriteCheckpoint; the
-// returned step lets the caller resume the remap cadence.
+// ReadCheckpoint restores a state written by WriteCheckpoint (v2) or by
+// the v1 writer of earlier releases; the returned step lets the caller
+// resume the remap cadence. A v2 payload that fails its CRC is rejected
+// with ErrChecksum.
 func ReadCheckpoint(r io.Reader) (*dycore.State, int, error) {
 	br := bufio.NewReader(r)
 	var h checkpointHeader
@@ -63,7 +95,7 @@ func ReadCheckpoint(r io.Reader) (*dycore.State, int, error) {
 	if h.Magic != checkpointMagic {
 		return nil, 0, fmt.Errorf("core: not a checkpoint (magic %#x)", h.Magic)
 	}
-	if h.Version != checkpointVersion {
+	if h.Version < 1 || h.Version > checkpointVersion {
 		return nil, 0, fmt.Errorf("core: checkpoint version %d unsupported", h.Version)
 	}
 	// Bound every dimension before allocating: a corrupt or hostile
@@ -80,17 +112,34 @@ func ReadCheckpoint(r io.Reader) (*dycore.State, int, error) {
 		return nil, 0, fmt.Errorf("core: checkpoint too large (%d values)", vals)
 	}
 	st := dycore.NewState(int(h.NElem), int(h.Np), int(h.Nlev), int(h.Qsize))
-	for _, field := range [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis} {
+	var crc hash.Hash32
+	var body io.Reader = br
+	if h.Version >= 2 {
+		crc = crc32.New(checkpointCRCTable)
+		body = io.TeeReader(br, crc)
+	}
+	for _, field := range stateFields(st) {
 		for _, e := range field {
-			if err := binary.Read(br, binary.LittleEndian, e); err != nil {
+			if err := binary.Read(body, binary.LittleEndian, e); err != nil {
 				return nil, 0, fmt.Errorf("core: checkpoint field: %w", err)
 			}
+		}
+	}
+	if crc != nil {
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint crc: %w", err)
+		}
+		if got := crc.Sum32(); got != want {
+			return nil, 0, fmt.Errorf("%w: stored %#x, computed %#x", ErrChecksum, want, got)
 		}
 	}
 	return st, int(h.Step), nil
 }
 
-// SaveCheckpoint writes the state to a file (atomic via rename).
+// SaveCheckpoint writes the state to a file, durably: the temp file is
+// fsynced before the atomic rename so a crash leaves either the old
+// complete file or the new complete file, never a torn one.
 func SaveCheckpoint(path string, st *dycore.State, step int) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -98,6 +147,11 @@ func SaveCheckpoint(path string, st *dycore.State, step int) error {
 		return err
 	}
 	if err := WriteCheckpoint(f, st, step); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

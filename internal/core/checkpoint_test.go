@@ -2,6 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -83,6 +87,106 @@ func TestCheckpointRestartBitExact(t *testing.T) {
 	}
 	if d := restored.MaxAbsDiff(ref); d != 0 {
 		t.Errorf("restart not bit-exact: diff %g", d)
+	}
+}
+
+// writeCheckpointV1 emits the legacy (pre-CRC) format, as earlier
+// releases did, to pin backward compatibility.
+func writeCheckpointV1(w io.Writer, st *dycore.State, step int) error {
+	h := struct {
+		Magic, Version                uint32
+		NElem, Np, Nlev, Qsize, Step int64
+	}{0x53574341, 1, int64(st.NElem()), int64(st.Np), int64(st.Nlev), int64(st.Qsize), int64(step)}
+	if err := binary.Write(w, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	for _, field := range [][][]float64{st.U, st.V, st.T, st.DP, st.Qdp, st.Phis} {
+		for _, e := range field {
+			if err := binary.Write(w, binary.LittleEndian, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Version-1 files (no payload CRC) must stay readable bit-for-bit.
+func TestCheckpointReadsVersion1(t *testing.T) {
+	cfg := testDycoreCfg(2, 4, 1)
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	var buf bytes.Buffer
+	if err := writeCheckpointV1(&buf, st, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, step, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if step != 5 {
+		t.Errorf("step = %d", step)
+	}
+	if d := got.MaxAbsDiff(st); d != 0 {
+		t.Errorf("v1 round trip not bit-exact: %g", d)
+	}
+}
+
+// A single flipped bit anywhere in a v2 body must be caught by the CRC,
+// and a truncated v2 body must fail cleanly.
+func TestCheckpointV2DetectsCorruption(t *testing.T) {
+	st := dycore.NewState(2, 4, 4, 1)
+	st.U[0][0] = 1.5
+	st.T[1][7] = 280
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, st, 3); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	const headerLen = 8 + 5*8
+	for _, off := range []int{headerLen, headerLen + 100, len(valid) - 5} {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[off] ^= 0x10
+		_, _, err := ReadCheckpoint(bytes.NewReader(corrupt))
+		if !errors.Is(err, ErrChecksum) {
+			t.Errorf("bit flip at %d gave %v, want ErrChecksum", off, err)
+		}
+	}
+	// Flipping the stored CRC itself is also a checksum mismatch.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(valid)-1] ^= 0xFF
+	if _, _, err := ReadCheckpoint(bytes.NewReader(corrupt)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped CRC gave %v, want ErrChecksum", err)
+	}
+	// Truncations: mid-body and mid-CRC.
+	for _, n := range []int{len(valid) / 2, len(valid) - 2} {
+		if _, _, err := ReadCheckpoint(bytes.NewReader(valid[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestSaveCheckpointDurable(t *testing.T) {
+	st := dycore.NewState(2, 4, 4, 0)
+	st.DP[0][0] = 1000
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := SaveCheckpoint(path, st, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file must not survive the atomic rename.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+	got, _, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DP[0][0] != 1000 {
+		t.Error("state not restored")
 	}
 }
 

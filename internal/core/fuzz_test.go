@@ -16,13 +16,24 @@ func FuzzReadCheckpoint(f *testing.F) {
 	if err := WriteCheckpoint(&buf, st, 3); err != nil {
 		f.Fatal(err)
 	}
-	valid := buf.Bytes()
+	valid := buf.Bytes() // v2: header + fields + CRC
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)/2])     // truncated v2 body
+	f.Add(valid[:len(valid)-2])     // truncated mid-CRC
 	f.Add([]byte("garbage"))
 	corrupted := append([]byte(nil), valid...)
 	corrupted[4] ^= 0xFF // dims
 	f.Add(corrupted)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01 // bit-flipped v2 field data
+	f.Add(flipped)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0xFF // bit-flipped stored CRC
+	f.Add(badCRC)
+	v1 := valid[:len(valid)-4] // strip the CRC trailer...
+	v1 = append([]byte(nil), v1...)
+	v1[4] = 1 // ...and claim version 1: a legacy file, must parse
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Guard against absurd allocations: the header's dims are

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"swcam/internal/dycore"
 	"swcam/internal/exec"
@@ -9,6 +11,11 @@ import (
 	"swcam/internal/mesh"
 	"swcam/internal/mpirt"
 )
+
+// ErrBlowup is wrapped by the blowup watchdog when the allreduced state
+// check fails on any rank: every rank agrees to abort together, and the
+// supervisor (ResilientJob) rolls back to the last checkpoint.
+var ErrBlowup = errors.New("core: numerical blowup detected by watchdog")
 
 // ParallelJob is the distributed dycore driver: the mesh partitioned
 // over nranks processes (one simulated core group each), every rank
@@ -27,6 +34,12 @@ type ParallelJob struct {
 	RankOf []int
 	Plans  []*halo.Plan
 	engs   []*exec.Engine
+
+	// Resilience knobs (zero values = the historical fault-free setup).
+	Faults      *mpirt.FaultPlan // injected faults, threaded through every world
+	RecvTimeout time.Duration    // receive deadline; makes lost messages ErrTimeout
+	CheckEvery  int              // run the blowup watchdog every N steps (0 = off)
+	MaxWind     float64          // CFL wind guard for the watchdog; 0 = Cfg.CFLMaxWind(0.9)
 
 	steps int
 }
@@ -97,21 +110,46 @@ type RunStats struct {
 	Steps int
 }
 
-// dssFields exchanges a set of level-major fields on one rank.
+// dssFields exchanges a set of level-major fields on one rank. A
+// detected transport fault (corruption, loss, aborted world) unwinds the
+// rank via mpirt.Fail rather than threading an error through every
+// frame of the timestep; World.Run converts it back into an error.
 func (j *ParallelJob) dssFields(c *mpirt.Comm, r int, st *halo.Stats, levels int, fields ...[][]float64) {
 	lay := halo.LevelMajor(levels, j.Cfg.Np*j.Cfg.Np)
+	var s halo.Stats
+	var err error
 	if j.Overlap {
-		st.Add(j.Plans[r].DSSOverlap(c, lay, nil, fields...))
+		s, err = j.Plans[r].DSSOverlap(c, lay, nil, fields...)
 	} else {
-		st.Add(j.Plans[r].DSSOriginal(c, lay, fields...))
+		s, err = j.Plans[r].DSSOriginal(c, lay, fields...)
 	}
+	if err != nil {
+		mpirt.Fail(err)
+	}
+	st.Add(s)
 }
 
 // Run advances the per-rank states n dynamics steps, mirroring the
 // serial Solver.Step sequence exactly: SSP-RK2 dynamics, two-pass
 // hyperviscosity with a global mass fixer, SSP-RK2 tracers with the
-// positivity limiter, and the periodic vertical remap.
+// positivity limiter, and the periodic vertical remap. A faulted world
+// panics; fault-tolerant callers use RunChecked (or the ResilientJob
+// supervisor, which adds checkpoints and rollback).
 func (j *ParallelJob) Run(local []*dycore.State, n int) RunStats {
+	stats, err := j.RunChecked(local, n)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// RunChecked is Run with failure semantics: if any rank faults (injected
+// kill, detected corruption, lost message, blowup watchdog, panic), it
+// returns the error from World.Run naming the faulty rank. On error the
+// step counter is NOT advanced and the local states are in an undefined,
+// partially-stepped condition — the caller must restore them from a
+// checkpoint before retrying.
+func (j *ParallelJob) RunChecked(local []*dycore.State, n int) (RunStats, error) {
 	if len(local) != j.NRanks {
 		panic(fmt.Sprintf("core: %d local states for %d ranks", len(local), j.NRanks))
 	}
@@ -119,19 +157,58 @@ func (j *ParallelJob) Run(local []*dycore.State, n int) RunStats {
 	stats.Cost.Backend = j.Backend
 	perRank := make([]RunStats, j.NRanks)
 	w := mpirt.NewWorld(j.NRanks)
-	w.Run(func(c *mpirt.Comm) {
+	if j.Faults != nil {
+		w.SetFaults(j.Faults)
+	}
+	if j.RecvTimeout > 0 {
+		w.SetRecvTimeout(j.RecvTimeout)
+	}
+	err := w.Run(func(c *mpirt.Comm) {
 		r := c.Rank()
 		for step := 0; step < n; step++ {
 			j.stepRank(c, r, local[r], &perRank[r], j.steps+step+1)
 		}
 	})
-	j.steps += n
 	for r := range perRank {
 		stats.Halo.Add(perRank[r].Halo)
 		stats.Cost.Add(perRank[r].Cost)
 	}
+	if err != nil {
+		return stats, err
+	}
+	j.steps += n
 	stats.Steps = j.steps
-	return stats
+	return stats, nil
+}
+
+// StepCount returns the number of dynamics steps completed so far.
+func (j *ParallelJob) StepCount() int { return j.steps }
+
+// SetStepCount rewinds (or fast-forwards) the step counter — the restart
+// hook: after loading a checkpoint taken at step s, SetStepCount(s)
+// resumes the remap and watchdog cadence exactly.
+func (j *ParallelJob) SetStepCount(s int) { j.steps = s }
+
+// checkState runs the blowup watchdog on one rank and allreduces the
+// verdict so every rank agrees to abort together (the collective is a
+// max over per-rank failure flags, so it cannot change the trajectory of
+// a healthy run).
+func (j *ParallelJob) checkState(c *mpirt.Comm, st *dycore.State) {
+	maxWind := j.MaxWind
+	if maxWind == 0 {
+		maxWind = j.Cfg.CFLMaxWind(0.9)
+	}
+	err := st.Check(maxWind)
+	bad := 0.0
+	if err != nil {
+		bad = 1
+	}
+	if c.AllreduceScalar(mpirt.OpMax, bad) > 0 {
+		if err != nil {
+			mpirt.Fail(fmt.Errorf("%w: %w", ErrBlowup, err))
+		}
+		mpirt.Fail(fmt.Errorf("%w (on a peer rank)", ErrBlowup))
+	}
 }
 
 func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunStats, stepNo int) {
@@ -210,6 +287,11 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	// --- Vertical remap every RemapFreq steps (column-local). ---
 	if stepNo%cfg.RemapFreq == 0 {
 		rs.Cost.Add(en.VerticalRemap(j.Backend, j.Hybrid, st))
+	}
+
+	// --- Blowup watchdog at the configured cadence. ---
+	if j.CheckEvery > 0 && stepNo%j.CheckEvery == 0 {
+		j.checkState(c, st)
 	}
 }
 

@@ -1,0 +1,70 @@
+package dycore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is wrapped by every State.Check failure: a numerical
+// blowup (NaN/Inf, collapsed layer, CFL-violating wind) that the
+// watchdog must catch before it propagates through a DSS exchange into
+// every rank's fields.
+var ErrUnstable = errors.New("dycore: state unstable")
+
+// Check scans the prognostic fields for the signatures of a blowup:
+// non-finite values anywhere, non-positive layer thickness or
+// temperature, and horizontal wind speed above maxWind (the CFL guard —
+// pass the largest speed the configured dt and grid spacing admit;
+// maxWind <= 0 disables the wind test). It returns nil for a healthy
+// state and an ErrUnstable-wrapped error naming the first offending
+// field, element, and index otherwise. Check never modifies the state,
+// so running it at any cadence cannot change a run's trajectory.
+func (s *State) Check(maxWind float64) error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	maxW2 := maxWind * maxWind
+	for ei := range s.U {
+		for i, u := range s.U[ei] {
+			v := s.V[ei][i]
+			if !finite(u) || !finite(v) {
+				return fmt.Errorf("%w: non-finite wind (%g, %g) at elem %d idx %d", ErrUnstable, u, v, ei, i)
+			}
+			if maxWind > 0 && u*u+v*v > maxW2 {
+				return fmt.Errorf("%w: wind speed %.1f m/s exceeds CFL guard %.1f m/s at elem %d idx %d",
+					ErrUnstable, math.Sqrt(u*u+v*v), maxWind, ei, i)
+			}
+		}
+		for i, tv := range s.T[ei] {
+			if !finite(tv) || tv <= 0 {
+				return fmt.Errorf("%w: temperature %g K at elem %d idx %d", ErrUnstable, tv, ei, i)
+			}
+		}
+		for i, dp := range s.DP[ei] {
+			if !finite(dp) || dp <= 0 {
+				return fmt.Errorf("%w: layer thickness %g Pa at elem %d idx %d", ErrUnstable, dp, ei, i)
+			}
+		}
+		for i, q := range s.Qdp[ei] {
+			if !finite(q) {
+				return fmt.Errorf("%w: non-finite tracer mass at elem %d idx %d", ErrUnstable, ei, i)
+			}
+		}
+		for i, p := range s.Phis[ei] {
+			if !finite(p) {
+				return fmt.Errorf("%w: non-finite surface geopotential at elem %d idx %d", ErrUnstable, ei, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CFLMaxWind returns the advective-CFL wind bound for a configuration:
+// the speed at which a signal crosses one GLL node spacing per timestep,
+// scaled by the safety factor (use < 1). It is the natural maxWind
+// argument for State.Check.
+func (c Config) CFLMaxWind(safety float64) float64 {
+	// Mean node spacing: quarter of the sphere's circumference spans
+	// ne*(np-1) GLL intervals along a cube edge.
+	dx := (math.Pi / 2) * Rearth / float64(c.Ne*(c.Np-1))
+	return safety * dx / c.Dt
+}

@@ -1,0 +1,90 @@
+package dycore
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func healthyState(t *testing.T) (*Solver, *State) {
+	t.Helper()
+	cfg := DefaultConfig(2)
+	cfg.Nlev = 4
+	cfg.Qsize = 1
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitBaroclinicWave(st)
+	return s, st
+}
+
+func TestCheckAcceptsHealthyState(t *testing.T) {
+	_, st := healthyState(t)
+	if err := st.Check(500); err != nil {
+		t.Fatalf("healthy state rejected: %v", err)
+	}
+	if err := st.Check(0); err != nil { // wind guard disabled
+		t.Fatalf("healthy state rejected with guard off: %v", err)
+	}
+}
+
+func TestCheckDetectsBlowups(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(st *State)
+	}{
+		{"nan wind", func(st *State) { st.U[1][3] = math.NaN() }},
+		{"inf wind", func(st *State) { st.V[0][0] = math.Inf(1) }},
+		{"cfl wind", func(st *State) { st.U[2][5] = 1e4 }},
+		{"nan temperature", func(st *State) { st.T[0][7] = math.NaN() }},
+		{"negative temperature", func(st *State) { st.T[3][2] = -5 }},
+		{"nan dp", func(st *State) { st.DP[1][1] = math.NaN() }},
+		{"negative dp", func(st *State) { st.DP[0][4] = -1 }},
+		{"zero dp", func(st *State) { st.DP[0][4] = 0 }},
+		{"nan tracer", func(st *State) { st.Qdp[2][0] = math.NaN() }},
+		{"inf phis", func(st *State) { st.Phis[0][0] = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, st := healthyState(t)
+			tc.mutate(st)
+			err := st.Check(500)
+			if !errors.Is(err, ErrUnstable) {
+				t.Fatalf("blowup undetected: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckDoesNotModifyState(t *testing.T) {
+	_, st := healthyState(t)
+	before := st.Clone()
+	_ = st.Check(500)
+	st.U[0][0] = math.NaN()
+	_ = st.Check(500)
+	st.U[0][0] = before.U[0][0]
+	if d := st.MaxAbsDiff(before); d != 0 {
+		t.Fatalf("Check modified the state by %g", d)
+	}
+}
+
+func TestCFLMaxWind(t *testing.T) {
+	cfg := DefaultConfig(4)
+	w := cfg.CFLMaxWind(0.8)
+	if w <= 0 || math.IsNaN(w) {
+		t.Fatalf("CFL bound %g", w)
+	}
+	// Halving dt doubles the admissible speed.
+	cfg2 := cfg
+	cfg2.Dt = cfg.Dt / 2
+	if w2 := cfg2.CFLMaxWind(0.8); math.Abs(w2-2*w) > 1e-9*w {
+		t.Fatalf("CFL bound does not scale with 1/dt: %g vs %g", w2, w)
+	}
+	// The default configuration's baroclinic-wave winds (tens of m/s)
+	// must sit far inside the guard, or the watchdog would false-alarm.
+	if w < 100 {
+		t.Fatalf("CFL guard %g m/s would false-alarm on ordinary flows", w)
+	}
+}

@@ -1,6 +1,8 @@
 package halo
 
 import (
+	"fmt"
+
 	"swcam/internal/mpirt"
 )
 
@@ -121,11 +123,16 @@ func (p *Plan) accumulateNeighbor(nb *Neighbor, scratch, buf []float64, stride, 
 // removes). fields are per-element nodal arrays with `stride` values per
 // GLL node; every field is exchanged in one message per neighbour, as the
 // real code packs multiple tracers/levels together.
-func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) Stats {
+//
+// A detected transport fault (CRC mismatch, receive timeout, aborted
+// world) is returned as an error naming the neighbour; the fields have
+// not been scattered into, so the caller sees either a completed DSS or
+// its pre-exchange values — never a partially-averaged mixture.
+func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (Stats, error) {
 	var st Stats
 	nf := len(fields)
 	if nf == 0 {
-		return st
+		return st, nil
 	}
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
@@ -149,7 +156,9 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) Sta
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
 		recv := make([]float64, msgLen(nb))
-		c.Recv(nb.Rank, tagDSS, recv)
+		if err := c.RecvErr(nb.Rank, tagDSS, recv); err != nil {
+			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", nb.Rank, err)
+		}
 		// The original design forwards receive-buffer data through the
 		// unified pack buffer before it reaches the elements: model that
 		// staging copy explicitly so its cost is measurable.
@@ -160,7 +169,7 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) Sta
 		st.UnpackBytes += int64(len(recv) * 8)
 	}
 	p.scatter(scratch, lay, nf, false, false, fields...)
-	return st
+	return st, nil
 }
 
 // DSSOverlap performs the redesigned exchange of §7.6. The caller must
@@ -169,14 +178,19 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) Sta
 // partials are in flight. Received partials are accumulated directly from
 // the receive buffers (no staging copy). computeInner may be nil when
 // there is nothing to overlap.
-func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields ...[][]float64) Stats {
+//
+// A detected transport fault is returned as an error naming the
+// neighbour. Unlike DSSOriginal, local groups may already have been
+// resolved by then (that is the overlap), so on error the fields must be
+// treated as unusable and the step rolled back or the world aborted.
+func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields ...[][]float64) (Stats, error) {
 	var st Stats
 	nf := len(fields)
 	if nf == 0 {
 		if computeInner != nil {
 			computeInner()
 		}
-		return st
+		return st, nil
 	}
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
@@ -215,10 +229,12 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 	// Drain receives straight into the partial sums — the direct
 	// receive-buffer unpack that removes the staging copy.
 	for i := range p.Neighbors {
-		recvReqs[i].Wait()
+		if err := recvReqs[i].WaitErr(); err != nil {
+			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", p.Neighbors[i].Rank, err)
+		}
 		p.accumulateNeighbor(&p.Neighbors[i], scratch, recvBufs[i], stride, nf)
 		st.UnpackBytes += int64(len(recvBufs[i]) * 8)
 	}
 	p.scatter(scratch, lay, nf, true, false, fields...)
-	return st
+	return st, nil
 }

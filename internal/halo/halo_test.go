@@ -221,9 +221,9 @@ func TestStagingBytesOnlyInOriginal(t *testing.T) {
 	statsA := make([]Stats, nranks)
 	statsB := make([]Stats, nranks)
 	w := mpirt.NewWorld(nranks)
-	w.Run(func(c *mpirt.Comm) { statsA[c.Rank()] = plans[c.Rank()].DSSOriginal(c, NodeMajor(2), a[c.Rank()]) })
+	w.Run(func(c *mpirt.Comm) { statsA[c.Rank()], _ = plans[c.Rank()].DSSOriginal(c, NodeMajor(2), a[c.Rank()]) })
 	w2 := mpirt.NewWorld(nranks)
-	w2.Run(func(c *mpirt.Comm) { statsB[c.Rank()] = plans[c.Rank()].DSSOverlap(c, NodeMajor(2), nil, b[c.Rank()]) })
+	w2.Run(func(c *mpirt.Comm) { statsB[c.Rank()], _ = plans[c.Rank()].DSSOverlap(c, NodeMajor(2), nil, b[c.Rank()]) })
 	for r := 0; r < nranks; r++ {
 		if statsA[r].StagingBytes == 0 {
 			t.Errorf("rank %d: original exchange has no staging copies", r)
@@ -310,7 +310,7 @@ func TestSingleRankNoTraffic(t *testing.T) {
 	field := makeField(m, 1, 9)
 	w := mpirt.NewWorld(1)
 	w.Run(func(c *mpirt.Comm) {
-		st := p.DSSOriginal(c, NodeMajor(1), field)
+		st, _ := p.DSSOriginal(c, NodeMajor(1), field)
 		if st.WireBytes != 0 || st.Msgs != 0 {
 			t.Errorf("single-rank DSS sent traffic: %+v", st)
 		}

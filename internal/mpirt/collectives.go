@@ -17,24 +17,40 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+// wait blocks until every rank has entered the barrier, or until the
+// world is poisoned — a barrier must never outlive its world, or a
+// single dead rank would strand every peer in it.
+func (b *barrier) wait(w *World) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if w.aborted.Load() {
+		return ErrWorldAborted
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.phase++
 		b.cond.Broadcast()
-		return
+		return nil
 	}
 	for phase == b.phase {
 		b.cond.Wait()
+		if w.aborted.Load() && phase == b.phase {
+			return ErrWorldAborted
+		}
 	}
+	return nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.world.barrier.wait() }
+// Barrier blocks until every rank has entered it. In a poisoned world it
+// unwinds the rank with ErrWorldAborted instead of waiting forever.
+func (c *Comm) Barrier() {
+	c.faultPoint(false)
+	if err := c.world.barrier.wait(c.world); err != nil {
+		fail(err)
+	}
+}
 
 // ReduceOp combines two values during reductions.
 type ReduceOp func(a, b float64) float64

@@ -1,0 +1,66 @@
+package mpirt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure modes of the runtime. Every blocking primitive either
+// succeeds, returns (or raises) one of these, or returns an error
+// wrapping one of these — a lost or mangled message is a diagnosable
+// event, never a silent hang or a silent wrong answer.
+var (
+	// ErrTimeout: a receive deadline expired before a matching message
+	// arrived (lost message, or a peer that stopped sending).
+	ErrTimeout = errors.New("mpirt: receive timed out")
+
+	// ErrCorrupt: a message arrived but its payload failed the CRC
+	// check (injected or real corruption on the wire).
+	ErrCorrupt = errors.New("mpirt: message payload corrupt (CRC mismatch)")
+
+	// ErrSize: a matching message arrived with a payload length that
+	// does not match the receive buffer.
+	ErrSize = errors.New("mpirt: receive size mismatch")
+
+	// ErrWorldAborted: another rank faulted and the world was poisoned;
+	// this rank was unblocked cooperatively rather than left waiting for
+	// a message that will never come.
+	ErrWorldAborted = errors.New("mpirt: world aborted")
+
+	// ErrKilled: this rank was killed by an injected fault
+	// (FaultPlan.Kill).
+	ErrKilled = errors.New("mpirt: rank killed by fault injection")
+
+	// ErrPanic: the rank function panicked (a plain bug rather than a
+	// runtime-detected fault); the panic value is attached by Run.
+	ErrPanic = errors.New("mpirt: rank panicked")
+)
+
+// RunError is what World.Run returns when a rank faults: it names the
+// first genuinely faulty rank (not the peers that were unblocked with
+// ErrWorldAborted as a consequence) and wraps the underlying cause.
+type RunError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("mpirt: rank %d faulted: %v", e.Rank, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// rankFailure is the panic sentinel used to unwind a rank's goroutine
+// when a blocking primitive fails: World.Run recovers it and converts
+// it back into the wrapped error.
+type rankFailure struct{ err error }
+
+func fail(err error) { panic(rankFailure{err}) }
+
+// Fail aborts the calling rank with err. It is the hook for layers that
+// do their own fault detection on top of the error-returning receive
+// API (the halo exchange, the blowup watchdog): instead of threading an
+// error through every stack frame of a timestep, the rank unwinds and
+// World.Run reports it, poisoning the world so peers unblock too.
+// Fail does not return.
+func Fail(err error) { fail(err) }

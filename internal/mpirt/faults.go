@@ -1,0 +1,252 @@
+package mpirt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault injection. At the paper's scale (10,075,000 cores) the mean time
+// between failures is shorter than a long climate run, so the runtime
+// must be exercised against the faults a real machine produces: dying
+// processes, corrupted packets, lost packets, slow links. A FaultPlan
+// schedules such events deterministically so a chaos test is exactly
+// reproducible from its seed.
+
+// FaultKind selects what an injected fault does.
+type FaultKind int
+
+const (
+	// KillRank unwinds the rank with ErrKilled at the scheduled
+	// operation (process death).
+	KillRank FaultKind = iota
+	// CorruptMsg flips a payload bit of the next send at/after the
+	// scheduled operation; the receiver's CRC check reports ErrCorrupt.
+	CorruptMsg
+	// DropMsg discards the next send at/after the scheduled operation;
+	// the receiver's deadline reports ErrTimeout.
+	DropMsg
+	// DelayMsg defers delivery of the next send at/after the scheduled
+	// operation by Delay (a slow link; recoverable without any abort if
+	// the delay is below the receive deadline).
+	DelayMsg
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KillRank:
+		return "kill"
+	case CorruptMsg:
+		return "corrupt"
+	case DropMsg:
+		return "drop"
+	case DelayMsg:
+		return "delay"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled event. Operations are counted per rank across
+// every communication call (sends, receives, barriers); a fault fires at
+// the first eligible operation once the rank's counter reaches AfterOp,
+// and fires exactly once.
+type Fault struct {
+	Rank    int
+	AfterOp int64
+	Kind    FaultKind
+	Delay   time.Duration // DelayMsg only
+
+	fired bool
+}
+
+// FaultPlan is a deterministic schedule of faults plus the per-rank
+// operation counters that drive it. The counters persist across worlds:
+// a supervisor that rebuilds a World after an abort threads the same
+// plan through, so the replayed run continues from the accumulated
+// counts and already-fired faults stay fired — retries converge instead
+// of re-dying identically forever.
+type FaultPlan struct {
+	mu     sync.Mutex
+	ops    []int64
+	faults []*Fault
+}
+
+// NewFaultPlan creates an empty plan for an nranks-rank job.
+func NewFaultPlan(nranks int) *FaultPlan {
+	if nranks < 1 {
+		panic(fmt.Sprintf("mpirt: fault plan for %d ranks", nranks))
+	}
+	return &FaultPlan{ops: make([]int64, nranks)}
+}
+
+// Add schedules a fault. Returns the plan for chaining.
+func (p *FaultPlan) Add(f Fault) *FaultPlan {
+	if f.Rank < 0 || f.Rank >= len(p.ops) {
+		panic(fmt.Sprintf("mpirt: fault on rank %d of %d", f.Rank, len(p.ops)))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := f
+	p.faults = append(p.faults, &c)
+	return p
+}
+
+// NewChaosPlan schedules n random faults over ranks [0,nranks) and
+// operations [1,maxOp], reproducibly from seed. Kinds are drawn roughly
+// 2:1:1:1 kill:corrupt:drop:delay; delays are 1–20 ms.
+func NewChaosPlan(seed int64, nranks int, maxOp int64, n int) *FaultPlan {
+	p := NewFaultPlan(nranks)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Rank:    rng.Intn(nranks),
+			AfterOp: 1 + rng.Int63n(maxOp),
+		}
+		switch rng.Intn(5) {
+		case 0, 1:
+			f.Kind = KillRank
+		case 2:
+			f.Kind = CorruptMsg
+		case 3:
+			f.Kind = DropMsg
+		case 4:
+			f.Kind = DelayMsg
+			f.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+		}
+		p.Add(f)
+	}
+	return p
+}
+
+// ParseFaultPlan builds a plan from a compact spec, the format of the
+// camsw -faults flag: comma-separated events
+//
+//	kill:RANK@OP | corrupt:RANK@OP | drop:RANK@OP | delay:RANK@OP:MS
+//	chaos:N@SEED   (N random faults over ~maxOp ops, see NewChaosPlan)
+//
+// e.g. "kill:1@200,corrupt:0@450,delay:2@300:15".
+func ParseFaultPlan(spec string, nranks int, maxOp int64) (*FaultPlan, error) {
+	p := NewFaultPlan(nranks)
+	for _, ev := range strings.Split(spec, ",") {
+		ev = strings.TrimSpace(ev)
+		if ev == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(ev, ":")
+		if !ok {
+			return nil, fmt.Errorf("mpirt: fault spec %q: want KIND:ARGS", ev)
+		}
+		if kind == "chaos" {
+			nStr, seedStr, ok := strings.Cut(rest, "@")
+			if !ok {
+				return nil, fmt.Errorf("mpirt: fault spec %q: want chaos:N@SEED", ev)
+			}
+			n, err1 := strconv.Atoi(nStr)
+			seed, err2 := strconv.ParseInt(seedStr, 10, 64)
+			if err1 != nil || err2 != nil || n < 0 {
+				return nil, fmt.Errorf("mpirt: fault spec %q: bad count or seed", ev)
+			}
+			for _, f := range NewChaosPlan(seed, nranks, maxOp, n).faults {
+				p.Add(*f)
+			}
+			continue
+		}
+		var f Fault
+		switch kind {
+		case "kill":
+			f.Kind = KillRank
+		case "corrupt":
+			f.Kind = CorruptMsg
+		case "drop":
+			f.Kind = DropMsg
+		case "delay":
+			f.Kind = DelayMsg
+		default:
+			return nil, fmt.Errorf("mpirt: fault spec %q: unknown kind %q", ev, kind)
+		}
+		parts := strings.Split(rest, ":")
+		rankOp := strings.Split(parts[0], "@")
+		if len(rankOp) != 2 {
+			return nil, fmt.Errorf("mpirt: fault spec %q: want RANK@OP", ev)
+		}
+		rank, err1 := strconv.Atoi(rankOp[0])
+		op, err2 := strconv.ParseInt(rankOp[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mpirt: fault spec %q: bad rank or op", ev)
+		}
+		if rank < 0 || rank >= nranks {
+			return nil, fmt.Errorf("mpirt: fault spec %q: rank %d of %d", ev, rank, nranks)
+		}
+		f.Rank, f.AfterOp = rank, op
+		if f.Kind == DelayMsg {
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("mpirt: fault spec %q: want delay:RANK@OP:MS", ev)
+			}
+			ms, err := strconv.Atoi(parts[1])
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("mpirt: fault spec %q: bad delay", ev)
+			}
+			f.Delay = time.Duration(ms) * time.Millisecond
+		} else if len(parts) != 1 {
+			return nil, fmt.Errorf("mpirt: fault spec %q: unexpected extra field", ev)
+		}
+		p.Add(f)
+	}
+	return p, nil
+}
+
+// Ops returns the accumulated operation count of a rank (diagnostics
+// and test calibration). Out-of-range ranks return 0.
+func (p *FaultPlan) Ops(rank int) int64 {
+	if rank < 0 || rank >= len(p.ops) {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops[rank]
+}
+
+// Pending returns the scheduled faults that have not fired yet, sorted
+// by (rank, op) — the supervisor's diagnostic view.
+func (p *FaultPlan) Pending() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Fault
+	for _, f := range p.faults {
+		if !f.fired {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Rank != out[b].Rank {
+			return out[a].Rank < out[b].Rank
+		}
+		return out[a].AfterOp < out[b].AfterOp
+	})
+	return out
+}
+
+// fire advances rank's op counter and returns the first due, unfired,
+// kind-eligible fault (marked fired), or nil. Kill faults are eligible
+// at any operation; message faults only at sends.
+func (p *FaultPlan) fire(rank int, isSend bool) *Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops[rank]++
+	op := p.ops[rank]
+	for _, f := range p.faults {
+		if f.fired || f.Rank != rank || f.AfterOp > op {
+			continue
+		}
+		if f.Kind != KillRank && !isSend {
+			continue
+		}
+		f.fired = true
+		return f
+	}
+	return nil
+}

@@ -8,11 +8,28 @@
 // core group. The runtime counts messages and bytes per rank so the
 // machine model in internal/perf can convert communication volume into
 // modeled network time with a LogGP-style cost.
+//
+// At the 10M-core scale of the paper's headline runs, failures are part
+// of the workload, so the runtime also carries failure semantics:
+//   - every payload is CRC-protected (corruption is detected, not
+//     silently averaged into the fields),
+//   - receives can carry deadlines (a lost message surfaces as
+//     ErrTimeout instead of a hang),
+//   - when any rank faults, the world is poisoned: every peer blocked in
+//     a receive or barrier unblocks with ErrWorldAborted and World.Run
+//     returns a RunError naming the faulty rank,
+//   - a deterministic, seeded FaultPlan (faults.go) can kill ranks and
+//     corrupt, drop, or delay messages to exercise all of the above.
 package mpirt
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Stats accumulates per-rank communication counters.
@@ -26,6 +43,21 @@ type Stats struct {
 type message struct {
 	src, tag int
 	data     []float64
+	crc      uint32
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadCRC hashes a float64 payload bit-exactly (the checksum a real
+// transport would compute over the wire bytes).
+func payloadCRC(data []float64) uint32 {
+	var b [8]byte
+	crc := uint32(0)
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		crc = crc32.Update(crc, crcTable, b[:])
+	}
+	return crc
 }
 
 // World owns the mailboxes and counters of an nranks-rank job.
@@ -35,7 +67,14 @@ type World struct {
 	stats []Stats
 
 	barrier *barrier
-	coll    []chan []float64 // dedicated collective channels, one per rank
+
+	recvTimeout time.Duration // default deadline for receives; 0 = wait forever
+	faults      *FaultPlan    // nil = fault-free
+
+	aborted   atomic.Bool
+	abortMu   sync.Mutex
+	abortRank int
+	abortErr  error
 }
 
 // mailbox is the receive queue of one rank: a condition-variable-guarded
@@ -61,15 +100,33 @@ func (b *mailbox) put(m message) {
 
 // take blocks until a message from src with the given tag is available
 // and removes it (first matching message, preserving per-pair order).
-func (b *mailbox) take(src, tag int) message {
+// With d > 0 the wait is bounded: expiry returns ErrTimeout. A poisoned
+// world returns ErrWorldAborted instead of blocking forever.
+func (b *mailbox) take(w *World, src, tag int, d time.Duration) (message, error) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		timer := time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
+		if w.aborted.Load() {
+			return message{}, ErrWorldAborted
+		}
 		for i, m := range b.pending {
 			if m.src == src && m.tag == tag {
 				b.pending = append(b.pending[:i], b.pending[i+1:]...)
-				return m
+				return m, nil
 			}
+		}
+		if d > 0 && !time.Now().Before(deadline) {
+			return message{}, fmt.Errorf("%w: from rank %d tag %d after %v", ErrTimeout, src, tag, d)
 		}
 		b.cond.Wait()
 	}
@@ -85,20 +142,37 @@ func NewWorld(nranks int) *World {
 		boxes:   make([]*mailbox, nranks),
 		stats:   make([]Stats, nranks),
 		barrier: newBarrier(nranks),
-		coll:    make([]chan []float64, nranks),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
-		w.coll[i] = make(chan []float64, 1)
 	}
 	return w
 }
 
+// SetRecvTimeout sets the default deadline applied to every blocking
+// receive (Recv, RecvErr, Irecv's Wait, and the receives inside the
+// collectives). Zero restores the MPI default of waiting forever. A
+// per-call RecvTimeout overrides it. Set it before Run.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// SetFaults attaches a fault-injection plan. The plan keeps its own
+// per-rank operation counters, so the same plan threaded through
+// successive worlds (a supervisor's retries) continues where it left off
+// and each scheduled fault fires exactly once. Set it before Run.
+func (w *World) SetFaults(p *FaultPlan) { w.faults = p }
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
-// Stats returns a copy of the accumulated counters for a rank.
-func (w *World) Stats(rank int) Stats { return w.stats[rank] }
+// Stats returns a copy of the accumulated counters for a rank. An
+// out-of-range rank returns a zero Stats rather than panicking, so
+// diagnostic paths that probe a dead or mis-addressed rank stay safe.
+func (w *World) Stats(rank int) Stats {
+	if rank < 0 || rank >= w.n {
+		return Stats{}
+	}
+	return w.stats[rank]
+}
 
 // TotalBytes returns the total bytes sent across all ranks.
 func (w *World) TotalBytes() int64 {
@@ -109,30 +183,67 @@ func (w *World) TotalBytes() int64 {
 	return total
 }
 
+// Aborted reports whether the world has been poisoned.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// poison marks the world dead and wakes every blocked rank. The first
+// caller's (rank, err) is recorded as the root cause; ranks that fail
+// afterwards — typically with ErrWorldAborted as a consequence — do not
+// overwrite it.
+func (w *World) poison(rank int, err error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortRank, w.abortErr = rank, err
+	}
+	w.abortMu.Unlock()
+	w.aborted.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.barrier.mu.Lock()
+	w.barrier.cond.Broadcast()
+	w.barrier.mu.Unlock()
+}
+
 // Run spawns fn on every rank and blocks until all return. Each rank
-// receives its own Comm handle. A panic in any rank is re-raised in the
-// caller with the rank attached.
-func (w *World) Run(fn func(c *Comm)) {
+// receives its own Comm handle.
+//
+// Failure semantics: if any rank faults — an injected fault, a failed
+// CRC check, a receive timeout, an explicit Fail, or a plain panic in fn
+// — the world is poisoned so that every other rank blocked in a receive,
+// barrier, or collective unblocks with ErrWorldAborted. Run then returns
+// a *RunError naming the first genuinely faulty rank and wrapping its
+// cause. Run never deadlocks on a faulty rank and never re-raises the
+// panic; a nil return means every rank completed.
+func (w *World) Run(fn func(c *Comm)) error {
 	var wg sync.WaitGroup
-	panics := make([]any, w.n)
 	for r := 0; r < w.n; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
+					err, ok := p.(rankFailure)
+					if ok {
+						w.poison(rank, err.err)
+					} else {
+						w.poison(rank, fmt.Errorf("%w: %v", ErrPanic, p))
+					}
 				}
 			}()
 			fn(&Comm{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpirt: rank %d faulted: %v", r, p))
-		}
+	w.abortMu.Lock()
+	rank, cause := w.abortRank, w.abortErr
+	w.abortMu.Unlock()
+	if cause != nil {
+		return &RunError{Rank: rank, Err: cause}
 	}
+	return nil
 }
 
 // Comm is one rank's handle to the world.
@@ -147,48 +258,140 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.n }
 
+// faultPoint advances this rank's operation counter and fires any due
+// fault. Kill faults unwind the rank immediately; message faults are
+// returned to the caller (Send) to apply.
+func (c *Comm) faultPoint(isSend bool) *Fault {
+	p := c.world.faults
+	if p == nil {
+		return nil
+	}
+	f := p.fire(c.rank, isSend)
+	if f != nil && f.Kind == KillRank {
+		fail(fmt.Errorf("%w (rank %d, op %d)", ErrKilled, c.rank, f.AfterOp))
+	}
+	return f
+}
+
 // Send delivers a copy of data to dst with the given tag. The copy makes
 // the semantics of a real network explicit: the sender may reuse its
-// buffer immediately (MPI's buffered-send behaviour).
+// buffer immediately (MPI's buffered-send behaviour). The payload is
+// CRC-stamped at send time; the receive side verifies it.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("mpirt: send to rank %d of %d", dst, c.world.n))
 	}
+	if c.world.aborted.Load() {
+		fail(ErrWorldAborted)
+	}
+	f := c.faultPoint(true)
 	buf := append([]float64(nil), data...)
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
+	m := message{src: c.rank, tag: tag, data: buf, crc: payloadCRC(buf)}
+
 	st := &c.world.stats[c.rank]
 	st.MsgsSent++
 	st.BytesSent += int64(len(data) * 8)
+
+	box := c.world.boxes[dst]
+	if f != nil {
+		switch f.Kind {
+		case DropMsg:
+			return // silently lost: the receiver's deadline must catch it
+		case CorruptMsg:
+			// Flip one mantissa bit after the CRC was computed, exactly
+			// like corruption on the wire; zero-length payloads corrupt
+			// the checksum itself so detection still triggers.
+			if len(m.data) > 0 {
+				m.data[0] = math.Float64frombits(math.Float64bits(m.data[0]) ^ 1)
+			} else {
+				m.crc ^= 0xDEADBEEF
+			}
+		case DelayMsg:
+			d := f.Delay
+			if d <= 0 {
+				d = 10 * time.Millisecond
+			}
+			time.AfterFunc(d, func() { box.put(m) })
+			return
+		}
+	}
+	box.put(m)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// copies it into buf, whose length must match the sent length.
+// copies it into buf. Any failure — timeout (under the world's default
+// receive deadline), CRC mismatch, size mismatch, poisoned world —
+// unwinds the rank via Fail so World.Run reports it; use RecvErr or
+// RecvTimeout to handle the error in place instead.
 func (c *Comm) Recv(src, tag int, buf []float64) {
-	m := c.world.boxes[c.rank].take(src, tag)
+	if err := c.RecvTimeout(src, tag, buf, c.world.recvTimeout); err != nil {
+		fail(err)
+	}
+}
+
+// RecvErr is Recv with an error return (world-default deadline).
+func (c *Comm) RecvErr(src, tag int, buf []float64) error {
+	return c.RecvTimeout(src, tag, buf, c.world.recvTimeout)
+}
+
+// RecvTimeout receives with an explicit deadline (0 waits forever). It
+// returns ErrTimeout if no matching message arrives in time, ErrCorrupt
+// on a CRC mismatch, ErrSize on a length mismatch, and ErrWorldAborted
+// if the world was poisoned while waiting — all wrapped with context.
+func (c *Comm) RecvTimeout(src, tag int, buf []float64, d time.Duration) error {
+	c.faultPoint(false)
+	m, err := c.world.boxes[c.rank].take(c.world, src, tag, d)
+	if err != nil {
+		return err
+	}
 	if len(m.data) != len(buf) {
-		panic(fmt.Sprintf("mpirt: recv size mismatch from %d tag %d: sent %d, buffer %d",
-			src, tag, len(m.data), len(buf)))
+		return fmt.Errorf("%w: from %d tag %d: sent %d, buffer %d",
+			ErrSize, src, tag, len(m.data), len(buf))
+	}
+	if payloadCRC(m.data) != m.crc {
+		return fmt.Errorf("%w: from %d tag %d (%d values)", ErrCorrupt, src, tag, len(m.data))
 	}
 	copy(buf, m.data)
 	st := &c.world.stats[c.rank]
 	st.MsgsRecvd++
 	st.BytesRecvd += int64(len(buf) * 8)
+	return nil
 }
 
 // Request is the handle of a pending non-blocking operation.
 type Request struct {
 	done bool
-	wait func()
+	err  error
+	wait func(d time.Duration) error
 }
 
-// Wait blocks until the operation completes. Waiting twice panics.
-func (r *Request) Wait() {
+// WaitErr blocks until the operation completes and returns its outcome.
+// Completing a request twice is a no-op: the second and later calls
+// return the cached result of the first (MPI_Wait on an inactive
+// request), which keeps retry loops and partially-drained WaitAlls safe.
+func (r *Request) WaitErr() error { return r.WaitTimeout(0) }
+
+// WaitTimeout is WaitErr with an explicit receive deadline (0 uses the
+// world default). The deadline only applies to the first, completing
+// call; later calls return the cached result.
+func (r *Request) WaitTimeout(d time.Duration) error {
 	if r.done {
-		panic("mpirt: Wait on completed request")
+		return r.err
 	}
 	r.done = true
 	if r.wait != nil {
-		r.wait()
+		r.err = r.wait(d)
+	}
+	return r.err
+}
+
+// Wait blocks until the operation completes, unwinding the rank via
+// Fail on failure. Like WaitErr it is idempotent — a second Wait is a
+// no-op unless the first failed, in which case the cached error is
+// re-raised.
+func (r *Request) Wait() {
+	if err := r.WaitErr(); err != nil {
+		fail(err)
 	}
 }
 
@@ -204,7 +407,7 @@ func WaitAll(reqs []*Request) {
 // it exists so callers keep the issue/wait structure of the real code.
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	c.Send(dst, tag, data)
-	return &Request{}
+	return &Request{done: true}
 }
 
 // Irecv starts a non-blocking receive into buf. The matching and copy
@@ -212,5 +415,10 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 // overlaps with message arrival — the property the redesigned
 // bndry_exchangev (§7.6) exploits.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
-	return &Request{wait: func() { c.Recv(src, tag, buf) }}
+	return &Request{wait: func(d time.Duration) error {
+		if d <= 0 {
+			d = c.world.recvTimeout
+		}
+		return c.RecvTimeout(src, tag, buf, d)
+	}}
 }

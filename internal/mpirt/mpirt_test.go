@@ -1,7 +1,9 @@
 package mpirt
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -100,38 +102,51 @@ func TestIsendIrecvOverlap(t *testing.T) {
 	})
 }
 
-func TestRequestDoubleWaitPanics(t *testing.T) {
+// Double Wait is a documented no-op: the second call returns the cached
+// outcome of the first instead of panicking or re-receiving.
+func TestRequestDoubleWaitIsNoOp(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double Wait did not panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	if err := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			r := c.Isend(1, 0, []float64{1})
 			r.Wait()
 			r.Wait()
 		} else {
-			c.Recv(0, 0, make([]float64, 1))
+			buf := make([]float64, 1)
+			r := c.Irecv(0, 0, buf)
+			if err := r.WaitErr(); err != nil {
+				t.Errorf("first WaitErr: %v", err)
+			}
+			buf[0] = -7 // must not be re-filled by the second Wait
+			if err := r.WaitErr(); err != nil {
+				t.Errorf("second WaitErr: %v", err)
+			}
+			r.Wait()
+			if buf[0] != -7 {
+				t.Errorf("second Wait re-received into the buffer: %v", buf[0])
+			}
 		}
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 }
 
-func TestRecvSizeMismatchPanics(t *testing.T) {
+func TestRecvSizeMismatchReturnsError(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("size mismatch did not panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, []float64{1, 2})
 		} else {
 			c.Recv(0, 0, make([]float64, 3))
 		}
 	})
+	if !errors.Is(err, ErrSize) {
+		t.Fatalf("size mismatch gave %v, want ErrSize", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("faulty rank not identified: %v", err)
+	}
 }
 
 func TestBarrierOrdering(t *testing.T) {
@@ -185,19 +200,23 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesPanicWithRank(t *testing.T) {
+func TestRunReportsPanicWithRank(t *testing.T) {
 	w := NewWorld(3)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic not propagated")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 2 {
 			panic("rank boom")
 		}
 	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("panic gave %v, want ErrPanic", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Rank != 2 {
+		t.Fatalf("faulty rank not identified: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank boom") {
+		t.Errorf("panic value lost: %v", err)
+	}
 }
 
 func testReduceSizes(t *testing.T, sizes []int) {
