@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures outputs clean
+.PHONY: all build vet test race bench trace figures outputs clean
 
 all: build vet test
 
@@ -18,9 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per paper table/figure plus the ablations.
+# One benchmark per paper table/figure plus the ablations, and a
+# BENCH_<n>.json regression point from the profiler.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir .
+
+# A Chrome trace of all four backends on a small configuration; load
+# swcam.trace.json in chrome://tracing or ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir . -trace swcam.trace.json
 
 # Print every table and figure of the paper's evaluation.
 figures:
@@ -33,4 +40,4 @@ outputs:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt swcam.trace.json BENCH_*.json

@@ -34,7 +34,13 @@ func main() {
 	table := flag.Int("table", 0, "print table N (1, 2 or 3)")
 	fig := flag.Int("fig", 0, "print figure N (4-9; 10 = extra overlap ablation)")
 	all := flag.Bool("all", false, "print everything")
+	jsonOut := flag.Bool("json", false, "emit the selected sections as JSON (shared obs encoder) instead of text")
 	flag.Parse()
+
+	if *jsonOut {
+		jsonMain(*all, *attrs, *table, *fig)
+		return
+	}
 
 	ran := false
 	if *all || *attrs {

@@ -21,6 +21,7 @@ import (
 	"swcam/internal/dycore"
 	"swcam/internal/exec"
 	"swcam/internal/mpirt"
+	"swcam/internal/obs"
 	"swcam/internal/physics"
 )
 
@@ -37,10 +38,17 @@ func main() {
 	history := flag.String("history", "", "write lat-lon history frames to this file")
 	faults := flag.String("faults", "", "fault-injection spec for -parallel, comma-separated: kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED")
 	ckEvery := flag.Int("checkpoint-every", 0, "with -parallel: checkpoint every N steps and auto-recover from faults (0 = no supervision)")
+	obsOn := flag.Bool("obs", false, "collect and print the unified observability report (spans, counters, step report)")
+	tracePath := flag.String("trace", "", "write a Chrome about://tracing JSON trace to this file (implies -obs)")
 	flag.Parse()
 
+	var probe *obs.Probe
+	if *obsOn || *tracePath != "" {
+		probe = obs.NewProbe()
+	}
+
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, probe, *tracePath)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -70,6 +78,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsw:", err)
 		os.Exit(1)
+	}
+	if probe != nil {
+		m.Attach(probe)
+		probe.Tracer.NameProcess(0, "serial model")
 	}
 	if *restart != "" {
 		st, step, err := core.LoadCheckpoint(*restart)
@@ -134,10 +146,11 @@ func main() {
 		}
 	}
 	wall := time.Since(start).Seconds()
-	simDays := *hours / 24
-	sypd := simDays / 365 / (wall / 86400)
+	simSeconds := float64(steps) * cfg.Dycore.Dt
+	sypd := obs.SYPD(simSeconds, wall)
 	fmt.Printf("done: %.1fs wall, local-host simulation rate %.1f SYPD\n", wall, sypd)
 	fmt.Println("(for modeled TaihuLight SYPD at scale, see: benchtab -fig 6)")
+	finishObs(probe, *tracePath, obs.ReportInput{Steps: steps, SimSeconds: simSeconds, WallSeconds: wall})
 	if *checkpoint != "" {
 		if err := core.SaveCheckpoint(*checkpoint, m.State, m.Solver.StepCount()); err != nil {
 			fmt.Fprintln(os.Stderr, "camsw: checkpoint:", err)
@@ -162,7 +175,27 @@ func moisten(m *core.Model) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string) {
+// finishObs prints the step report and unified counters and, when
+// requested, writes the Chrome trace. Inert on a nil probe.
+func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
+	if p == nil {
+		return
+	}
+	rep := obs.BuildStepReport(p.Kernels, p.Reg, in)
+	fmt.Print(rep.Text())
+	fmt.Println("== counters ==")
+	p.Reg.WriteText(os.Stdout)
+	if tracePath != "" {
+		if err := p.Tracer.WriteChromeTraceFile(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "camsw: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written: %s (%d events; load in chrome://tracing or ui.perfetto.dev)\n",
+			tracePath, p.Tracer.Len())
+	}
+}
+
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string, probe *obs.Probe, tracePath string) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -184,6 +217,12 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsw:", err)
 		os.Exit(1)
+	}
+	if probe != nil {
+		job.Instrument(probe)
+		for r := 0; r < nranks; r++ {
+			probe.Tracer.NameProcess(r, fmt.Sprintf("rank %d (%v)", r, backend))
+		}
 	}
 	s, _ := dycore.NewSolver(cfg)
 	g := s.NewState()
@@ -226,7 +265,15 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 			os.Exit(1)
 		}
 		stats = rs.Run
-		fmt.Printf("  resilience: %d checkpoints, %d rollbacks\n", rs.Checkpoints, rs.Rollbacks)
+		if probe != nil {
+			fmt.Printf("  recovery: %d checkpoints, %d rollbacks, %d steps replayed, %d giveups\n",
+				probe.Reg.CounterValue("core.recovery.checkpoints"),
+				probe.Reg.CounterValue("core.recovery.rollbacks"),
+				probe.Reg.CounterValue("core.recovery.replayed_steps"),
+				probe.Reg.CounterValue("core.recovery.giveups"))
+		} else {
+			fmt.Printf("  resilience: %d checkpoints, %d rollbacks\n", rs.Checkpoints, rs.Rollbacks)
+		}
 	} else {
 		stats, err = job.RunChecked(local, steps)
 		if err != nil {
@@ -245,4 +292,7 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		100*float64(stats.Cost.FlopsVector)/float64(stats.Cost.Flops()+1),
 		float64(stats.Cost.MemBytes)/1e6, stats.Cost.RegMsgs)
 	fmt.Printf("done in %.1fs wall\n", wall)
+	finishObs(probe, tracePath, obs.ReportInput{
+		Steps: steps, SimSeconds: float64(steps) * cfg.Dt, WallSeconds: wall,
+	})
 }

@@ -1,0 +1,125 @@
+// Command swprof is the benchmark-regression profiler: it runs the
+// distributed dynamics under every execution backend on one
+// configuration, collects the unified observability data (per-kernel
+// wall time and architectural events, halo and runtime counters), and
+// appends a BENCH_<n>.json data point — the perf-trajectory record CI's
+// bench-smoke job validates.
+//
+//	swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir bench/
+//	swprof -ne 4 -nlev 8 -steps 10 -ranks 4 -trace prof.trace.json
+//	swprof -validate bench/BENCH_1.json
+//
+// With -trace the four backend runs land in one Chrome trace
+// (pid = rank; runs follow each other on the time axis, spans carry the
+// backend as their category). Load it in chrome://tracing or
+// ui.perfetto.dev.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"swcam/internal/core"
+	"swcam/internal/dycore"
+	"swcam/internal/exec"
+	"swcam/internal/obs"
+)
+
+func main() {
+	ne := flag.Int("ne", 2, "cubed-sphere resolution (elements per edge)")
+	nlev := flag.Int("nlev", 4, "vertical levels")
+	qsize := flag.Int("qsize", 3, "tracers")
+	steps := flag.Int("steps", 5, "dynamics steps per backend")
+	ranks := flag.Int("ranks", 2, "simulated core groups")
+	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
+	tracePath := flag.String("trace", "", "also write a combined Chrome trace to this file")
+	validate := flag.String("validate", "", "validate an existing BENCH_<n>.json and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := obs.LoadBenchFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("swprof: %s valid (%s, %d backends)\n", *validate, f.Schema, len(f.Backends))
+		return
+	}
+	if *steps < 1 || *ranks < 1 {
+		fmt.Fprintln(os.Stderr, "swprof: -steps and -ranks must be positive")
+		os.Exit(2)
+	}
+
+	cfg := dycore.DefaultConfig(*ne)
+	cfg.Nlev = *nlev
+	cfg.Qsize = *qsize
+
+	bench := obs.NewBenchFile(obs.BenchConfig{
+		Ne: *ne, Nlev: *nlev, Qsize: *qsize, Steps: *steps, Ranks: *ranks,
+	})
+	tracer := obs.NewTracer()
+	for r := 0; r < *ranks; r++ {
+		tracer.NameProcess(r, fmt.Sprintf("rank %d", r))
+	}
+
+	backends := []exec.Backend{exec.Intel, exec.MPE, exec.OpenACC, exec.Athread}
+	fmt.Printf("swprof: ne%d nlev=%d qsize=%d, %d steps x %d ranks, %d backends\n",
+		*ne, *nlev, *qsize, *steps, *ranks, len(backends))
+	for _, b := range backends {
+		name := strings.ToLower(b.String())
+		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, tracer, bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swprof: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-8s %8.3fs wall  SYPD %10.3f\n", name, wall, sypd)
+	}
+
+	path, err := obs.WriteBenchFile(*dir, bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swprof:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench written: %s\n", path)
+
+	if *tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "swprof: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written: %s (%d events; load in chrome://tracing or ui.perfetto.dev)\n",
+			*tracePath, tracer.Len())
+	}
+}
+
+// runBackend measures one backend: a fresh job and probe (sharing the
+// combined tracer), one timed RunChecked, one bench entry.
+func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps int,
+	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall float64, err error) {
+	job, err := core.NewParallelJob(cfg, b, true, ranks)
+	if err != nil {
+		return 0, 0, err
+	}
+	probe := &obs.Probe{Tracer: tracer, Reg: obs.NewRegistry(), Kernels: obs.NewKernelTable()}
+	job.Instrument(probe)
+
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := s.NewState()
+	s.InitBaroclinicWave(g)
+	local := job.Scatter(g)
+
+	start := time.Now()
+	if _, err := job.RunChecked(local, steps); err != nil {
+		return 0, 0, err
+	}
+	wall = time.Since(start).Seconds()
+	sypd = obs.SYPD(float64(steps)*cfg.Dt, wall)
+	bench.AddBackend(strings.ToLower(b.String()), probe.Kernels, sypd, wall)
+	return sypd, wall, nil
+}

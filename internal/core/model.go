@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"swcam/internal/dycore"
+	"swcam/internal/obs"
 	"swcam/internal/physics"
 )
 
@@ -49,6 +50,7 @@ type Model struct {
 
 	col   *physics.Column
 	steps int
+	obs   *obs.Probe // nil = unobserved (see Attach in obs.go)
 
 	// Accumulated diagnostics.
 	TotalPrecip float64 // global mean accumulated precipitation, kg/m^2
@@ -212,10 +214,14 @@ func (m *Model) applyPhysics() {
 // Step advances the model one dynamics step, applying physics every
 // PhysEvery steps (the CAM dynamics/physics alternation).
 func (m *Model) Step() {
+	sp := m.obs.T().Begin(0, "core.dynamics", "model")
 	m.Solver.Step(m.State)
+	sp.End()
 	m.steps++
 	if m.steps%m.Cfg.PhysEvery == 0 {
+		sp = m.obs.T().Begin(0, "core.physics", "model")
 		m.applyPhysics()
+		sp.End()
 	}
 }
 

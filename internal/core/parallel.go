@@ -10,6 +10,7 @@ import (
 	"swcam/internal/halo"
 	"swcam/internal/mesh"
 	"swcam/internal/mpirt"
+	"swcam/internal/obs"
 )
 
 // ErrBlowup is wrapped by the blowup watchdog when the allreduced state
@@ -40,6 +41,9 @@ type ParallelJob struct {
 	RecvTimeout time.Duration    // receive deadline; makes lost messages ErrTimeout
 	CheckEvery  int              // run the blowup watchdog every N steps (0 = off)
 	MaxWind     float64          // CFL wind guard for the watchdog; 0 = Cfg.CFLMaxWind(0.9)
+
+	// Obs observes the run when set via Instrument (nil = off).
+	Obs *obs.Probe
 
 	steps int
 }
@@ -163,16 +167,21 @@ func (j *ParallelJob) RunChecked(local []*dycore.State, n int) (RunStats, error)
 	if j.RecvTimeout > 0 {
 		w.SetRecvTimeout(j.RecvTimeout)
 	}
+	w.SetTracer(j.Obs.T())
 	err := w.Run(func(c *mpirt.Comm) {
 		r := c.Rank()
 		for step := 0; step < n; step++ {
+			sp := j.Obs.T().Begin(r, "core.step", "model")
 			j.stepRank(c, r, local[r], &perRank[r], j.steps+step+1)
+			sp.End()
 		}
 	})
 	for r := range perRank {
 		stats.Halo.Add(perRank[r].Halo)
 		stats.Cost.Add(perRank[r].Cost)
 	}
+	w.DumpStats(j.Obs.R())
+	recordCost(j.Obs.R(), stats.Cost)
 	if err != nil {
 		return stats, err
 	}

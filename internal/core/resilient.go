@@ -97,6 +97,7 @@ func restore(local, snap []*dycore.State) {
 }
 
 func (rj *ResilientJob) event(e RecoveryEvent) {
+	rj.observe(e)
 	if rj.OnEvent != nil {
 		rj.OnEvent(e)
 	}
@@ -137,7 +138,9 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		if err == nil {
 			attempt = 0
 			backoff = rj.Backoff
+			sp := rj.Job.Obs.T().Begin(0, "core.checkpoint", "model")
 			snap = snapshot(local)
+			sp.End()
 			snapStep = rj.Job.StepCount()
 			rs.Checkpoints++
 			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep})
@@ -169,7 +172,12 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		// The failed chunk's steps are burned work: they get replayed
+		// from the checkpoint on the next attempt.
+		rj.Job.Obs.R().Counter("core.recovery.replayed_steps").Add(int64(chunk))
+		sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
 		restore(local, snap)
+		sp.End()
 		rj.Job.SetStepCount(snapStep)
 	}
 	rs.Run.Steps = rj.Job.StepCount()

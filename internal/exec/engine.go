@@ -5,6 +5,7 @@ import (
 
 	"swcam/internal/dycore"
 	"swcam/internal/mesh"
+	"swcam/internal/obs"
 	"swcam/internal/sw"
 )
 
@@ -23,6 +24,11 @@ type Engine struct {
 	flxU, flxV, div []float64
 	colA, colB      []float64
 	colC, colD      []float64
+
+	// Observability hooks (nil = off; see instrument.go).
+	obsTr   *obs.Tracer
+	obsKT   *obs.KernelTable
+	obsRank int
 }
 
 // NewEngine builds an engine for the given local element set. The state

@@ -5,11 +5,9 @@ import (
 	"swcam/internal/sw"
 )
 
-// EulerStep runs one explicit euler_step stage (all tracers, all local
-// elements) under the chosen backend: out-of-place is not needed — qdp
-// is advanced in place, exactly like the dycore serial path. Returns the
-// cost record. The caller handles DSS/limiting between stages.
-func (en *Engine) EulerStep(b Backend, st *dycore.State, dt float64) Cost {
+// eulerStep dispatches the euler_step kernel; the exported,
+// instrumented entry point is in instrument.go.
+func (en *Engine) eulerStep(b Backend, st *dycore.State, dt float64) Cost {
 	switch b {
 	case Intel, MPE:
 		return en.eulerSerial(b, st, dt)

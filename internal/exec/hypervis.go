@@ -5,10 +5,9 @@ import (
 	"swcam/internal/sw"
 )
 
-// HypervisDP1 runs the first Laplacian pass (Table 1 row 4) under the
-// chosen backend: lap* = laplace(state fields), element-local. The
-// caller DSSes the outputs before the second pass.
-func (en *Engine) HypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
+// hypervisDP1 dispatches the first Laplacian pass; the exported,
+// instrumented entry point is in instrument.go.
+func (en *Engine) hypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
 	switch b {
 	case Intel, MPE:
 		var flops, bytes int64
@@ -28,9 +27,9 @@ func (en *Engine) HypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lap
 	panic("exec: unknown backend")
 }
 
-// HypervisDP2 runs the second pass and applies the update (Table 1 row
-// 5): field -= dt*nu*laplace(DSS'd first pass).
-func (en *Engine) HypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
+// hypervisDP2 dispatches the second pass; the exported, instrumented
+// entry point is in instrument.go.
+func (en *Engine) hypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
 	st *dycore.State, dt, nuV, nuS float64) Cost {
 	switch b {
 	case Intel, MPE:
@@ -225,9 +224,9 @@ func (en *Engine) hvLevelParallel(b Backend,
 	return en.collect(Athread, 1)
 }
 
-// BiharmonicDP3D runs the weak biharmonic of dp3d (Table 1 row 6): one
-// Laplacian pass per call (the caller DSSes and calls again for grad^4).
-func (en *Engine) BiharmonicDP3D(b Backend, in, out [][]float64) Cost {
+// biharmonicDP3D dispatches the weak biharmonic of dp3d; the exported,
+// instrumented entry point is in instrument.go.
+func (en *Engine) biharmonicDP3D(b Backend, in, out [][]float64) Cost {
 	np, nlev := en.Np, en.Nlev
 	npsq := np * np
 	switch b {

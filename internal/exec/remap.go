@@ -5,9 +5,10 @@ import (
 	"swcam/internal/sw"
 )
 
-// VerticalRemap runs the vertical_remap kernel (Table 1 row 3) under the
+// verticalRemap runs the vertical_remap kernel (Table 1 row 3) under the
 // chosen backend, remapping every local element's state back to the
-// reference hybrid grid.
+// reference hybrid grid; the exported, instrumented entry point is in
+// instrument.go.
 //
 // The remap is column-independent, so the CPE backends distribute
 // (element, node) columns across the 64 cores. The columns live strided
@@ -17,7 +18,7 @@ import (
 // OpenACC backend re-fetches whole level slabs per column and extracts
 // the single node it needs — the directive-level access pattern that
 // cannot express a stride.
-func (en *Engine) VerticalRemap(b Backend, h *dycore.HybridCoord, st *dycore.State) Cost {
+func (en *Engine) verticalRemap(b Backend, h *dycore.HybridCoord, st *dycore.State) Cost {
 	np, nlev, qsize := en.Np, en.Nlev, en.Qsize
 	npsq := np * np
 	switch b {

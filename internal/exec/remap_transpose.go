@@ -5,7 +5,7 @@ import (
 	"swcam/internal/sw"
 )
 
-// VerticalRemapTransposed is the §7.5 variant of the Athread vertical
+// verticalRemapTransposed is the §7.5 variant of the Athread vertical
 // remap: the axis switch from level-major storage to per-node columns is
 // performed *inside the chip* with register communication, instead of
 // through nlev fine-grained strided DMA descriptors per column.
@@ -25,7 +25,7 @@ import (
 // drop from O(nlev) per column to O(1) per field while register traffic
 // grows, which is precisely the trade the paper built the transposition
 // machinery to win. BenchmarkRemapTransposeAblation compares the two.
-func (en *Engine) VerticalRemapTransposed(h *dycore.HybridCoord, st *dycore.State) Cost {
+func (en *Engine) verticalRemapTransposed(h *dycore.HybridCoord, st *dycore.State) Cost {
 	np, nlev, qsize := en.Np, en.Nlev, en.Qsize
 	npsq := np * np
 	vl := en.vlPerCPE()

@@ -7,10 +7,9 @@ import (
 	"swcam/internal/sw"
 )
 
-// ComputeAndApplyRHS runs the compute_and_apply_rhs kernel (Table 1 row
-// 1) under the chosen backend: out = base + dt * RHS(cur) for every
-// local element. The caller applies the DSS afterwards.
-func (en *Engine) ComputeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt float64) Cost {
+// computeAndApplyRHS dispatches the compute_and_apply_rhs kernel; the
+// exported, instrumented entry point is in instrument.go.
+func (en *Engine) computeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt float64) Cost {
 	switch b {
 	case Intel, MPE:
 		return en.rhsSerial(b, cur, base, out, dt)

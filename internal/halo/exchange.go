@@ -2,8 +2,10 @@ package halo
 
 import (
 	"fmt"
+	"time"
 
 	"swcam/internal/mpirt"
+	"swcam/internal/obs"
 )
 
 // Stats reports the data movement of one exchange, the quantity the
@@ -15,6 +17,12 @@ type Stats struct {
 	StagingBytes int64 // extra receive->pack-buffer copies (original only)
 	Msgs         int64 // messages sent
 	WireBytes    int64 // payload bytes sent
+	// WaitNs is wall time spent blocked waiting for messages —
+	// communication NOT hidden behind computation. Only measured when
+	// the plan is instrumented (Instrument), else 0; the obs StepReport
+	// derives its comm/compute overlap ratio from WaitNs over the full
+	// exchange duration.
+	WaitNs int64
 }
 
 // Add accumulates another exchange's stats.
@@ -24,6 +32,46 @@ func (s *Stats) Add(o Stats) {
 	s.StagingBytes += o.StagingBytes
 	s.Msgs += o.Msgs
 	s.WireBytes += o.WireBytes
+	s.WaitNs += o.WaitNs
+}
+
+// Instrument attaches the observability subsystem to this plan: every
+// exchange records a span (pid = rank) and feeds the halo.* registry
+// counters, and receive waits are timed for the overlap ratio. Either
+// argument may be nil; uninstrumented plans (the default) pay a single
+// nil test per exchange.
+func (p *Plan) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	p.obsTr, p.obsReg = tr, reg
+}
+
+func (p *Plan) instrumented() bool { return p.obsTr != nil || p.obsReg != nil }
+
+// haloNoop avoids a closure allocation on the uninstrumented path.
+var haloNoop = func() {}
+
+// exchangeProbe opens the exchange span and returns the completion func
+// that publishes st into the registry. st must be fully accumulated by
+// the time the returned func runs (defer it).
+func (p *Plan) exchangeProbe(name string, st *Stats) func() {
+	if !p.instrumented() {
+		return haloNoop
+	}
+	sp := p.obsTr.Begin(p.Rank, name, "comm")
+	reg := p.obsReg
+	start := time.Now()
+	return func() {
+		ns := time.Since(start).Nanoseconds()
+		sp.End()
+		if reg != nil {
+			reg.Counter("halo.ns").Add(ns)
+			reg.Counter("halo.wait.ns").Add(st.WaitNs)
+			reg.Counter("halo.pack.bytes").Add(st.PackBytes)
+			reg.Counter("halo.unpack.bytes").Add(st.UnpackBytes)
+			reg.Counter("halo.staging.bytes").Add(st.StagingBytes)
+			reg.Counter("halo.msgs").Add(st.Msgs)
+			reg.Counter("halo.wire.bytes").Add(st.WireBytes)
+		}
+	}
 }
 
 // exchange tags; the dycore performs up to three exchanges per RK stage
@@ -134,6 +182,8 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (St
 	if nf == 0 {
 		return st, nil
 	}
+	timed := p.instrumented()
+	defer p.exchangeProbe("halo.dss_original", &st)()
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
 	p.partials(scratch, lay, nf, false, fields...)
@@ -156,8 +206,15 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (St
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
 		recv := make([]float64, msgLen(nb))
+		var w0 time.Time
+		if timed {
+			w0 = time.Now()
+		}
 		if err := c.RecvErr(nb.Rank, tagDSS, recv); err != nil {
 			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", nb.Rank, err)
+		}
+		if timed {
+			st.WaitNs += time.Since(w0).Nanoseconds()
 		}
 		// The original design forwards receive-buffer data through the
 		// unified pack buffer before it reaches the elements: model that
@@ -192,6 +249,8 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 		}
 		return st, nil
 	}
+	timed := p.instrumented()
+	defer p.exchangeProbe("halo.dss_overlap", &st)()
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
 
@@ -229,8 +288,15 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 	// Drain receives straight into the partial sums — the direct
 	// receive-buffer unpack that removes the staging copy.
 	for i := range p.Neighbors {
+		var w0 time.Time
+		if timed {
+			w0 = time.Now()
+		}
 		if err := recvReqs[i].WaitErr(); err != nil {
 			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", p.Neighbors[i].Rank, err)
+		}
+		if timed {
+			st.WaitNs += time.Since(w0).Nanoseconds()
 		}
 		p.accumulateNeighbor(&p.Neighbors[i], scratch, recvBufs[i], stride, nf)
 		st.UnpackBytes += int64(len(recvBufs[i]) * 8)

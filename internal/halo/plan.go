@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"swcam/internal/mesh"
+	"swcam/internal/obs"
 )
 
 // LocalRef addresses one element-local copy of a shared node.
@@ -69,6 +70,10 @@ type Plan struct {
 	InnerElems    []int
 
 	scratch []float64 // partial sums, len = len(Groups)*maxStride (grown on demand)
+
+	// Observability hooks (nil = off; see Instrument in exchange.go).
+	obsTr  *obs.Tracer
+	obsReg *obs.Registry
 }
 
 // NewPlan builds the exchange schedule for one rank of a partition.

@@ -46,10 +46,12 @@ func (b *barrier) wait(w *World) error {
 // Barrier blocks until every rank has entered it. In a poisoned world it
 // unwinds the rank with ErrWorldAborted instead of waiting forever.
 func (c *Comm) Barrier() {
+	sp := c.span("mpirt.barrier")
 	c.faultPoint(false)
 	if err := c.world.barrier.wait(c.world); err != nil {
 		fail(err)
 	}
+	sp.End()
 }
 
 // ReduceOp combines two values during reductions.
@@ -84,6 +86,8 @@ const (
 // Reduce combines in[] element-wise across ranks with op; the result
 // lands in out[] on root only. Implemented as a fan-in tree on rank ids.
 func (c *Comm) Reduce(root int, op ReduceOp, in, out []float64) {
+	sp := c.span("mpirt.reduce")
+	defer sp.End()
 	// Rotate ranks so the tree roots at 'root'.
 	me := (c.rank - root + c.world.n) % c.world.n
 	n := c.world.n
@@ -111,6 +115,8 @@ func (c *Comm) Reduce(root int, op ReduceOp, in, out []float64) {
 
 // Bcast distributes root's buf to every rank (binomial tree).
 func (c *Comm) Bcast(root int, buf []float64) {
+	sp := c.span("mpirt.bcast")
+	defer sp.End()
 	me := (c.rank - root + c.world.n) % c.world.n
 	n := c.world.n
 	// Find the highest power-of-two step at which this rank receives.
@@ -138,6 +144,8 @@ func (c *Comm) Bcast(root int, buf []float64) {
 
 // Allreduce combines in[] across all ranks into out[] on every rank.
 func (c *Comm) Allreduce(op ReduceOp, in, out []float64) {
+	sp := c.span("mpirt.allreduce")
+	defer sp.End()
 	tmp := make([]float64, len(in))
 	c.Reduce(0, op, in, tmp)
 	if c.rank == 0 {
@@ -158,6 +166,8 @@ func (c *Comm) AllreduceScalar(op ReduceOp, x float64) float64 {
 // root, ordered by rank. out must have len(in)*Size() elements on root
 // and may be nil elsewhere.
 func (c *Comm) Gather(root int, in, out []float64) {
+	sp := c.span("mpirt.gather")
+	defer sp.End()
 	if c.rank == root {
 		copy(out[root*len(in):(root+1)*len(in)], in)
 		for r := 0; r < c.world.n; r++ {

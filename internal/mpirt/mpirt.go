@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"swcam/internal/obs"
 )
 
 // Stats accumulates per-rank communication counters.
@@ -70,6 +72,7 @@ type World struct {
 
 	recvTimeout time.Duration // default deadline for receives; 0 = wait forever
 	faults      *FaultPlan    // nil = fault-free
+	tracer      *obs.Tracer   // nil = untraced (see obs.go)
 
 	aborted   atomic.Bool
 	abortMu   sync.Mutex

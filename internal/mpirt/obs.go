@@ -1,0 +1,38 @@
+package mpirt
+
+import "swcam/internal/obs"
+
+// SetTracer attaches a span tracer: every collective (barrier, reduce,
+// bcast, allreduce, gather) records a span with pid = rank. Nil (the
+// default) records nothing and costs a single nil test per collective.
+// Set it before Run.
+func (w *World) SetTracer(t *obs.Tracer) { w.tracer = t }
+
+// span opens a collective span for this rank (inert when untraced).
+func (c *Comm) span(name string) obs.Span {
+	return c.world.tracer.Begin(c.rank, name, "comm")
+}
+
+// DumpStats publishes the world's accumulated communication counters
+// into the unified registry: totals under mpirt.send.* / mpirt.recv.*,
+// and the per-rank send-byte distribution as a histogram (the load-
+// imbalance signal). Safe to call after Run; a nil registry is a no-op.
+func (w *World) DumpStats(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var msgsSent, bytesSent, msgsRecvd, bytesRecvd int64
+	for r := 0; r < w.n; r++ {
+		s := w.stats[r]
+		msgsSent += s.MsgsSent
+		bytesSent += s.BytesSent
+		msgsRecvd += s.MsgsRecvd
+		bytesRecvd += s.BytesRecvd
+		reg.Histogram("mpirt.rank.send.bytes").Observe(float64(s.BytesSent))
+	}
+	reg.Counter("mpirt.send.msgs").Add(msgsSent)
+	reg.Counter("mpirt.send.bytes").Add(bytesSent)
+	reg.Counter("mpirt.recv.msgs").Add(msgsRecvd)
+	reg.Counter("mpirt.recv.bytes").Add(bytesRecvd)
+	reg.Gauge("mpirt.ranks").Set(float64(w.n))
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// BenchSchema identifies the BENCH_<n>.json format version. Consumers
+// (CI's bench-smoke job, trajectory diffing) reject files whose schema
+// string they do not know.
+const BenchSchema = "swcam-bench/v1"
+
+// BenchConfig records the model configuration a benchmark file measured.
+type BenchConfig struct {
+	Ne    int `json:"ne"`
+	Nlev  int `json:"nlev"`
+	Qsize int `json:"qsize"`
+	Steps int `json:"steps"`
+	Ranks int `json:"ranks"`
+}
+
+// BenchKernel is one kernel's accumulated record within one backend.
+type BenchKernel struct {
+	Calls int64 `json:"calls"`
+	Ns    int64 `json:"ns"`
+	Flops int64 `json:"flops"`
+	Bytes int64 `json:"bytes"`
+}
+
+// BenchBackend is one execution strategy's measurement.
+type BenchBackend struct {
+	SYPD        float64                `json:"sypd"`
+	WallSeconds float64                `json:"wall_seconds"`
+	Kernels     map[string]BenchKernel `json:"kernels"`
+}
+
+// BenchFile is the on-disk schema of BENCH_<n>.json — the perf
+// trajectory's data points: per-kernel nanoseconds and bytes plus SYPD
+// for every backend measured.
+type BenchFile struct {
+	Schema   string                  `json:"schema"`
+	Config   BenchConfig             `json:"config"`
+	Backends map[string]BenchBackend `json:"backends"`
+}
+
+// NewBenchFile builds a file from per-backend kernel tables and rates.
+func NewBenchFile(cfg BenchConfig) *BenchFile {
+	return &BenchFile{Schema: BenchSchema, Config: cfg, Backends: make(map[string]BenchBackend)}
+}
+
+// AddBackend folds one backend's kernel table and run totals in.
+func (f *BenchFile) AddBackend(name string, kt *KernelTable, sypd, wallSeconds float64) {
+	b := BenchBackend{SYPD: sypd, WallSeconds: wallSeconds, Kernels: make(map[string]BenchKernel)}
+	for _, s := range kt.Stats() {
+		k := b.Kernels[s.Kernel]
+		k.Calls += s.Calls
+		k.Ns += s.Ns
+		k.Flops += s.Flops
+		k.Bytes += s.Bytes
+		b.Kernels[s.Kernel] = k
+	}
+	f.Backends[name] = b
+}
+
+// Validate checks the schema invariants CI enforces: known schema
+// string, a sane configuration, at least one backend, and for every
+// backend a finite nonzero SYPD and a non-empty kernel set with
+// positive times.
+func (f *BenchFile) Validate() error {
+	if f == nil {
+		return fmt.Errorf("obs: nil bench file")
+	}
+	if f.Schema != BenchSchema {
+		return fmt.Errorf("obs: bench schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if f.Config.Ne < 1 || f.Config.Nlev < 1 || f.Config.Steps < 1 || f.Config.Ranks < 1 {
+		return fmt.Errorf("obs: bench config %+v has a non-positive dimension", f.Config)
+	}
+	if len(f.Backends) == 0 {
+		return fmt.Errorf("obs: bench file has no backends")
+	}
+	for name, b := range f.Backends {
+		if b.SYPD <= 0 || math.IsNaN(b.SYPD) || math.IsInf(b.SYPD, 0) {
+			return fmt.Errorf("obs: backend %s: SYPD %v is zero/NaN/Inf", name, b.SYPD)
+		}
+		if len(b.Kernels) == 0 {
+			return fmt.Errorf("obs: backend %s: no kernels recorded", name)
+		}
+		for kn, k := range b.Kernels {
+			if k.Calls < 1 || k.Ns < 1 {
+				return fmt.Errorf("obs: backend %s kernel %s: calls=%d ns=%d", name, kn, k.Calls, k.Ns)
+			}
+		}
+	}
+	return nil
+}
+
+var benchNameRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextBenchPath returns the path of the next unused BENCH_<n>.json in
+// dir (1-based), scanning existing files so the trajectory appends.
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("obs: bench dir: %w", err)
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchNameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// WriteBenchFile validates f and writes it to the next BENCH_<n>.json
+// slot in dir, returning the path written.
+func WriteBenchFile(dir string, f *BenchFile) (string, error) {
+	if err := f.Validate(); err != nil {
+		return "", err
+	}
+	path, err := NextBenchPath(dir)
+	if err != nil {
+		return "", err
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: bench: %w", err)
+	}
+	defer w.Close()
+	if err := EncodeJSON(w, f); err != nil {
+		return "", fmt.Errorf("obs: bench: %w", err)
+	}
+	return path, nil
+}
+
+// LoadBenchFile reads and validates a benchmark file.
+func LoadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: bench: %w", err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obs: bench %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &f, nil
+}

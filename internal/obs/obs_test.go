@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRegistryMergeAcrossRanks folds per-rank registries into a job-wide
+// one, the way a distributed run aggregates: counters add, gauges keep
+// the global high-water mark and the last value, histograms combine.
+func TestRegistryMergeAcrossRanks(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("halo.msgs").Add(5)
+	r2.Counter("halo.msgs").Add(7)
+	r2.Counter("mpirt.send.bytes").Add(100)
+
+	r1.Gauge("exec.ldm.peak").Set(100)
+	r1.Gauge("exec.ldm.peak").Set(80)
+	r2.Gauge("exec.ldm.peak").Set(120)
+	r2.Gauge("exec.ldm.peak").Set(60)
+
+	r1.Histogram("mpirt.rank.send.bytes").Observe(2)
+	r1.Histogram("mpirt.rank.send.bytes").Observe(4)
+	r2.Histogram("mpirt.rank.send.bytes").Observe(8)
+
+	total := NewRegistry()
+	total.Merge(r1)
+	total.Merge(r2)
+
+	if got := total.CounterValue("halo.msgs"); got != 12 {
+		t.Errorf("merged halo.msgs = %d, want 12", got)
+	}
+	if got := total.CounterValue("mpirt.send.bytes"); got != 100 {
+		t.Errorf("merged mpirt.send.bytes = %d, want 100", got)
+	}
+	g := total.Gauge("exec.ldm.peak")
+	if g.Max() != 120 {
+		t.Errorf("merged gauge max = %g, want 120", g.Max())
+	}
+	if g.Value() != 60 {
+		t.Errorf("merged gauge last = %g, want 60", g.Value())
+	}
+	h := total.Histogram("mpirt.rank.send.bytes")
+	if h.Count() != 3 {
+		t.Errorf("merged histogram count = %d, want 3", h.Count())
+	}
+	if want := 14.0 / 3; math.Abs(h.Mean()-want) > 1e-12 {
+		t.Errorf("merged histogram mean = %g, want %g", h.Mean(), want)
+	}
+
+	// Merging an empty registry must not disturb anything.
+	total.Merge(NewRegistry())
+	if got := total.CounterValue("halo.msgs"); got != 12 {
+		t.Errorf("after empty merge halo.msgs = %d, want 12", got)
+	}
+}
+
+// TestRegistryConcurrent exercises concurrent recording from many ranks
+// plus concurrent merges under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	total := NewRegistry()
+	const ranks, per = 8, 100
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			local := NewRegistry()
+			for i := 0; i < per; i++ {
+				local.Counter("exec.launches").Add(1)
+				local.Gauge("exec.ldm.peak").Set(float64(r*per + i))
+				local.Histogram("mpirt.rank.send.bytes").Observe(float64(i))
+			}
+			total.Merge(local)
+		}(r)
+	}
+	wg.Wait()
+	if got := total.CounterValue("exec.launches"); got != ranks*per {
+		t.Errorf("exec.launches = %d, want %d", got, ranks*per)
+	}
+	if got := total.Histogram("mpirt.rank.send.bytes").Count(); got != ranks*per {
+		t.Errorf("histogram count = %d, want %d", got, ranks*per)
+	}
+	if got := total.Gauge("exec.ldm.peak").Max(); got != ranks*per-1 {
+		t.Errorf("gauge max = %g, want %d", got, ranks*per-1)
+	}
+}
+
+// TestNilRegistry checks that nil registries and nil metrics absorb
+// every operation without panicking.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if r.CounterValue("x") != 0 {
+		t.Fatal("nil registry returned nonzero")
+	}
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	var p *Probe
+	if p.T() != nil || p.R() != nil || p.K() != nil {
+		t.Fatal("nil probe returned non-nil components")
+	}
+	var kt *KernelTable
+	kt.Record("k", "b", 1, 1, 1, 0, 0)
+	if kt.Stats() != nil {
+		t.Fatal("nil kernel table returned stats")
+	}
+}
+
+func TestRegistryDumps(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Gauge("a.gauge").Set(2.5)
+	r.Histogram("c.hist").Observe(4)
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.gauge                          2.5 (max 2.5)\n" +
+		"b.count                          3\n" +
+		"c.hist                           n=1 mean=4 min=4 max=4\n"
+	if txt.String() != want {
+		t.Errorf("WriteText:\n%q\nwant:\n%q", txt.String(), want)
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &metrics); err != nil {
+		t.Fatalf("WriteJSON invalid: %v", err)
+	}
+	if len(metrics) != 3 || metrics[0]["name"] != "a.gauge" {
+		t.Errorf("WriteJSON = %v", metrics)
+	}
+}
+
+func TestSYPDGuards(t *testing.T) {
+	// One simulated year in one wall day is exactly 1 SYPD.
+	if got := SYPD(365*86400, 86400); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SYPD(1 year, 1 day) = %g, want 1", got)
+	}
+	// 1500 sim s in 0.01 wall s: (1500/31536000)/(0.01/86400).
+	want := (1500.0 / (365 * 86400)) / (0.01 / 86400)
+	if got := SYPD(1500, 0.01); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("SYPD(1500, 0.01) = %g, want %g", got, want)
+	}
+	for _, wall := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := SYPD(1500, wall); got != 0 {
+			t.Errorf("SYPD(1500, %g) = %g, want 0", wall, got)
+		}
+	}
+}
+
+func TestStepReport(t *testing.T) {
+	kt := NewKernelTable()
+	kt.Record("compute_and_apply_rhs", "Athread", 300, 1e15, 500, 2, 3)
+	kt.Record("euler_step", "Athread", 100, 1e15, 100, 1, 1)
+
+	reg := NewRegistry()
+	reg.Counter("halo.ns").Add(100)
+	reg.Counter("halo.wait.ns").Add(25)
+
+	rep := BuildStepReport(kt, reg, ReportInput{
+		Steps: 10, SimSeconds: 365 * 86400, WallSeconds: 2,
+	})
+	if math.Abs(rep.OverlapRatio-0.75) > 1e-12 {
+		t.Errorf("OverlapRatio = %g, want 0.75", rep.OverlapRatio)
+	}
+	// 2e15 counted flops over 2 wall seconds = 1e15 flops/s = 1 PFlops.
+	if math.Abs(rep.PFlops-1) > 1e-12 {
+		t.Errorf("PFlops = %g, want 1", rep.PFlops)
+	}
+	// One simulated year in 2 s of wall: 86400/2 SYPD.
+	if want := 86400.0 / 2; math.Abs(rep.SYPD-want)/want > 1e-12 {
+		t.Errorf("SYPD = %g, want %g", rep.SYPD, want)
+	}
+	if len(rep.Kernels) != 2 {
+		t.Fatalf("got %d kernels", len(rep.Kernels))
+	}
+	// Sorted by descending time; shares 0.75 and 0.25.
+	if rep.Kernels[0].Kernel != "compute_and_apply_rhs" {
+		t.Errorf("kernel order: %q first", rep.Kernels[0].Kernel)
+	}
+	if math.Abs(rep.Kernels[0].TimeShare-0.75) > 1e-12 ||
+		math.Abs(rep.Kernels[1].TimeShare-0.25) > 1e-12 {
+		t.Errorf("shares = %g, %g; want 0.75, 0.25",
+			rep.Kernels[0].TimeShare, rep.Kernels[1].TimeShare)
+	}
+}
+
+func TestKernelTableMerge(t *testing.T) {
+	a, b := NewKernelTable(), NewKernelTable()
+	a.Record("euler_step", "Athread", 100, 10, 20, 1, 2)
+	b.Record("euler_step", "Athread", 50, 5, 10, 1, 1)
+	b.Record("euler_step", "Intel", 400, 10, 20, 0, 0)
+	a.Merge(b)
+	stats := a.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	// Intel has more time, so it sorts first.
+	if stats[0].Backend != "Intel" || stats[0].Ns != 400 {
+		t.Errorf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Calls != 2 || stats[1].Ns != 150 || stats[1].Flops != 15 {
+		t.Errorf("merged athread stat = %+v", stats[1])
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	kt := NewKernelTable()
+	kt.Record("euler_step", "Athread", 1000, 10, 20, 1, 2)
+
+	f := NewBenchFile(BenchConfig{Ne: 2, Nlev: 4, Qsize: 3, Steps: 5, Ranks: 2})
+	f.AddBackend("athread", kt, 12.5, 0.25)
+	p1, err := WriteBenchFile(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Errorf("first file = %s, want BENCH_1.json", p1)
+	}
+	p2, err := WriteBenchFile(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Errorf("second file = %s, want BENCH_2.json", p2)
+	}
+	got, err := LoadBenchFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema || got.Config.Ne != 2 {
+		t.Errorf("loaded %+v", got)
+	}
+	b := got.Backends["athread"]
+	if b.SYPD != 12.5 || b.Kernels["euler_step"].Ns != 1000 {
+		t.Errorf("loaded backend %+v", b)
+	}
+}
+
+func TestBenchFileValidate(t *testing.T) {
+	good := func() *BenchFile {
+		kt := NewKernelTable()
+		kt.Record("euler_step", "Athread", 1000, 10, 20, 1, 2)
+		f := NewBenchFile(BenchConfig{Ne: 2, Nlev: 4, Qsize: 3, Steps: 5, Ranks: 2})
+		f.AddBackend("athread", kt, 12.5, 0.25)
+		return f
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good file invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+	}{
+		{"unknown schema", func(f *BenchFile) { f.Schema = "swcam-bench/v999" }},
+		{"zero ne", func(f *BenchFile) { f.Config.Ne = 0 }},
+		{"no backends", func(f *BenchFile) { f.Backends = nil }},
+		{"zero sypd", func(f *BenchFile) {
+			b := f.Backends["athread"]
+			b.SYPD = 0
+			f.Backends["athread"] = b
+		}},
+		{"nan sypd", func(f *BenchFile) {
+			b := f.Backends["athread"]
+			b.SYPD = math.NaN()
+			f.Backends["athread"] = b
+		}},
+		{"no kernels", func(f *BenchFile) {
+			b := f.Backends["athread"]
+			b.Kernels = nil
+			f.Backends["athread"] = b
+		}},
+		{"zero-call kernel", func(f *BenchFile) {
+			f.Backends["athread"].Kernels["euler_step"] = BenchKernel{Calls: 0, Ns: 1}
+		}},
+		{"zero-ns kernel", func(f *BenchFile) {
+			f.Backends["athread"].Kernels["euler_step"] = BenchKernel{Calls: 1, Ns: 0}
+		}},
+	}
+	for _, tc := range cases {
+		f := good()
+		tc.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad file", tc.name)
+		}
+	}
+	var nilFile *BenchFile
+	if err := nilFile.Validate(); err == nil {
+		t.Error("nil file validated")
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+// Probe bundles the three observation surfaces — spans, metrics, and
+// per-kernel attribution — that instrumented subsystems share. A nil
+// Probe (the default everywhere) observes nothing; the accessors return
+// nil components, which are themselves no-ops.
+type Probe struct {
+	Tracer  *Tracer
+	Reg     *Registry
+	Kernels *KernelTable
+}
+
+// NewProbe returns a fully enabled probe.
+func NewProbe() *Probe {
+	return &Probe{Tracer: NewTracer(), Reg: NewRegistry(), Kernels: NewKernelTable()}
+}
+
+// T returns the tracer (nil on a nil probe).
+func (p *Probe) T() *Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.Tracer
+}
+
+// R returns the registry (nil on a nil probe).
+func (p *Probe) R() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Reg
+}
+
+// K returns the kernel table (nil on a nil probe).
+func (p *Probe) K() *KernelTable {
+	if p == nil {
+		return nil
+	}
+	return p.Kernels
+}

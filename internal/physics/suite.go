@@ -1,5 +1,11 @@
 package physics
 
+import (
+	"time"
+
+	"swcam/internal/obs"
+)
+
 // Suite bundles the schemes in CAM's calling order and applies them to
 // one column per physics timestep. Two modes exist:
 //
@@ -16,6 +22,18 @@ type Suite struct {
 	Conv  ConvParams
 	Micro MicroParams
 	HS    HSParams
+
+	// Observability hooks (nil = off): atomic counters, so the
+	// chunk-parallel column workers record without coordination.
+	obsCols *obs.Counter
+	obsNs   *obs.Counter
+}
+
+// Instrument wires the suite's counters (physics.columns, physics.ns)
+// into the unified registry. A nil registry detaches them.
+func (s *Suite) Instrument(reg *obs.Registry) {
+	s.obsCols = reg.Counter("physics.columns")
+	s.obsNs = reg.Counter("physics.ns")
 }
 
 // SuiteMode selects the active scheme set.
@@ -54,6 +72,10 @@ type Diag struct {
 
 // Step advances one column by dt through the active schemes.
 func (s *Suite) Step(c *Column, dt float64) Diag {
+	var t0 time.Time
+	if s.obsNs != nil {
+		t0 = time.Now()
+	}
 	var d Diag
 	switch s.Mode {
 	case HeldSuarezMode:
@@ -63,6 +85,10 @@ func (s *Suite) Step(c *Column, dt float64) Diag {
 		d.SHF, d.LHF = PBLDiffusion(c, s.PBL, dt)
 		d.PrecC = BettsMiller(c, s.Conv, dt)
 		d.PrecL = Kessler(c, s.Micro, dt)
+	}
+	s.obsCols.Add(1)
+	if s.obsNs != nil {
+		s.obsNs.Add(time.Since(t0).Nanoseconds())
 	}
 	return d
 }
