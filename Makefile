@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench trace figures outputs clean
+.PHONY: all build vet test race fuzz bench bench-tiled trace figures outputs clean
 
 all: build vet test
 
@@ -18,11 +18,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Native fuzzing over every untrusted-bytes decoder (checkpoint,
+# history, BENCH json), 30s each on top of the checked-in seed corpora.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzReadCheckpoint$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzReadHistory$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzDecodeBench$$' -fuzztime $(FUZZTIME)
+
 # One benchmark per paper table/figure plus the ablations, and a
 # BENCH_<n>.json regression point from the profiler.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir .
+
+# The serial/tiled BENCH pair: two regression points with identical
+# model configuration differing only in -dyn-workers, so the speedup
+# reads directly off consecutive BENCH_<n>.json wall_seconds.
+bench-tiled:
+	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 2 -dyn-workers 1 -dir bench
+	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 2 -dyn-workers 4 -dir bench
 
 # A Chrome trace of all four backends on a small configuration; load
 # swcam.trace.json in chrome://tracing or ui.perfetto.dev.

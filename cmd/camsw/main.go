@@ -40,6 +40,7 @@ func main() {
 	ckEvery := flag.Int("checkpoint-every", 0, "with -parallel: checkpoint every N steps and auto-recover from faults (0 = no supervision)")
 	obsOn := flag.Bool("obs", false, "collect and print the unified observability report (spans, counters, step report)")
 	tracePath := flag.String("trace", "", "write a Chrome about://tracing JSON trace to this file (implies -obs)")
+	dynWorkers := flag.Int("dyn-workers", 0, "with -parallel: intra-rank dynamics workers per rank (0 = one per CPU up to 8, 1 = serial; results are bit-identical for any value)")
 	flag.Parse()
 
 	var probe *obs.Probe
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, probe, *tracePath)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, probe, *tracePath, *dynWorkers)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -195,7 +196,7 @@ func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string, probe *obs.Probe, tracePath string) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string, probe *obs.Probe, tracePath string, dynWorkers int) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -218,6 +219,7 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		fmt.Fprintln(os.Stderr, "camsw:", err)
 		os.Exit(1)
 	}
+	job.SetDynWorkers(dynWorkers)
 	if probe != nil {
 		job.Instrument(probe)
 		for r := 0; r < nranks; r++ {
@@ -245,8 +247,8 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		job.RecvTimeout = 2 * time.Second // so dropped messages are detected
 		job.CheckEvery = 1                // blowup watchdog every step
 	}
-	fmt.Printf("camsw: distributed dynamics, %d ranks, %v backend, %d steps\n",
-		nranks, backend, steps)
+	fmt.Printf("camsw: distributed dynamics, %d ranks, %v backend, %d steps, %d intra-rank workers\n",
+		nranks, backend, steps, job.EngineWorkers())
 	start := time.Now()
 	var stats core.RunStats
 	if ckEvery > 0 {

@@ -7,7 +7,13 @@
 //
 //	swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir bench/
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 4 -trace prof.trace.json
+//	swprof -ne 4 -nlev 8 -steps 10 -ranks 2 -dyn-workers 4 -dir bench/
 //	swprof -validate bench/BENCH_1.json
+//
+// -dyn-workers sets the intra-rank tiling pool (see internal/exec):
+// recording one run with -dyn-workers 1 and one with -dyn-workers 4 on
+// the same configuration yields a serial-vs-tiled pair of BENCH files
+// whose SYPD ratio is the intra-rank speedup.
 //
 // With -trace the four backend runs land in one Chrome trace
 // (pid = rank; runs follow each other on the time axis, spans carry the
@@ -34,6 +40,7 @@ func main() {
 	qsize := flag.Int("qsize", 3, "tracers")
 	steps := flag.Int("steps", 5, "dynamics steps per backend")
 	ranks := flag.Int("ranks", 2, "simulated core groups")
+	dynWorkers := flag.Int("dyn-workers", 1, "intra-rank dynamics workers per rank (0 = one per CPU up to 8, 1 = serial; results are bit-identical for any value)")
 	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
 	tracePath := flag.String("trace", "", "also write a combined Chrome trace to this file")
 	validate := flag.String("validate", "", "validate an existing BENCH_<n>.json and exit")
@@ -57,8 +64,12 @@ func main() {
 	cfg.Nlev = *nlev
 	cfg.Qsize = *qsize
 
+	if *dynWorkers <= 0 {
+		*dynWorkers = exec.DefaultDynWorkers()
+	}
 	bench := obs.NewBenchFile(obs.BenchConfig{
 		Ne: *ne, Nlev: *nlev, Qsize: *qsize, Steps: *steps, Ranks: *ranks,
+		DynWorkers: *dynWorkers,
 	})
 	tracer := obs.NewTracer()
 	for r := 0; r < *ranks; r++ {
@@ -66,11 +77,11 @@ func main() {
 	}
 
 	backends := []exec.Backend{exec.Intel, exec.MPE, exec.OpenACC, exec.Athread}
-	fmt.Printf("swprof: ne%d nlev=%d qsize=%d, %d steps x %d ranks, %d backends\n",
-		*ne, *nlev, *qsize, *steps, *ranks, len(backends))
+	fmt.Printf("swprof: ne%d nlev=%d qsize=%d, %d steps x %d ranks, %d intra-rank workers, %d backends\n",
+		*ne, *nlev, *qsize, *steps, *ranks, *dynWorkers, len(backends))
 	for _, b := range backends {
 		name := strings.ToLower(b.String())
-		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, tracer, bench)
+		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers, tracer, bench)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swprof: %s: %v\n", name, err)
 			os.Exit(1)
@@ -97,12 +108,13 @@ func main() {
 
 // runBackend measures one backend: a fresh job and probe (sharing the
 // combined tracer), one timed RunChecked, one bench entry.
-func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps int,
+func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall float64, err error) {
 	job, err := core.NewParallelJob(cfg, b, true, ranks)
 	if err != nil {
 		return 0, 0, err
 	}
+	job.SetDynWorkers(dynWorkers)
 	probe := &obs.Probe{Tracer: tracer, Reg: obs.NewRegistry(), Kernels: obs.NewKernelTable()}
 	job.Instrument(probe)
 

@@ -22,7 +22,7 @@ func (m *Model) Attach(p *obs.Probe) {
 func (j *ParallelJob) Instrument(p *obs.Probe) {
 	j.Obs = p
 	for r := range j.engs {
-		j.engs[r].Instrument(p.T(), p.K(), r)
+		j.engs[r].Instrument(p.T(), p.K(), p.R(), r)
 		j.Plans[r].Instrument(p.T(), p.R())
 	}
 }

@@ -45,7 +45,69 @@ type ParallelJob struct {
 	// Obs observes the run when set via Instrument (nil = off).
 	Obs *obs.Probe
 
-	steps int
+	// DynWorkers records the configured intra-rank worker-pool size
+	// (0 = the engines' default of one worker; set via SetDynWorkers).
+	DynWorkers int
+
+	steps   int
+	scratch []*stepScratch // per-rank pooled step workspaces (lazy)
+}
+
+// stepScratch is one rank's reusable step-loop workspace: the SSP-RK2
+// stage states, the hyperviscosity Laplacian fields, and the tracer
+// stage copy. Pooling these removes the per-step heap churn that
+// dominated stepRank before the engines went parallel; every field is
+// fully overwritten before it is read each step, so reuse cannot change
+// results.
+type stepScratch struct {
+	s1, s2                 *dycore.State
+	lapU, lapV, lapT, lapP [][]float64
+	qn                     [][]float64
+}
+
+// stepScratchFor returns rank r's pooled step workspace, building it on
+// first use to match the rank's local state shape. The backing slice is
+// allocated eagerly in NewParallelJob: rank goroutines call this
+// concurrently, and each may only touch its own slot — a lazy nil-check
+// here would race on the slice header itself.
+func (j *ParallelJob) stepScratchFor(r int, st *dycore.State) *stepScratch {
+	sc := j.scratch[r]
+	if sc == nil {
+		nlev := j.Cfg.Nlev
+		npsq := j.Cfg.Np * j.Cfg.Np
+		n := st.NElem()
+		sc = &stepScratch{
+			s1:   dycore.NewState(n, j.Cfg.Np, nlev, j.Cfg.Qsize),
+			s2:   dycore.NewState(n, j.Cfg.Np, nlev, j.Cfg.Qsize),
+			lapU: allocFields(n, nlev*npsq),
+			lapV: allocFields(n, nlev*npsq),
+			lapT: allocFields(n, nlev*npsq),
+			lapP: allocFields(n, nlev*npsq),
+			qn:   allocFields(n, j.Cfg.Qsize*nlev*npsq),
+		}
+		j.scratch[r] = sc
+	}
+	return sc
+}
+
+// SetDynWorkers sizes every rank engine's intra-rank worker pool: each
+// kernel call tiles the rank's elements across n concurrent workers
+// with private workspaces. n <= 0 selects the CPU-count-aware default
+// (exec.DefaultDynWorkers). Results are bit-identical for every n.
+func (j *ParallelJob) SetDynWorkers(n int) {
+	j.DynWorkers = n
+	for _, en := range j.engs {
+		en.SetWorkers(n)
+	}
+}
+
+// EngineWorkers reports the effective per-rank worker-pool size after
+// defaulting (1 until SetDynWorkers is called).
+func (j *ParallelJob) EngineWorkers() int {
+	if len(j.engs) == 0 {
+		return 1
+	}
+	return j.engs[0].Workers()
 }
 
 // NewParallelJob partitions the mesh and builds per-rank plans/engines.
@@ -64,6 +126,7 @@ func NewParallelJob(cfg dycore.Config, backend exec.Backend, overlap bool, nrank
 	}
 	j.Plans = make([]*halo.Plan, nranks)
 	j.engs = make([]*exec.Engine, nranks)
+	j.scratch = make([]*stepScratch, nranks)
 	for r := 0; r < nranks; r++ {
 		j.Plans[r] = halo.NewPlan(m, rankOf, r)
 		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)
@@ -227,10 +290,12 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	npsq := cfg.Np * cfg.Np
 
 	// --- Dynamics: SSP-RK2 with DSS after each stage. ---
-	s1 := st.Clone()
+	sc := j.stepScratchFor(r, st)
+	s1, s2 := sc.s1, sc.s2
+	s1.CopyFrom(st)
 	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, st, st, s1, cfg.Dt))
 	j.dssFields(c, r, &rs.Halo, nlev, s1.U, s1.V, s1.T, s1.DP)
-	s2 := s1.Clone()
+	s2.CopyFrom(s1)
 	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, s1, s1, s2, cfg.Dt))
 	j.dssFields(c, r, &rs.Halo, nlev, s2.U, s2.V, s2.T, s2.DP)
 	for le := range st.U {
@@ -244,10 +309,9 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	if cfg.HypervisSubcycle > 0 && (cfg.NuV != 0 || cfg.NuS != 0) {
 		mass0 := c.AllreduceScalar(mpirt.OpSum, j.localMass(r, st))
 		dt := cfg.Dt / float64(cfg.HypervisSubcycle)
-		lapU := allocFields(st.NElem(), nlev*npsq)
-		lapV := allocFields(st.NElem(), nlev*npsq)
-		lapT := allocFields(st.NElem(), nlev*npsq)
-		lapP := allocFields(st.NElem(), nlev*npsq)
+		// Pooled Laplacian fields: HypervisDP1 overwrites every entry
+		// before the DSS reads them, so reuse is safe.
+		lapU, lapV, lapT, lapP := sc.lapU, sc.lapV, sc.lapT, sc.lapP
 		for sub := 0; sub < cfg.HypervisSubcycle; sub++ {
 			rs.Cost.Add(en.HypervisDP1(j.Backend, st, lapU, lapV, lapT, lapP))
 			j.dssFields(c, r, &rs.Halo, nlev, lapU, lapV, lapT, lapP)
@@ -267,7 +331,7 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 
 	// --- Tracers: SSP-RK2 with limiter, all tracers per exchange. ---
 	if cfg.Qsize > 0 {
-		qn := allocFields(st.NElem(), cfg.Qsize*nlev*npsq)
+		qn := sc.qn
 		for le := range st.Qdp {
 			copy(qn[le], st.Qdp[le])
 		}
@@ -345,6 +409,7 @@ func newJobWithPartition(cfg dycore.Config, backend exec.Backend, overlap bool, 
 	}
 	j.Plans = make([]*halo.Plan, nranks)
 	j.engs = make([]*exec.Engine, nranks)
+	j.scratch = make([]*stepScratch, nranks)
 	for r := 0; r < nranks; r++ {
 		j.Plans[r] = halo.NewPlan(m, rankOf, r)
 		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)

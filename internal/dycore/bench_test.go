@@ -37,10 +37,12 @@ func BenchmarkEulerStepElem(b *testing.B) {
 	flxU := make([]float64, 16)
 	flxV := make([]float64, 16)
 	div := make([]float64, 16)
+	gv1 := make([]float64, 16)
+	gv2 := make([]float64, 16)
 	qdp := st.QdpAt(0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		EulerStepElem(e, s.Mesh.DerivFlat, 4, 16, st.U[0], st.V[0], qdp, qdp, 60, flxU, flxV, div)
+		EulerStepElem(e, s.Mesh.DerivFlat, 4, 16, st.U[0], st.V[0], qdp, qdp, 60, flxU, flxV, div, gv1, gv2)
 	}
 }
 

@@ -10,9 +10,10 @@ import "swcam/internal/mesh"
 // the element-local body of CAM-SE's euler_step (Table 1 row 2; the
 // driver composes stages into the strong-stability-preserving RK2 of the
 // paper's description). All slices are level-major; out may alias in.
+// flxU..gv2 are np*np caller scratch, so the kernel never allocates.
 func EulerStepElem(e *mesh.Element, derivFlat []float64, np, nlev int,
 	u, v, in, out []float64, dt float64,
-	flxU, flxV, div []float64) {
+	flxU, flxV, div, gv1, gv2 []float64) {
 	npsq := np * np
 	for k := 0; k < nlev; k++ {
 		o := k * npsq
@@ -20,7 +21,7 @@ func EulerStepElem(e *mesh.Element, derivFlat []float64, np, nlev int,
 			flxU[n] = u[o+n] * in[o+n]
 			flxV[n] = v[o+n] * in[o+n]
 		}
-		DivergenceSphere(e, derivFlat, np, flxU, flxV, div)
+		DivergenceSlab(derivFlat, e.DinvFlat, e.Metdet, e.DAlpha, np, flxU, flxV, div, gv1, gv2)
 		for n := 0; n < npsq; n++ {
 			out[o+n] = in[o+n] - dt*div[n]
 		}

@@ -18,18 +18,40 @@ type ppmCoef struct {
 	aL, da, a6 []float64
 }
 
-func newPPMCoef(n int) *ppmCoef {
-	return &ppmCoef{aL: make([]float64, n), da: make([]float64, n), a6: make([]float64, n)}
+// RemapWorkspace holds the PPM reconstruction scratch for columns of one
+// fixed length, so steady-state remap calls are allocation-free. One
+// workspace serves one goroutine at a time; callers that remap columns
+// concurrently hold one workspace each.
+type RemapWorkspace struct {
+	coef        ppmCoef
+	slope, edge []float64
+	cum         []float64
+}
+
+// NewRemapWorkspace allocates scratch for columns of nlev cells.
+func NewRemapWorkspace(nlev int) *RemapWorkspace {
+	return &RemapWorkspace{
+		coef: ppmCoef{
+			aL: make([]float64, nlev),
+			da: make([]float64, nlev),
+			a6: make([]float64, nlev),
+		},
+		slope: make([]float64, nlev),
+		edge:  make([]float64, nlev+1),
+		cum:   make([]float64, nlev+1),
+	}
 }
 
 // buildPPM reconstructs monotonic parabolas for cell averages a on cell
 // widths dp (Colella & Woodward 1984, non-uniform grid). Boundary cells
 // fall back to piecewise-constant, as HOMME's remap does at the model
-// top and surface.
-func buildPPM(dp, a []float64, c *ppmCoef) {
+// top and surface. slope (len n) and edge (len n+1) are caller scratch.
+func buildPPM(dp, a []float64, c *ppmCoef, slope, edge []float64) {
 	n := len(a)
 	// Limited slopes (CW84 eq. 1.7-1.8).
-	slope := make([]float64, n)
+	for j := range slope {
+		slope[j] = 0
+	}
 	for j := 1; j < n-1; j++ {
 		dm, d0, dp1 := dp[j-1], dp[j], dp[j+1]
 		s := d0 / (dm + d0 + dp1) *
@@ -41,7 +63,6 @@ func buildPPM(dp, a []float64, c *ppmCoef) {
 		}
 	}
 	// Edge values between cells j and j+1 (CW84 eq. 1.6).
-	edge := make([]float64, n+1)
 	for j := 1; j < n-2; j++ {
 		dm, d0, d1, d2 := dp[j-1], dp[j], dp[j+1], dp[j+2]
 		sum := dm + d0 + d1 + d2
@@ -89,11 +110,23 @@ func (c *ppmCoef) cellMass(j int, dp, x float64) float64 {
 // RemapPPM remaps cell averages a from source thicknesses dpS onto
 // target thicknesses dpT (same column total within roundoff), storing
 // target averages in out. It is exactly conservative: the cumulative
-// mass at the column bottom is reproduced to roundoff.
+// mass at the column bottom is reproduced to roundoff. The convenience
+// wrapper allocates a workspace per call; steady-state callers hold a
+// RemapWorkspace and use its method instead.
 func RemapPPM(dpS, a, dpT, out []float64) {
+	NewRemapWorkspace(len(a)).RemapPPM(dpS, a, dpT, out)
+}
+
+// RemapPPM is the allocation-free remap: identical arithmetic to the
+// package-level function, with the reconstruction scratch taken from the
+// workspace (which must have been sized for len(a) cells).
+func (rw *RemapWorkspace) RemapPPM(dpS, a, dpT, out []float64) {
 	n := len(a)
 	if len(dpS) != n || len(dpT) != len(out) {
 		panic("dycore: RemapPPM length mismatch")
+	}
+	if len(rw.coef.aL) != n {
+		panic("dycore: RemapWorkspace sized for a different column length")
 	}
 	var totS, totT float64
 	for _, d := range dpS {
@@ -106,11 +139,12 @@ func RemapPPM(dpS, a, dpT, out []float64) {
 		panic(fmt.Sprintf("dycore: RemapPPM column totals differ: %g vs %g", totS, totT))
 	}
 
-	c := newPPMCoef(n)
-	buildPPM(dpS, a, c)
+	c := &rw.coef
+	buildPPM(dpS, a, c, rw.slope, rw.edge)
 
 	// Cumulative source mass at source interfaces.
-	cum := make([]float64, n+1)
+	cum := rw.cum
+	cum[0] = 0
 	for j := 0; j < n; j++ {
 		cum[j+1] = cum[j] + a[j]*dpS[j]
 	}
@@ -154,10 +188,11 @@ func RemapPPM(dpS, a, dpT, out []float64) {
 // thicknesses back to the reference hybrid grid: velocities and
 // temperature as mass-weighted averages (conserving momentum and
 // internal energy), tracers as masses, then resets DP to the reference.
-// Column scratch buffers (len nlev) are supplied by the caller.
+// Column scratch buffers (len nlev) and the PPM workspace are supplied
+// by the caller, so warmed callers remap without heap allocation.
 func RemapStateElem(h *HybridCoord, np, nlev, qsize int,
 	u, v, tt, dp, qdp []float64,
-	colSrc, colVal, colRef, colOut []float64) {
+	colSrc, colVal, colRef, colOut []float64, rw *RemapWorkspace) {
 	npsq := np * np
 	for n := 0; n < npsq; n++ {
 		// Deformed column and its implied surface pressure.
@@ -172,7 +207,7 @@ func RemapStateElem(h *HybridCoord, np, nlev, qsize int,
 			for k := 0; k < nlev; k++ {
 				colVal[k] = f[k*npsq+n]
 			}
-			RemapPPM(colSrc, colVal, colRef, colOut)
+			rw.RemapPPM(colSrc, colVal, colRef, colOut)
 			for k := 0; k < nlev; k++ {
 				f[k*npsq+n] = colOut[k]
 			}
@@ -188,7 +223,7 @@ func RemapStateElem(h *HybridCoord, np, nlev, qsize int,
 			for k := 0; k < nlev; k++ {
 				colVal[k] = qdp[base+k*npsq+n] / colSrc[k]
 			}
-			RemapPPM(colSrc, colVal, colRef, colOut)
+			rw.RemapPPM(colSrc, colVal, colRef, colOut)
 			for k := 0; k < nlev; k++ {
 				qdp[base+k*npsq+n] = colOut[k] * colRef[k]
 			}

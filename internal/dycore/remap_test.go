@@ -277,7 +277,7 @@ func TestRemapStateElemConservs(t *testing.T) {
 	colB := make([]float64, nlev)
 	colC := make([]float64, nlev)
 	colD := make([]float64, nlev)
-	RemapStateElem(h, np, nlev, qsize, u, v, tt, dp, qdp, colA, colB, colC, colD)
+	RemapStateElem(h, np, nlev, qsize, u, v, tt, dp, qdp, colA, colB, colC, colD, NewRemapWorkspace(nlev))
 	for n := 0; n < npsq; n++ {
 		if d := math.Abs(colMass(dp, ones, n) - b[n].mass); d > 1e-8*b[n].mass {
 			t.Errorf("node %d: column mass changed by %g", n, d)

@@ -23,6 +23,7 @@ type Workspace struct {
 	tx, ty   []float64
 	flxU     []float64
 	flxV     []float64
+	s1, s2   []float64 // slab scratch for the differential operators
 }
 
 // NewWorkspace allocates scratch for elements with the given dimensions.
@@ -46,6 +47,8 @@ func NewWorkspace(np, nlev int) *Workspace {
 		ty:     make([]float64, npsq),
 		flxU:   make([]float64, npsq),
 		flxV:   make([]float64, npsq),
+		s1:     make([]float64, npsq),
+		s2:     make([]float64, npsq),
 	}
 }
 
@@ -134,7 +137,8 @@ func ComputeAndApplyRHSElem(e *mesh.Element, derivFlat []float64, w *Workspace, 
 			w.flxU[n] = uk[n] * curDP[o+n]
 			w.flxV[n] = vk[n] * curDP[o+n]
 		}
-		DivergenceSphere(e, derivFlat, np, w.flxU, w.flxV, w.divDp[o:o+npsq])
+		DivergenceSlab(derivFlat, e.DinvFlat, e.Metdet, e.DAlpha, np,
+			w.flxU, w.flxV, w.divDp[o:o+npsq], w.s1, w.s2)
 	}
 
 	// Omega scan: omega(k) = v.grad(p)(k) - [sum_{l<k} divDp(l) + divDp(k)/2].
@@ -156,13 +160,13 @@ func ComputeAndApplyRHSElem(e *mesh.Element, derivFlat []float64, w *Workspace, 
 		for n := 0; n < npsq; n++ {
 			w.ke[n] = (uk[n]*uk[n]+vk[n]*vk[n])/2 + w.phi[o+n]
 		}
-		GradientSphere(e, derivFlat, np, w.ke, w.gx, w.gy)
+		GradientSlab(derivFlat, e.DinvFlat, e.DAlpha, np, w.ke, w.gx, w.gy, w.s1, w.s2)
 		// Pressure gradient at the level.
-		GradientSphere(e, derivFlat, np, w.pMid[o:o+npsq], w.gpx, w.gpy)
+		GradientSlab(derivFlat, e.DinvFlat, e.DAlpha, np, w.pMid[o:o+npsq], w.gpx, w.gpy, w.s1, w.s2)
 		// Temperature gradient for horizontal advection.
-		GradientSphere(e, derivFlat, np, tk, w.tx, w.ty)
+		GradientSlab(derivFlat, e.DinvFlat, e.DAlpha, np, tk, w.tx, w.ty, w.s1, w.s2)
 		// Relative vorticity.
-		VorticitySphere(e, derivFlat, np, uk, vk, w.vort)
+		VorticitySlab(derivFlat, e.DFlat, e.Metdet, e.DAlpha, np, uk, vk, w.vort, w.s1, w.s2)
 
 		for n := 0; n < npsq; n++ {
 			f := 2 * Omega * math.Sin(e.Lat[n]) // Coriolis parameter

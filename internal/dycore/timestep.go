@@ -80,6 +80,8 @@ type Solver struct {
 	scrU, scrV, scrS        []float64
 	colA, colB, colC, colD  []float64
 	flxU, flxV, divScr      []float64
+	gv1, gv2                []float64
+	remapWS                 *RemapWorkspace
 }
 
 // NewSolver builds the mesh and scratch for a configuration.
@@ -115,6 +117,9 @@ func NewSolver(cfg Config) (*Solver, error) {
 	s.flxU = make([]float64, npsq)
 	s.flxV = make([]float64, npsq)
 	s.divScr = make([]float64, npsq)
+	s.gv1 = make([]float64, npsq)
+	s.gv2 = make([]float64, npsq)
+	s.remapWS = NewRemapWorkspace(cfg.Nlev)
 	return s, nil
 }
 
@@ -238,7 +243,7 @@ func (s *Solver) TracerStep(st *State) {
 			for ei, e := range s.Mesh.Elements {
 				EulerStepElem(e, s.Mesh.DerivFlat, np, nlev,
 					st.U[ei], st.V[ei], stage[ei], stage[ei], dt,
-					s.flxU, s.flxV, s.divScr)
+					s.flxU, s.flxV, s.divScr, s.gv1, s.gv2)
 			}
 			if s.Cfg.Limiter {
 				for ei, e := range s.Mesh.Elements {
@@ -262,7 +267,7 @@ func (s *Solver) RemapStep(st *State) {
 	for ei := range s.Mesh.Elements {
 		RemapStateElem(s.Hybrid, s.Cfg.Np, s.Cfg.Nlev, s.Cfg.Qsize,
 			st.U[ei], st.V[ei], st.T[ei], st.DP[ei], st.Qdp[ei],
-			s.colA, s.colB, s.colC, s.colD)
+			s.colA, s.colB, s.colC, s.colD, s.remapWS)
 	}
 }
 

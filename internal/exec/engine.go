@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"swcam/internal/dycore"
 	"swcam/internal/mesh"
@@ -11,44 +12,162 @@ import (
 
 // Engine runs kernels for one process (one MPI rank = one core group in
 // the TaihuLight model) over that rank's elements.
+//
+// Inside the rank, the element list is tiled across a bounded pool of
+// host workers (SetWorkers); each worker owns a full set of kernel
+// scratch — a simulated core group for the CPE backends and the
+// dycore workspace/RHS/slab buffers for the serial backends — so tiles
+// execute concurrently without sharing mutable state. Tiling preserves
+// the untiled element-to-CPE assignment (tiles are aligned to the CPE
+// mesh width), so kernel outputs AND the collected Cost records are
+// bit-identical for every worker count; see tiling.go.
 type Engine struct {
 	M     *mesh.Mesh
-	CG    *sw.CoreGroup
 	Elems []int // global element ids owned by this rank, in local-slot order
 
 	Np, Nlev, Qsize int
 
-	ws  *dycore.Workspace
-	rhs *dycore.RHS
-	// Serial-backend scratch.
-	flxU, flxV, div []float64
-	colA, colB      []float64
-	colC, colD      []float64
+	workers int
+	pool    []*dynWorker
+	tilesC  []tile // precomputed aligned tiles, one worker each
+
+	// Tile-run coordination (see tiling.go). Kernel methods are not
+	// reentrant per engine — exactly as with the former shared
+	// workspace — so one set of fields suffices.
+	tileWG      sync.WaitGroup
+	partials    []serialPartial
+	tilePanics  []any
+	curSerialFn func(w *dynWorker, lo, hi int, p *serialPartial)
+	curCGFn     func(cg *sw.CoreGroup, lo, hi int)
 
 	// Observability hooks (nil = off; see instrument.go).
 	obsTr   *obs.Tracer
 	obsKT   *obs.KernelTable
+	obsReg  *obs.Registry
 	obsRank int
+	// busyNs[w] accumulates worker w's kernel-tile wall time when a
+	// registry is attached (exec.dyn.worker_busy_ns.<w>).
+	busyNs []*obs.Counter
+	// Current kernel context for per-tile spans, set by kernelProbe on
+	// the rank goroutine before tiles launch.
+	curKernel, curBackend string
 }
 
-// NewEngine builds an engine for the given local element set. The state
-// passed to kernel methods must index elements in the same order.
-func NewEngine(m *mesh.Mesh, elems []int, nlev, qsize int) *Engine {
-	np := m.Np
+// dynWorker is one intra-rank worker's private execution resources: a
+// simulated core group (built lazily — serial-only runs never pay for
+// it) plus the per-element scratch the serial kernels need. Replacing
+// the engine's former single shared workspace with this pool is what
+// lets tiles of one kernel run concurrently.
+type dynWorker struct {
+	cg  *sw.CoreGroup
+	ws  *dycore.Workspace
+	rhs *dycore.RHS
+	// Serial-backend scratch.
+	flxU, flxV, div  []float64
+	gv1, gv2         []float64
+	colA, colB       []float64
+	colC, colD       []float64
+	scrU, scrV, scrS []float64
+	rws              *dycore.RemapWorkspace
+	// Per-CPE PPM workspaces for the CPE remap paths (64 simulated cores
+	// remap columns concurrently inside one tile); built with the core
+	// group, since only CPE backends need them. Host-side scratch: the
+	// LDM accounting of the remap kernels is unchanged.
+	cpeRWS []*dycore.RemapWorkspace
+	nlev   int
+
+	// Pooled snapshot storage for the OpenACC vertical remap (the one
+	// kernel that reads whole element rows while writing single values
+	// back): grown once to the tile's footprint, reused afterwards.
+	snapBuf                            []float64
+	snapU, snapV, snapT, snapDP, snapQ [][]float64
+}
+
+func newDynWorker(np, nlev int) *dynWorker {
 	npsq := np * np
-	return &Engine{
-		M: m, CG: sw.NewCoreGroup(0), Elems: elems,
-		Np: np, Nlev: nlev, Qsize: qsize,
+	return &dynWorker{
 		ws:   dycore.NewWorkspace(np, nlev),
 		rhs:  dycore.NewRHS(np, nlev),
 		flxU: make([]float64, npsq),
 		flxV: make([]float64, npsq),
 		div:  make([]float64, npsq),
+		gv1:  make([]float64, npsq),
+		gv2:  make([]float64, npsq),
 		colA: make([]float64, nlev),
 		colB: make([]float64, nlev),
 		colC: make([]float64, nlev),
 		colD: make([]float64, nlev),
+		scrU: make([]float64, npsq),
+		scrV: make([]float64, npsq),
+		scrS: make([]float64, npsq),
+		rws:  dycore.NewRemapWorkspace(nlev),
+		nlev: nlev,
 	}
+}
+
+// ensureCG builds the worker's simulated core group (and the per-CPE
+// remap workspaces) on first use by a CPE backend.
+func (w *dynWorker) ensureCG() *sw.CoreGroup {
+	if w.cg == nil {
+		w.cg = sw.NewCoreGroup(0)
+		w.cpeRWS = make([]*dycore.RemapWorkspace, sw.CPEsPerCG)
+		for i := range w.cpeRWS {
+			w.cpeRWS[i] = dycore.NewRemapWorkspace(w.nlev)
+		}
+	}
+	return w.cg
+}
+
+// snapshot copies element rows [lo, hi) of the five state field groups
+// into the worker's pooled buffer, returning row views indexed by
+// le-lo. rowLen is nlev*np² (U/V/T/DP rows), qRowLen is qsize*rowLen.
+func (w *dynWorker) snapshot(u, v, t, dp, q [][]float64, lo, hi, rowLen, qRowLen int) (su, sv, st, sdp, sq [][]float64) {
+	n := hi - lo
+	need := n * (4*rowLen + qRowLen)
+	if cap(w.snapBuf) < need {
+		w.snapBuf = make([]float64, need)
+		w.snapU = make([][]float64, n)
+		w.snapV = make([][]float64, n)
+		w.snapT = make([][]float64, n)
+		w.snapDP = make([][]float64, n)
+		w.snapQ = make([][]float64, n)
+	}
+	if len(w.snapU) < n {
+		w.snapU = make([][]float64, n)
+		w.snapV = make([][]float64, n)
+		w.snapT = make([][]float64, n)
+		w.snapDP = make([][]float64, n)
+		w.snapQ = make([][]float64, n)
+	}
+	buf := w.snapBuf[:0]
+	carve := func(src []float64) []float64 {
+		s := buf[len(buf) : len(buf)+len(src)]
+		buf = buf[:len(buf)+len(src)]
+		copy(s, src)
+		return s
+	}
+	for i := 0; i < n; i++ {
+		le := lo + i
+		w.snapU[i] = carve(u[le])
+		w.snapV[i] = carve(v[le])
+		w.snapT[i] = carve(t[le])
+		w.snapDP[i] = carve(dp[le])
+		w.snapQ[i] = carve(q[le])
+	}
+	return w.snapU[:n], w.snapV[:n], w.snapT[:n], w.snapDP[:n], w.snapQ[:n]
+}
+
+// NewEngine builds an engine for the given local element set with a
+// single worker (the serial intra-rank path). The state passed to
+// kernel methods must index elements in the same order. Call SetWorkers
+// to enable tiled execution.
+func NewEngine(m *mesh.Mesh, elems []int, nlev, qsize int) *Engine {
+	en := &Engine{
+		M: m, Elems: elems,
+		Np: m.Np, Nlev: nlev, Qsize: qsize,
+	}
+	en.SetWorkers(1)
+	return en
 }
 
 // element returns the mesh element of local slot le.
@@ -98,12 +217,35 @@ func min(a, b int) int {
 	return b
 }
 
-// collect drains the core-group counters into a Cost and resets them.
+// collect merges the per-worker core-group counters into one Cost and
+// resets them. Counters are merged per CPE id — CPE i's events summed
+// across every worker's core group — which reconstructs exactly the
+// counters a single untiled core group would have accumulated, because
+// tiling preserves the element-to-CPE assignment. The sum/max reduction
+// then matches the untiled path bit for bit.
+//
+// launches is the number of athread_spawn-style parallel-region
+// launches the kernel performed on the hardware being modeled: the
+// host-side tiles all simulate portions of the SAME launch, so the
+// count is independent of the worker pool size.
 func (en *Engine) collect(b Backend, launches int64) Cost {
-	sum, max := en.CG.Counters()
-	en.CG.ResetCounters()
-	mpe := en.CG.MPE.Ctr
-	en.CG.MPE.Ctr.Reset()
+	var sum, max, mpe sw.PerfCounter
+	for id := 0; id < sw.CPEsPerCG; id++ {
+		var m sw.PerfCounter
+		for _, w := range en.pool {
+			if w.cg != nil {
+				m.Add(&w.cg.CPEs[id].Ctr)
+			}
+		}
+		sum.Add(&m)
+		max.MaxInPlace(&m)
+	}
+	for _, w := range en.pool {
+		if w.cg != nil {
+			mpe.Add(&w.cg.MPE.Ctr)
+			w.cg.ResetCounters()
+		}
+	}
 	return Cost{
 		Backend:     b,
 		FlopsScalar: sum.FlopsScalar + mpe.FlopsScalar,

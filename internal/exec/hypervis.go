@@ -10,14 +10,15 @@ import (
 func (en *Engine) hypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
 	switch b {
 	case Intel, MPE:
-		var flops, bytes int64
-		for le := range en.Elems {
-			dycore.HypervisDP1Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
-				st.U[le], st.V[le], st.T[le], st.DP[le],
-				lapU[le], lapV[le], lapT[le], lapDP[le])
-			flops += hypervis1Flops(en.Np, en.Nlev)
-			bytes += hypervisBytes(en.Np, en.Nlev)
-		}
+		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
+			for le := lo; le < hi; le++ {
+				dycore.HypervisDP1Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
+					st.U[le], st.V[le], st.T[le], st.DP[le],
+					lapU[le], lapV[le], lapT[le], lapDP[le])
+				p.flops += hypervis1Flops(en.Np, en.Nlev)
+				p.bytes += hypervisBytes(en.Np, en.Nlev)
+			}
+		})
 		return serialCost(b, flops, bytes)
 	case OpenACC:
 		return en.hvLevelParallel(OpenACC, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
@@ -33,19 +34,16 @@ func (en *Engine) hypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
 	st *dycore.State, dt, nuV, nuS float64) Cost {
 	switch b {
 	case Intel, MPE:
-		npsq := en.Np * en.Np
-		scrU := make([]float64, npsq)
-		scrV := make([]float64, npsq)
-		scrS := make([]float64, npsq)
-		var flops, bytes int64
-		for le := range en.Elems {
-			dycore.HypervisDP2Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
-				lapU[le], lapV[le], lapT[le], lapDP[le],
-				st.U[le], st.V[le], st.T[le], st.DP[le],
-				dt, nuV, nuS, scrU, scrV, scrS)
-			flops += hypervis2Flops(en.Np, en.Nlev)
-			bytes += hypervisBytes(en.Np, en.Nlev)
-		}
+		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
+			for le := lo; le < hi; le++ {
+				dycore.HypervisDP2Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
+					lapU[le], lapV[le], lapT[le], lapDP[le],
+					st.U[le], st.V[le], st.T[le], st.DP[le],
+					dt, nuV, nuS, w.scrU, w.scrV, w.scrS)
+				p.flops += hypervis2Flops(en.Np, en.Nlev)
+				p.bytes += hypervisBytes(en.Np, en.Nlev)
+			}
+		})
 		return serialCost(b, flops, bytes)
 	case OpenACC:
 		return en.hvLevelParallel(OpenACC, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
@@ -76,150 +74,154 @@ func (en *Engine) hvLevelParallel(b Backend,
 	npsq := np * np
 
 	if b == OpenACC {
-		nwork := len(en.Elems) * nlev
-		en.CG.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			for w := c.ID; w < nwork; w += sw.CPEsPerCG {
-				ldm.Reset()
-				le, k := w/nlev, w%nlev
-				e := en.element(le)
-				o := k * npsq
-				deriv := ldm.MustAlloc("deriv", npsq)
-				dinv := ldm.MustAlloc("dinv", 4*npsq)
-				dflat := ldm.MustAlloc("dflat", 4*npsq)
-				metdet := ldm.MustAlloc("metdet", npsq)
-				c.DMA.GetShared(deriv, en.M.DerivFlat)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(dflat, e.DFlat)
-				c.DMA.Get(metdet, e.Metdet)
+		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+			wlo, whi := lo*nlev, hi*nlev
+			cg.Spawn(func(c *sw.CPE) {
+				ldm := c.LDM
+				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
+					ldm.Reset()
+					le, k := w/nlev, w%nlev
+					e := en.element(le)
+					o := k * npsq
+					deriv := ldm.MustAlloc("deriv", npsq)
+					dinv := ldm.MustAlloc("dinv", 4*npsq)
+					dflat := ldm.MustAlloc("dflat", 4*npsq)
+					metdet := ldm.MustAlloc("metdet", npsq)
+					c.DMA.GetShared(deriv, en.M.DerivFlat)
+					c.DMA.Get(dinv, e.DinvFlat)
+					c.DMA.Get(dflat, e.DFlat)
+					c.DMA.Get(metdet, e.Metdet)
 
-				u := ldm.MustAlloc("u", npsq)
-				v := ldm.MustAlloc("v", npsq)
-				tt := ldm.MustAlloc("t", npsq)
-				dp := ldm.MustAlloc("dp", npsq)
-				c.DMA.Get(u, srcU[le][o:o+npsq])
-				c.DMA.Get(v, srcV[le][o:o+npsq])
-				c.DMA.Get(tt, srcT[le][o:o+npsq])
-				c.DMA.Get(dp, srcDP[le][o:o+npsq])
+					u := ldm.MustAlloc("u", npsq)
+					v := ldm.MustAlloc("v", npsq)
+					tt := ldm.MustAlloc("t", npsq)
+					dp := ldm.MustAlloc("dp", npsq)
+					c.DMA.Get(u, srcU[le][o:o+npsq])
+					c.DMA.Get(v, srcV[le][o:o+npsq])
+					c.DMA.Get(tt, srcT[le][o:o+npsq])
+					c.DMA.Get(dp, srcDP[le][o:o+npsq])
 
-				lu := ldm.MustAlloc("lu", npsq)
-				lv := ldm.MustAlloc("lv", npsq)
-				lt := ldm.MustAlloc("lt", npsq)
-				ldp := ldm.MustAlloc("ldp", npsq)
-				s1 := ldm.MustAlloc("s1", npsq)
-				s2 := ldm.MustAlloc("s2", npsq)
-				s3 := ldm.MustAlloc("s3", npsq)
-				s4 := ldm.MustAlloc("s4", npsq)
-				s5 := ldm.MustAlloc("s5", npsq)
-				s6 := ldm.MustAlloc("s6", npsq)
+					lu := ldm.MustAlloc("lu", npsq)
+					lv := ldm.MustAlloc("lv", npsq)
+					lt := ldm.MustAlloc("lt", npsq)
+					ldp := ldm.MustAlloc("ldp", npsq)
+					s1 := ldm.MustAlloc("s1", npsq)
+					s2 := ldm.MustAlloc("s2", npsq)
+					s3 := ldm.MustAlloc("s3", npsq)
+					s4 := ldm.MustAlloc("s4", npsq)
+					s5 := ldm.MustAlloc("s5", npsq)
+					s6 := ldm.MustAlloc("s6", npsq)
 
-				dycore.VecLaplaceSlab(deriv, dflat, dinv, metdet, e.DAlpha, np,
-					u, v, lu, lv, s1, s2, s3, s4, s5, s6)
-				dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, tt, lt, s1, s2, s3, s4)
-				dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, dp, ldp, s1, s2, s3, s4)
-				c.CountFlops(vecLapFlops(np) + 2*lapFlops(np))
+					dycore.VecLaplaceSlab(deriv, dflat, dinv, metdet, e.DAlpha, np,
+						u, v, lu, lv, s1, s2, s3, s4, s5, s6)
+					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, tt, lt, s1, s2, s3, s4)
+					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, dp, ldp, s1, s2, s3, s4)
+					c.CountFlops(vecLapFlops(np) + 2*lapFlops(np))
 
-				if update {
-					du := ldm.MustAlloc("du", npsq)
-					dv := ldm.MustAlloc("dv", npsq)
-					dtt := ldm.MustAlloc("dt", npsq)
-					ddp := ldm.MustAlloc("ddp", npsq)
-					c.DMA.Get(du, dstU[le][o:o+npsq])
-					c.DMA.Get(dv, dstV[le][o:o+npsq])
-					c.DMA.Get(dtt, dstT[le][o:o+npsq])
-					c.DMA.Get(ddp, dstDP[le][o:o+npsq])
-					for n := 0; n < npsq; n++ {
-						du[n] -= dt * nuV * lu[n]
-						dv[n] -= dt * nuV * lv[n]
-						dtt[n] -= dt * nuS * lt[n]
-						ddp[n] -= dt * nuS * ldp[n]
+					if update {
+						du := ldm.MustAlloc("du", npsq)
+						dv := ldm.MustAlloc("dv", npsq)
+						dtt := ldm.MustAlloc("dt", npsq)
+						ddp := ldm.MustAlloc("ddp", npsq)
+						c.DMA.Get(du, dstU[le][o:o+npsq])
+						c.DMA.Get(dv, dstV[le][o:o+npsq])
+						c.DMA.Get(dtt, dstT[le][o:o+npsq])
+						c.DMA.Get(ddp, dstDP[le][o:o+npsq])
+						for n := 0; n < npsq; n++ {
+							du[n] -= dt * nuV * lu[n]
+							dv[n] -= dt * nuV * lv[n]
+							dtt[n] -= dt * nuS * lt[n]
+							ddp[n] -= dt * nuS * ldp[n]
+						}
+						c.CountFlops(int64(12 * npsq))
+						c.DMA.Put(dstU[le][o:o+npsq], du)
+						c.DMA.Put(dstV[le][o:o+npsq], dv)
+						c.DMA.Put(dstT[le][o:o+npsq], dtt)
+						c.DMA.Put(dstDP[le][o:o+npsq], ddp)
+					} else {
+						c.DMA.Put(dstU[le][o:o+npsq], lu)
+						c.DMA.Put(dstV[le][o:o+npsq], lv)
+						c.DMA.Put(dstT[le][o:o+npsq], lt)
+						c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 					}
-					c.CountFlops(int64(12 * npsq))
-					c.DMA.Put(dstU[le][o:o+npsq], du)
-					c.DMA.Put(dstV[le][o:o+npsq], dv)
-					c.DMA.Put(dstT[le][o:o+npsq], dtt)
-					c.DMA.Put(dstDP[le][o:o+npsq], ddp)
-				} else {
-					c.DMA.Put(dstU[le][o:o+npsq], lu)
-					c.DMA.Put(dstV[le][o:o+npsq], lv)
-					c.DMA.Put(dstT[le][o:o+npsq], lt)
-					c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 				}
-			}
+			})
 		})
 		return en.collect(OpenACC, 1)
 	}
 
 	// Athread: element per mesh column, levels split across rows,
 	// metric resident, vectorized slabs.
-	en.CG.Spawn(func(c *sw.CPE) {
-		ldm := c.LDM
-		s, vl := en.rowLevels(c.Row)
-		deriv := ldm.MustAlloc("deriv", npsq)
-		c.DMA.GetShared(deriv, en.M.DerivFlat)
-		dinv := ldm.MustAlloc("dinv", 4*npsq)
-		dflat := ldm.MustAlloc("dflat", 4*npsq)
-		metdet := ldm.MustAlloc("metdet", npsq)
-		u := ldm.MustAlloc("u", npsq)
-		v := ldm.MustAlloc("v", npsq)
-		tt := ldm.MustAlloc("t", npsq)
-		dp := ldm.MustAlloc("dp", npsq)
-		lu := ldm.MustAlloc("lu", npsq)
-		lv := ldm.MustAlloc("lv", npsq)
-		lt := ldm.MustAlloc("lt", npsq)
-		ldp := ldm.MustAlloc("ldp", npsq)
-		s1 := ldm.MustAlloc("s1", npsq)
-		s2 := ldm.MustAlloc("s2", npsq)
-		s3 := ldm.MustAlloc("s3", npsq)
-		s4 := ldm.MustAlloc("s4", npsq)
-		s5 := ldm.MustAlloc("s5", npsq)
-		s6 := ldm.MustAlloc("s6", npsq)
-		dd := ldm.MustAlloc("dd", 4*npsq)
+	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+		cg.Spawn(func(c *sw.CPE) {
+			ldm := c.LDM
+			s, vl := en.rowLevels(c.Row)
+			deriv := ldm.MustAlloc("deriv", npsq)
+			c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
+			dinv := ldm.MustAlloc("dinv", 4*npsq)
+			dflat := ldm.MustAlloc("dflat", 4*npsq)
+			metdet := ldm.MustAlloc("metdet", npsq)
+			u := ldm.MustAlloc("u", npsq)
+			v := ldm.MustAlloc("v", npsq)
+			tt := ldm.MustAlloc("t", npsq)
+			dp := ldm.MustAlloc("dp", npsq)
+			lu := ldm.MustAlloc("lu", npsq)
+			lv := ldm.MustAlloc("lv", npsq)
+			lt := ldm.MustAlloc("lt", npsq)
+			ldp := ldm.MustAlloc("ldp", npsq)
+			s1 := ldm.MustAlloc("s1", npsq)
+			s2 := ldm.MustAlloc("s2", npsq)
+			s3 := ldm.MustAlloc("s3", npsq)
+			s4 := ldm.MustAlloc("s4", npsq)
+			s5 := ldm.MustAlloc("s5", npsq)
+			s6 := ldm.MustAlloc("s6", npsq)
+			dd := ldm.MustAlloc("dd", 4*npsq)
 
-		for blk := 0; blk+c.Col < len(en.Elems); blk += sw.MeshDim {
-			le := blk + c.Col
-			e := en.element(le)
-			c.DMA.Get(dinv, e.DinvFlat)
-			c.DMA.Get(dflat, e.DFlat)
-			c.DMA.Get(metdet, e.Metdet)
-			for k := s; k < s+vl; k++ {
-				o := k * npsq
-				c.DMA.Get(u, srcU[le][o:o+npsq])
-				c.DMA.Get(v, srcV[le][o:o+npsq])
-				c.DMA.Get(tt, srcT[le][o:o+npsq])
-				c.DMA.Get(dp, srcDP[le][o:o+npsq])
+			for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
+				le := blk + c.Col
+				e := en.element(le)
+				c.DMA.Get(dinv, e.DinvFlat)
+				c.DMA.Get(dflat, e.DFlat)
+				c.DMA.Get(metdet, e.Metdet)
+				for k := s; k < s+vl; k++ {
+					o := k * npsq
+					c.DMA.Get(u, srcU[le][o:o+npsq])
+					c.DMA.Get(v, srcV[le][o:o+npsq])
+					c.DMA.Get(tt, srcT[le][o:o+npsq])
+					c.DMA.Get(dp, srcDP[le][o:o+npsq])
 
-				vecLaplaceSlabVec4(c, deriv, dflat, dinv, metdet, e.DAlpha,
-					u, v, lu, lv, s1, s2, s3, s4, s5, s6)
-				laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, tt, lt, s1, s2, s3, s4)
-				laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, dp, ldp, s1, s2, s3, s4)
+					vecLaplaceSlabVec4(c, deriv, dflat, dinv, metdet, e.DAlpha,
+						u, v, lu, lv, s1, s2, s3, s4, s5, s6)
+					laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, tt, lt, s1, s2, s3, s4)
+					laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, dp, ldp, s1, s2, s3, s4)
 
-				if update {
-					c.DMA.Get(dd[:npsq], dstU[le][o:o+npsq])
-					c.DMA.Get(dd[npsq:2*npsq], dstV[le][o:o+npsq])
-					c.DMA.Get(dd[2*npsq:3*npsq], dstT[le][o:o+npsq])
-					c.DMA.Get(dd[3*npsq:4*npsq], dstDP[le][o:o+npsq])
-					for j := 0; j < np; j++ {
-						dnv := sw.Splat(dt * nuV)
-						dns := sw.Splat(dt * nuS)
-						sw.LoadVec4(dd, 4*j).Sub(dnv.Mul(sw.LoadVec4(lu, 4*j))).Store(dd, 4*j)
-						sw.LoadVec4(dd, npsq+4*j).Sub(dnv.Mul(sw.LoadVec4(lv, 4*j))).Store(dd, npsq+4*j)
-						sw.LoadVec4(dd, 2*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(lt, 4*j))).Store(dd, 2*npsq+4*j)
-						sw.LoadVec4(dd, 3*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(ldp, 4*j))).Store(dd, 3*npsq+4*j)
+					if update {
+						c.DMA.Get(dd[:npsq], dstU[le][o:o+npsq])
+						c.DMA.Get(dd[npsq:2*npsq], dstV[le][o:o+npsq])
+						c.DMA.Get(dd[2*npsq:3*npsq], dstT[le][o:o+npsq])
+						c.DMA.Get(dd[3*npsq:4*npsq], dstDP[le][o:o+npsq])
+						for j := 0; j < np; j++ {
+							dnv := sw.Splat(dt * nuV)
+							dns := sw.Splat(dt * nuS)
+							sw.LoadVec4(dd, 4*j).Sub(dnv.Mul(sw.LoadVec4(lu, 4*j))).Store(dd, 4*j)
+							sw.LoadVec4(dd, npsq+4*j).Sub(dnv.Mul(sw.LoadVec4(lv, 4*j))).Store(dd, npsq+4*j)
+							sw.LoadVec4(dd, 2*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(lt, 4*j))).Store(dd, 2*npsq+4*j)
+							sw.LoadVec4(dd, 3*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(ldp, 4*j))).Store(dd, 3*npsq+4*j)
+						}
+						c.CountVecFlops(int64(8 * npsq))
+						c.DMA.Put(dstU[le][o:o+npsq], dd[:npsq])
+						c.DMA.Put(dstV[le][o:o+npsq], dd[npsq:2*npsq])
+						c.DMA.Put(dstT[le][o:o+npsq], dd[2*npsq:3*npsq])
+						c.DMA.Put(dstDP[le][o:o+npsq], dd[3*npsq:4*npsq])
+					} else {
+						c.DMA.Put(dstU[le][o:o+npsq], lu)
+						c.DMA.Put(dstV[le][o:o+npsq], lv)
+						c.DMA.Put(dstT[le][o:o+npsq], lt)
+						c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 					}
-					c.CountVecFlops(int64(8 * npsq))
-					c.DMA.Put(dstU[le][o:o+npsq], dd[:npsq])
-					c.DMA.Put(dstV[le][o:o+npsq], dd[npsq:2*npsq])
-					c.DMA.Put(dstT[le][o:o+npsq], dd[2*npsq:3*npsq])
-					c.DMA.Put(dstDP[le][o:o+npsq], dd[3*npsq:4*npsq])
-				} else {
-					c.DMA.Put(dstU[le][o:o+npsq], lu)
-					c.DMA.Put(dstV[le][o:o+npsq], lv)
-					c.DMA.Put(dstT[le][o:o+npsq], lt)
-					c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 				}
 			}
-		}
+		})
 	})
 	return en.collect(Athread, 1)
 }
@@ -231,67 +233,72 @@ func (en *Engine) biharmonicDP3D(b Backend, in, out [][]float64) Cost {
 	npsq := np * np
 	switch b {
 	case Intel, MPE:
-		var flops, bytes int64
-		for le := range en.Elems {
-			dycore.BiharmonicDP3DElem(en.element(le), en.M.DerivFlat, np, nlev, in[le], out[le])
-			flops += biharmonicFlops(np, nlev)
-			bytes += int64(16 * npsq * nlev)
-		}
+		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
+			for le := lo; le < hi; le++ {
+				dycore.BiharmonicDP3DElem(en.element(le), en.M.DerivFlat, np, nlev, in[le], out[le])
+				p.flops += biharmonicFlops(np, nlev)
+				p.bytes += int64(16 * npsq * nlev)
+			}
+		})
 		return serialCost(b, flops, bytes)
 	case OpenACC:
-		nwork := len(en.Elems) * nlev
-		en.CG.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			for w := c.ID; w < nwork; w += sw.CPEsPerCG {
-				ldm.Reset()
-				le, k := w/nlev, w%nlev
-				e := en.element(le)
-				o := k * npsq
+		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+			wlo, whi := lo*nlev, hi*nlev
+			cg.Spawn(func(c *sw.CPE) {
+				ldm := c.LDM
+				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
+					ldm.Reset()
+					le, k := w/nlev, w%nlev
+					e := en.element(le)
+					o := k * npsq
+					deriv := ldm.MustAlloc("deriv", npsq)
+					dinv := ldm.MustAlloc("dinv", 4*npsq)
+					metdet := ldm.MustAlloc("metdet", npsq)
+					c.DMA.GetShared(deriv, en.M.DerivFlat)
+					c.DMA.Get(dinv, e.DinvFlat)
+					c.DMA.Get(metdet, e.Metdet)
+					src := ldm.MustAlloc("src", npsq)
+					dst := ldm.MustAlloc("dst", npsq)
+					s1 := ldm.MustAlloc("s1", npsq)
+					s2 := ldm.MustAlloc("s2", npsq)
+					s3 := ldm.MustAlloc("s3", npsq)
+					s4 := ldm.MustAlloc("s4", npsq)
+					c.DMA.Get(src, in[le][o:o+npsq])
+					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, src, dst, s1, s2, s3, s4)
+					c.CountFlops(lapFlops(np))
+					c.DMA.Put(out[le][o:o+npsq], dst)
+				}
+			})
+		})
+		return en.collect(OpenACC, 1)
+	case Athread:
+		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+			cg.Spawn(func(c *sw.CPE) {
+				ldm := c.LDM
+				s, vl := en.rowLevels(c.Row)
 				deriv := ldm.MustAlloc("deriv", npsq)
+				c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
 				dinv := ldm.MustAlloc("dinv", 4*npsq)
 				metdet := ldm.MustAlloc("metdet", npsq)
-				c.DMA.GetShared(deriv, en.M.DerivFlat)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(metdet, e.Metdet)
 				src := ldm.MustAlloc("src", npsq)
 				dst := ldm.MustAlloc("dst", npsq)
 				s1 := ldm.MustAlloc("s1", npsq)
 				s2 := ldm.MustAlloc("s2", npsq)
 				s3 := ldm.MustAlloc("s3", npsq)
 				s4 := ldm.MustAlloc("s4", npsq)
-				c.DMA.Get(src, in[le][o:o+npsq])
-				dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, src, dst, s1, s2, s3, s4)
-				c.CountFlops(lapFlops(np))
-				c.DMA.Put(out[le][o:o+npsq], dst)
-			}
-		})
-		return en.collect(OpenACC, 1)
-	case Athread:
-		en.CG.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			s, vl := en.rowLevels(c.Row)
-			deriv := ldm.MustAlloc("deriv", npsq)
-			c.DMA.GetShared(deriv, en.M.DerivFlat)
-			dinv := ldm.MustAlloc("dinv", 4*npsq)
-			metdet := ldm.MustAlloc("metdet", npsq)
-			src := ldm.MustAlloc("src", npsq)
-			dst := ldm.MustAlloc("dst", npsq)
-			s1 := ldm.MustAlloc("s1", npsq)
-			s2 := ldm.MustAlloc("s2", npsq)
-			s3 := ldm.MustAlloc("s3", npsq)
-			s4 := ldm.MustAlloc("s4", npsq)
-			for blk := 0; blk+c.Col < len(en.Elems); blk += sw.MeshDim {
-				le := blk + c.Col
-				e := en.element(le)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(metdet, e.Metdet)
-				for k := s; k < s+vl; k++ {
-					o := k * npsq
-					c.DMA.Get(src, in[le][o:o+npsq])
-					laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, src, dst, s1, s2, s3, s4)
-					c.DMA.Put(out[le][o:o+npsq], dst)
+				for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
+					le := blk + c.Col
+					e := en.element(le)
+					c.DMA.Get(dinv, e.DinvFlat)
+					c.DMA.Get(metdet, e.Metdet)
+					for k := s; k < s+vl; k++ {
+						o := k * npsq
+						c.DMA.Get(src, in[le][o:o+npsq])
+						laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, src, dst, s1, s2, s3, s4)
+						c.DMA.Put(out[le][o:o+npsq], dst)
+					}
 				}
-			}
+			})
 		})
 		return en.collect(Athread, 1)
 	}

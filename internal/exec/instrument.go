@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"fmt"
 	"time"
 
 	"swcam/internal/dycore"
@@ -15,22 +16,46 @@ import (
 )
 
 // Instrument attaches the observability subsystem to this engine: spans
-// go to tr (pid = rank), per-kernel attribution to kt. Either may be
-// nil. Engines are instrumented per rank, so concurrent ranks record to
-// shared, goroutine-safe sinks without coordination here.
-func (en *Engine) Instrument(tr *obs.Tracer, kt *obs.KernelTable, rank int) {
-	en.obsTr, en.obsKT, en.obsRank = tr, kt, rank
+// go to tr (pid = rank; per-tile spans on tid = worker slot + 1),
+// per-kernel attribution to kt, and per-worker utilization counters to
+// reg (exec.dyn.worker_busy_ns.<slot>, plus the exec.dyn.workers and
+// exec.dyn.tiles gauges). Any sink may be nil. Engines are instrumented
+// per rank, so concurrent ranks record to shared, goroutine-safe sinks
+// without coordination here.
+func (en *Engine) Instrument(tr *obs.Tracer, kt *obs.KernelTable, reg *obs.Registry, rank int) {
+	en.obsTr, en.obsKT, en.obsReg, en.obsRank = tr, kt, reg, rank
+	en.bindObsRegistry()
+}
+
+// bindObsRegistry (re)publishes the pool-shape gauges and binds the
+// per-worker busy counters; called from Instrument and again whenever
+// SetWorkers reshapes the pool.
+func (en *Engine) bindObsRegistry() {
+	en.busyNs = nil
+	if en.obsReg == nil {
+		return
+	}
+	en.obsReg.Gauge("exec.dyn.workers").Set(float64(en.workers))
+	en.obsReg.Gauge("exec.dyn.tiles").Set(float64(len(en.tilesC)))
+	en.busyNs = make([]*obs.Counter, len(en.tilesC))
+	for i := range en.busyNs {
+		en.busyNs[i] = en.obsReg.Counter(fmt.Sprintf("exec.dyn.worker_busy_ns.%d", i))
+	}
 }
 
 // obsNoop avoids a closure allocation on the uninstrumented path.
 var obsNoop = func(Cost) {}
 
 // kernelProbe opens a span and returns the completion func the kernel
-// calls with its cost record.
+// calls with its cost record. It also publishes the kernel name and
+// backend for the per-tile worker spans (kernel methods run one at a
+// time per engine, and the fields are written before any tile goroutine
+// launches, so tiles read them race-free).
 func (en *Engine) kernelProbe(name string, b Backend) func(Cost) {
 	if en.obsTr == nil && en.obsKT == nil {
 		return obsNoop
 	}
+	en.curKernel, en.curBackend = "exec."+name, b.String()
 	sp := en.obsTr.Begin(en.obsRank, "exec."+name, b.String())
 	kt := en.obsKT
 	start := time.Now()

@@ -23,148 +23,154 @@ func (en *Engine) verticalRemap(b Backend, h *dycore.HybridCoord, st *dycore.Sta
 	npsq := np * np
 	switch b {
 	case Intel, MPE:
-		var flops, bytes int64
-		for le := range en.Elems {
-			dycore.RemapStateElem(h, np, nlev, qsize,
-				st.U[le], st.V[le], st.T[le], st.DP[le], st.Qdp[le],
-				en.colA, en.colB, en.colC, en.colD)
-			flops += remapFlops(np, nlev, qsize)
-			bytes += remapBytes(np, nlev, qsize)
-		}
+		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
+			for le := lo; le < hi; le++ {
+				dycore.RemapStateElem(h, np, nlev, qsize,
+					st.U[le], st.V[le], st.T[le], st.DP[le], st.Qdp[le],
+					w.colA, w.colB, w.colC, w.colD, w.rws)
+				p.flops += remapFlops(np, nlev, qsize)
+				p.bytes += remapBytes(np, nlev, qsize)
+			}
+		})
 		return serialCost(b, flops, bytes)
 
 	case OpenACC:
-		nwork := len(en.Elems) * npsq
 		// The directive version's whole-slab fetches would overlap other
 		// cores' single-value write-backs; on the hardware each core only
 		// consumes its own column so the overlap is benign, but in the
 		// simulator we read from an immutable snapshot to keep the Go
-		// memory model honest. Traffic accounting is unchanged.
-		snap := func(f [][]float64) [][]float64 {
-			out := make([][]float64, len(f))
-			for i := range f {
-				out[i] = append([]float64(nil), f[i]...)
+		// memory model honest. Traffic accounting is unchanged. Each tile
+		// snapshots only its own element rows (into the worker's pooled
+		// buffer): tiles never read another tile's rows, so the restricted
+		// snapshot is exactly as honest as the former whole-state copy.
+		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+			wk := en.workerOf(cg)
+			inU, inV, inT, inDP, inQ := wk.snapshot(st.U, st.V, st.T, st.DP, st.Qdp,
+				lo, hi, nlev*npsq, qsize*nlev*npsq)
+			qdpAt := func(le, q int) []float64 {
+				n := nlev * npsq
+				return inQ[le-lo][q*n : (q+1)*n]
 			}
-			return out
-		}
-		inU, inV, inT, inDP, inQ := snap(st.U), snap(st.V), snap(st.T), snap(st.DP), snap(st.Qdp)
-		qdpAt := func(le, q int) []float64 {
-			n := nlev * npsq
-			return inQ[le][q*n : (q+1)*n]
-		}
-		en.CG.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			for w := c.ID; w < nwork; w += sw.CPEsPerCG {
-				ldm.Reset()
-				le, n := w/npsq, w%npsq
-				// Whole-slab fetches per column: nlev levels x npsq nodes
-				// read to use one node each — the un-hoistable pattern.
-				slabBuf := ldm.MustAlloc("slab", npsq)
-				colSrc := ldm.MustAlloc("colSrc", nlev)
-				colVal := ldm.MustAlloc("colVal", nlev)
-				colRef := ldm.MustAlloc("colRef", nlev)
-				colOut := ldm.MustAlloc("colOut", nlev)
+			wlo, whi := lo*npsq, hi*npsq
+			cg.Spawn(func(c *sw.CPE) {
+				ldm := c.LDM
+				rw := wk.cpeRWS[c.ID]
+				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
+					ldm.Reset()
+					le, n := w/npsq, w%npsq
+					// Whole-slab fetches per column: nlev levels x npsq nodes
+					// read to use one node each — the un-hoistable pattern.
+					slabBuf := ldm.MustAlloc("slab", npsq)
+					colSrc := ldm.MustAlloc("colSrc", nlev)
+					colVal := ldm.MustAlloc("colVal", nlev)
+					colRef := ldm.MustAlloc("colRef", nlev)
+					colOut := ldm.MustAlloc("colOut", nlev)
 
-				fetchColumn := func(f []float64, dst []float64) {
-					for k := 0; k < nlev; k++ {
-						c.DMA.Get(slabBuf, f[k*npsq:(k+1)*npsq])
-						dst[k] = slabBuf[n]
-					}
-				}
-				storeColumn := func(f []float64, src []float64) {
-					// One single-value DMA per level: the write-back
-					// granule a directive compiler emits for a strided
-					// store it cannot batch.
-					for k := 0; k < nlev; k++ {
-						slabBuf[0] = src[k]
-						c.DMA.PutStride(f[k*npsq+n:], slabBuf[:1], 1, 1, 1)
-					}
-				}
-
-				fetchColumn(inDP[le], colSrc)
-				ps := dycore.PTop
-				for k := 0; k < nlev; k++ {
-					ps += colSrc[k]
-				}
-				c.CountFlops(int64(nlev))
-				h.ReferenceDP(ps, colRef)
-				c.CountFlops(int64(4 * nlev))
-
-				remap := func(src, dst []float64, asMass bool) {
-					fetchColumn(src, colVal)
-					if asMass {
+					fetchColumn := func(f []float64, dst []float64) {
 						for k := 0; k < nlev; k++ {
-							colVal[k] /= colSrc[k]
+							c.DMA.Get(slabBuf, f[k*npsq:(k+1)*npsq])
+							dst[k] = slabBuf[n]
 						}
-						c.CountFlops(int64(nlev))
 					}
-					dycore.RemapPPM(colSrc, colVal, colRef, colOut)
-					c.CountFlops(int64(40 * nlev))
-					if asMass {
+					storeColumn := func(f []float64, src []float64) {
+						// One single-value DMA per level: the write-back
+						// granule a directive compiler emits for a strided
+						// store it cannot batch.
 						for k := 0; k < nlev; k++ {
-							colOut[k] *= colRef[k]
+							slabBuf[0] = src[k]
+							c.DMA.PutStride(f[k*npsq+n:], slabBuf[:1], 1, 1, 1)
 						}
-						c.CountFlops(int64(nlev))
 					}
-					storeColumn(dst, colOut)
+
+					fetchColumn(inDP[le-lo], colSrc)
+					ps := dycore.PTop
+					for k := 0; k < nlev; k++ {
+						ps += colSrc[k]
+					}
+					c.CountFlops(int64(nlev))
+					h.ReferenceDP(ps, colRef)
+					c.CountFlops(int64(4 * nlev))
+
+					remap := func(src, dst []float64, asMass bool) {
+						fetchColumn(src, colVal)
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								colVal[k] /= colSrc[k]
+							}
+							c.CountFlops(int64(nlev))
+						}
+						rw.RemapPPM(colSrc, colVal, colRef, colOut)
+						c.CountFlops(int64(40 * nlev))
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								colOut[k] *= colRef[k]
+							}
+							c.CountFlops(int64(nlev))
+						}
+						storeColumn(dst, colOut)
+					}
+					remap(inU[le-lo], st.U[le], false)
+					remap(inV[le-lo], st.V[le], false)
+					remap(inT[le-lo], st.T[le], false)
+					for q := 0; q < qsize; q++ {
+						remap(qdpAt(le, q), st.QdpAt(le, q), true)
+					}
+					storeColumn(st.DP[le], colRef)
 				}
-				remap(inU[le], st.U[le], false)
-				remap(inV[le], st.V[le], false)
-				remap(inT[le], st.T[le], false)
-				for q := 0; q < qsize; q++ {
-					remap(qdpAt(le, q), st.QdpAt(le, q), true)
-				}
-				storeColumn(st.DP[le], colRef)
-			}
+			})
 		})
 		return en.collect(OpenACC, 1)
 
 	case Athread:
-		nwork := len(en.Elems) * npsq
-		en.CG.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			colSrc := ldm.MustAlloc("colSrc", nlev)
-			colVal := ldm.MustAlloc("colVal", nlev)
-			colRef := ldm.MustAlloc("colRef", nlev)
-			colOut := ldm.MustAlloc("colOut", nlev)
-			for w := c.ID; w < nwork; w += sw.CPEsPerCG {
-				le, n := w/npsq, w%npsq
-				// One strided DMA gathers the whole column per field.
-				c.DMA.GetStride(colSrc, st.DP[le][n:], 1, npsq, nlev)
-				ps := dycore.PTop
-				for k := 0; k < nlev; k++ {
-					ps += colSrc[k]
-				}
-				c.CountFlops(int64(nlev))
-				h.ReferenceDP(ps, colRef)
-				c.CountFlops(int64(4 * nlev))
+		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+			wk := en.workerOf(cg)
+			wlo, whi := lo*npsq, hi*npsq
+			cg.Spawn(func(c *sw.CPE) {
+				ldm := c.LDM
+				rw := wk.cpeRWS[c.ID]
+				colSrc := ldm.MustAlloc("colSrc", nlev)
+				colVal := ldm.MustAlloc("colVal", nlev)
+				colRef := ldm.MustAlloc("colRef", nlev)
+				colOut := ldm.MustAlloc("colOut", nlev)
+				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
+					le, n := w/npsq, w%npsq
+					// One strided DMA gathers the whole column per field.
+					c.DMA.GetStride(colSrc, st.DP[le][n:], 1, npsq, nlev)
+					ps := dycore.PTop
+					for k := 0; k < nlev; k++ {
+						ps += colSrc[k]
+					}
+					c.CountFlops(int64(nlev))
+					h.ReferenceDP(ps, colRef)
+					c.CountFlops(int64(4 * nlev))
 
-				remap := func(f []float64, asMass bool) {
-					c.DMA.GetStride(colVal, f[n:], 1, npsq, nlev)
-					if asMass {
-						for k := 0; k < nlev; k++ {
-							colVal[k] /= colSrc[k]
+					remap := func(f []float64, asMass bool) {
+						c.DMA.GetStride(colVal, f[n:], 1, npsq, nlev)
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								colVal[k] /= colSrc[k]
+							}
+							c.CountFlops(int64(nlev))
 						}
-						c.CountFlops(int64(nlev))
-					}
-					dycore.RemapPPM(colSrc, colVal, colRef, colOut)
-					c.CountFlops(int64(40 * nlev))
-					if asMass {
-						for k := 0; k < nlev; k++ {
-							colOut[k] *= colRef[k]
+						rw.RemapPPM(colSrc, colVal, colRef, colOut)
+						c.CountFlops(int64(40 * nlev))
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								colOut[k] *= colRef[k]
+							}
+							c.CountFlops(int64(nlev))
 						}
-						c.CountFlops(int64(nlev))
+						c.DMA.PutStride(f[n:], colOut, 1, npsq, nlev)
 					}
-					c.DMA.PutStride(f[n:], colOut, 1, npsq, nlev)
+					remap(st.U[le], false)
+					remap(st.V[le], false)
+					remap(st.T[le], false)
+					for q := 0; q < qsize; q++ {
+						remap(st.QdpAt(le, q), true)
+					}
+					c.DMA.PutStride(st.DP[le][n:], colRef, 1, npsq, nlev)
 				}
-				remap(st.U[le], false)
-				remap(st.V[le], false)
-				remap(st.T[le], false)
-				for q := 0; q < qsize; q++ {
-					remap(st.QdpAt(le, q), true)
-				}
-				c.DMA.PutStride(st.DP[le][n:], colRef, 1, npsq, nlev)
-			}
+			})
 		})
 		return en.collect(Athread, 1)
 	}

@@ -33,127 +33,131 @@ func (en *Engine) verticalRemapTransposed(h *dycore.HybridCoord, st *dycore.Stat
 		panic("exec: transposed remap needs nlev/8 pairs in vector multiples")
 	}
 
-	en.CG.Spawn(func(c *sw.CPE) {
-		ldm := c.LDM
-		s := c.Row * vl
-		slab := vl * npsq
+	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+		wk := en.workerOf(cg)
+		cg.Spawn(func(c *sw.CPE) {
+			ldm := c.LDM
+			rw := wk.cpeRWS[c.ID]
+			s := c.Row * vl
+			slab := vl * npsq
 
-		tile := ldm.MustAlloc("tile", slab) // level-major: my levels x 16 nodes
-		colA := ldm.MustAlloc("colA", nlev) // node c.Row's full column
-		colB := ldm.MustAlloc("colB", nlev) // node c.Row+8's full column
-		srcA := ldm.MustAlloc("srcA", nlev) // dp columns stay resident
-		srcB := ldm.MustAlloc("srcB", nlev)
-		refA := ldm.MustAlloc("refA", nlev)
-		refB := ldm.MustAlloc("refB", nlev)
-		out := ldm.MustAlloc("out", nlev)
-		sendBuf := ldm.MustAlloc("send", vl*2)
-		recvBuf := ldm.MustAlloc("recv", vl*2)
+			tile := ldm.MustAlloc("tile", slab) // level-major: my levels x 16 nodes
+			colA := ldm.MustAlloc("colA", nlev) // node c.Row's full column
+			colB := ldm.MustAlloc("colB", nlev) // node c.Row+8's full column
+			srcA := ldm.MustAlloc("srcA", nlev) // dp columns stay resident
+			srcB := ldm.MustAlloc("srcB", nlev)
+			refA := ldm.MustAlloc("refA", nlev)
+			refB := ldm.MustAlloc("refB", nlev)
+			out := ldm.MustAlloc("out", nlev)
+			sendBuf := ldm.MustAlloc("send", vl*2)
+			recvBuf := ldm.MustAlloc("recv", vl*2)
 
-		// pack extracts my levels of nodes {n, n+8} from the tile.
-		pack := func(n int, dst []float64) {
-			for k := 0; k < vl; k++ {
-				dst[2*k] = tile[k*npsq+n]
-				dst[2*k+1] = tile[k*npsq+n+sw.MeshDim]
-			}
-		}
-		unpack := func(n int, src []float64) {
-			for k := 0; k < vl; k++ {
-				tile[k*npsq+n] = src[2*k]
-				tile[k*npsq+n+sw.MeshDim] = src[2*k+1]
-			}
-		}
-
-		// toColumns: after the exchange, (colA, colB) hold the full
-		// columns of nodes c.Row and c.Row+8.
-		toColumns := func(ca, cb []float64) {
-			// My own contribution.
-			pack(c.Row, sendBuf)
-			for k := 0; k < vl; k++ {
-				ca[s+k] = sendBuf[2*k]
-				cb[s+k] = sendBuf[2*k+1]
-			}
-			for phase := 1; phase < sw.MeshDim; phase++ {
-				p := c.Row ^ phase
-				pack(p, sendBuf) // partner's nodes, my levels
-				c.ExchangeBlock(p, c.Col, sendBuf, recvBuf)
+			// pack extracts my levels of nodes {n, n+8} from the tile.
+			pack := func(n int, dst []float64) {
 				for k := 0; k < vl; k++ {
-					ca[p*vl+k] = recvBuf[2*k]
-					cb[p*vl+k] = recvBuf[2*k+1]
+					dst[2*k] = tile[k*npsq+n]
+					dst[2*k+1] = tile[k*npsq+n+sw.MeshDim]
 				}
 			}
-		}
-		// fromColumns is the inverse: redistribute (ca, cb) back into
-		// the level-major tile.
-		fromColumns := func(ca, cb []float64) {
-			for k := 0; k < vl; k++ {
-				sendBuf[2*k] = ca[s+k]
-				sendBuf[2*k+1] = cb[s+k]
-			}
-			unpack(c.Row, sendBuf)
-			for phase := 1; phase < sw.MeshDim; phase++ {
-				p := c.Row ^ phase
+			unpack := func(n int, src []float64) {
 				for k := 0; k < vl; k++ {
-					sendBuf[2*k] = ca[p*vl+k]
-					sendBuf[2*k+1] = cb[p*vl+k]
+					tile[k*npsq+n] = src[2*k]
+					tile[k*npsq+n+sw.MeshDim] = src[2*k+1]
 				}
-				c.ExchangeBlock(p, c.Col, sendBuf, recvBuf)
-				unpack(p, recvBuf)
 			}
-		}
 
-		for blk := 0; blk+c.Col < len(en.Elems); blk += sw.MeshDim {
-			le := blk + c.Col
-
-			// dp: one contiguous DMA for the whole level block, then the
-			// in-fabric transpose.
-			c.DMA.Get(tile, st.DP[le][s*npsq:s*npsq+slab])
-			toColumns(srcA, srcB)
-			psA, psB := dycore.PTop, dycore.PTop
-			for k := 0; k < nlev; k++ {
-				psA += srcA[k]
-				psB += srcB[k]
-			}
-			c.CountFlops(int64(2 * nlev))
-			h.ReferenceDP(psA, refA)
-			h.ReferenceDP(psB, refB)
-			c.CountFlops(int64(8 * nlev))
-
-			remapField := func(f []float64, asMass bool) {
-				c.DMA.Get(tile, f[s*npsq:s*npsq+slab])
-				toColumns(colA, colB)
-				doCol := func(col, src, ref []float64) {
-					if asMass {
-						for k := 0; k < nlev; k++ {
-							col[k] /= src[k]
-						}
-						c.CountFlops(int64(nlev))
-					}
-					dycore.RemapPPM(src, col, ref, out)
-					c.CountFlops(int64(40 * nlev))
-					if asMass {
-						for k := 0; k < nlev; k++ {
-							col[k] = out[k] * ref[k]
-						}
-						c.CountFlops(int64(nlev))
-					} else {
-						copy(col, out)
+			// toColumns: after the exchange, (colA, colB) hold the full
+			// columns of nodes c.Row and c.Row+8.
+			toColumns := func(ca, cb []float64) {
+				// My own contribution.
+				pack(c.Row, sendBuf)
+				for k := 0; k < vl; k++ {
+					ca[s+k] = sendBuf[2*k]
+					cb[s+k] = sendBuf[2*k+1]
+				}
+				for phase := 1; phase < sw.MeshDim; phase++ {
+					p := c.Row ^ phase
+					pack(p, sendBuf) // partner's nodes, my levels
+					c.ExchangeBlock(p, c.Col, sendBuf, recvBuf)
+					for k := 0; k < vl; k++ {
+						ca[p*vl+k] = recvBuf[2*k]
+						cb[p*vl+k] = recvBuf[2*k+1]
 					}
 				}
-				doCol(colA, srcA, refA)
-				doCol(colB, srcB, refB)
-				fromColumns(colA, colB)
-				c.DMA.Put(f[s*npsq:s*npsq+slab], tile)
 			}
-			remapField(st.U[le], false)
-			remapField(st.V[le], false)
-			remapField(st.T[le], false)
-			for q := 0; q < qsize; q++ {
-				remapField(st.QdpAt(le, q), true)
+			// fromColumns is the inverse: redistribute (ca, cb) back into
+			// the level-major tile.
+			fromColumns := func(ca, cb []float64) {
+				for k := 0; k < vl; k++ {
+					sendBuf[2*k] = ca[s+k]
+					sendBuf[2*k+1] = cb[s+k]
+				}
+				unpack(c.Row, sendBuf)
+				for phase := 1; phase < sw.MeshDim; phase++ {
+					p := c.Row ^ phase
+					for k := 0; k < vl; k++ {
+						sendBuf[2*k] = ca[p*vl+k]
+						sendBuf[2*k+1] = cb[p*vl+k]
+					}
+					c.ExchangeBlock(p, c.Col, sendBuf, recvBuf)
+					unpack(p, recvBuf)
+				}
 			}
-			// dp itself moves to the reference grid.
-			fromColumns(refA, refB)
-			c.DMA.Put(st.DP[le][s*npsq:s*npsq+slab], tile)
-		}
+
+			for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
+				le := blk + c.Col
+
+				// dp: one contiguous DMA for the whole level block, then the
+				// in-fabric transpose.
+				c.DMA.Get(tile, st.DP[le][s*npsq:s*npsq+slab])
+				toColumns(srcA, srcB)
+				psA, psB := dycore.PTop, dycore.PTop
+				for k := 0; k < nlev; k++ {
+					psA += srcA[k]
+					psB += srcB[k]
+				}
+				c.CountFlops(int64(2 * nlev))
+				h.ReferenceDP(psA, refA)
+				h.ReferenceDP(psB, refB)
+				c.CountFlops(int64(8 * nlev))
+
+				remapField := func(f []float64, asMass bool) {
+					c.DMA.Get(tile, f[s*npsq:s*npsq+slab])
+					toColumns(colA, colB)
+					doCol := func(col, src, ref []float64) {
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								col[k] /= src[k]
+							}
+							c.CountFlops(int64(nlev))
+						}
+						rw.RemapPPM(src, col, ref, out)
+						c.CountFlops(int64(40 * nlev))
+						if asMass {
+							for k := 0; k < nlev; k++ {
+								col[k] = out[k] * ref[k]
+							}
+							c.CountFlops(int64(nlev))
+						} else {
+							copy(col, out)
+						}
+					}
+					doCol(colA, srcA, refA)
+					doCol(colB, srcB, refB)
+					fromColumns(colA, colB)
+					c.DMA.Put(f[s*npsq:s*npsq+slab], tile)
+				}
+				remapField(st.U[le], false)
+				remapField(st.V[le], false)
+				remapField(st.T[le], false)
+				for q := 0; q < qsize; q++ {
+					remapField(st.QdpAt(le, q), true)
+				}
+				// dp itself moves to the reference grid.
+				fromColumns(refA, refB)
+				c.DMA.Put(st.DP[le][s*npsq:s*npsq+slab], tile)
+			}
+		})
 	})
 	return en.collect(Athread, 1)
 }

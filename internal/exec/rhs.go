@@ -22,16 +22,17 @@ func (en *Engine) computeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt
 }
 
 func (en *Engine) rhsSerial(b Backend, cur, base, out *dycore.State, dt float64) Cost {
-	var flops, bytes int64
-	for le := range en.Elems {
-		e := en.element(le)
-		dycore.ComputeAndApplyRHSElem(e, en.M.DerivFlat, en.ws, en.rhs,
-			cur.U[le], cur.V[le], cur.T[le], cur.DP[le], cur.Phis[le],
-			base.U[le], base.V[le], base.T[le], base.DP[le],
-			out.U[le], out.V[le], out.T[le], out.DP[le], dt)
-		flops += rhsFlops(en.Np, en.Nlev)
-		bytes += rhsBytes(en.Np, en.Nlev)
-	}
+	flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
+		for le := lo; le < hi; le++ {
+			e := en.element(le)
+			dycore.ComputeAndApplyRHSElem(e, en.M.DerivFlat, w.ws, w.rhs,
+				cur.U[le], cur.V[le], cur.T[le], cur.DP[le], cur.Phis[le],
+				base.U[le], base.V[le], base.T[le], base.DP[le],
+				out.U[le], out.V[le], out.T[le], out.DP[le], dt)
+			p.flops += rhsFlops(en.Np, en.Nlev)
+			p.bytes += rhsBytes(en.Np, en.Nlev)
+		}
+	})
 	return serialCost(b, flops, bytes)
 }
 
@@ -48,169 +49,171 @@ func (en *Engine) rhsSerial(b Backend, cur, base, out *dycore.State, dt float64)
 func (en *Engine) rhsOpenACC(cur, base, out *dycore.State, dt float64) Cost {
 	np, nlev := en.Np, en.Nlev
 	npsq := np * np
-	nwork := len(en.Elems) * nlev
-	en.CG.Spawn(func(c *sw.CPE) {
-		ldm := c.LDM
-		for w := c.ID; w < nwork; w += sw.CPEsPerCG {
-			ldm.Reset()
-			le, k := w/nlev, w%nlev
-			e := en.element(le)
+	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+		wlo, whi := lo*nlev, hi*nlev
+		cg.Spawn(func(c *sw.CPE) {
+			ldm := c.LDM
+			for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
+				ldm.Reset()
+				le, k := w/nlev, w%nlev
+				e := en.element(le)
 
-			deriv := ldm.MustAlloc("deriv", npsq)
-			dinv := ldm.MustAlloc("dinv", 4*npsq)
-			dflat := ldm.MustAlloc("dflat", 4*npsq)
-			metdet := ldm.MustAlloc("metdet", npsq)
-			lat := ldm.MustAlloc("lat", npsq)
-			phis := ldm.MustAlloc("phis", npsq)
-			c.DMA.GetShared(deriv, en.M.DerivFlat)
-			c.DMA.Get(dinv, e.DinvFlat)
-			c.DMA.Get(dflat, e.DFlat)
-			c.DMA.Get(metdet, e.Metdet)
-			c.DMA.Get(lat, e.Lat)
-			c.DMA.Get(phis, cur.Phis[le])
+				deriv := ldm.MustAlloc("deriv", npsq)
+				dinv := ldm.MustAlloc("dinv", 4*npsq)
+				dflat := ldm.MustAlloc("dflat", 4*npsq)
+				metdet := ldm.MustAlloc("metdet", npsq)
+				lat := ldm.MustAlloc("lat", npsq)
+				phis := ldm.MustAlloc("phis", npsq)
+				c.DMA.GetShared(deriv, en.M.DerivFlat)
+				c.DMA.Get(dinv, e.DinvFlat)
+				c.DMA.Get(dflat, e.DFlat)
+				c.DMA.Get(metdet, e.Metdet)
+				c.DMA.Get(lat, e.Lat)
+				c.DMA.Get(phis, cur.Phis[le])
 
-			// Streaming buffers: one level slab at a time.
-			dpL := ldm.MustAlloc("dpL", npsq)
-			tL := ldm.MustAlloc("tL", npsq)
-			uL := ldm.MustAlloc("uL", npsq)
-			vL := ldm.MustAlloc("vL", npsq)
-			flxU := ldm.MustAlloc("flxU", npsq)
-			flxV := ldm.MustAlloc("flxV", npsq)
-			div := ldm.MustAlloc("div", npsq)
-			s1 := ldm.MustAlloc("s1", npsq)
-			s2 := ldm.MustAlloc("s2", npsq)
+				// Streaming buffers: one level slab at a time.
+				dpL := ldm.MustAlloc("dpL", npsq)
+				tL := ldm.MustAlloc("tL", npsq)
+				uL := ldm.MustAlloc("uL", npsq)
+				vL := ldm.MustAlloc("vL", npsq)
+				flxU := ldm.MustAlloc("flxU", npsq)
+				flxV := ldm.MustAlloc("flxV", npsq)
+				div := ldm.MustAlloc("div", npsq)
+				s1 := ldm.MustAlloc("s1", npsq)
+				s2 := ldm.MustAlloc("s2", npsq)
 
-			pRun := ldm.MustAlloc("pRun", npsq)   // running interface pressure
-			cumDiv := ldm.MustAlloc("cum", npsq)  // running divergence sum
-			pMidK := ldm.MustAlloc("pMidK", npsq) // pressure at my level
-			divK := ldm.MustAlloc("divK", npsq)
-			uK := ldm.MustAlloc("uK", npsq)
-			vK := ldm.MustAlloc("vK", npsq)
-			tK := ldm.MustAlloc("tK", npsq)
-			dpK := ldm.MustAlloc("dpK", npsq)
-			// Buffered hydrostatic increments for the descending sum:
-			// one value per node per level at or below k.
-			dphi := ldm.MustAlloc("dphi", nlev*npsq)
+				pRun := ldm.MustAlloc("pRun", npsq)   // running interface pressure
+				cumDiv := ldm.MustAlloc("cum", npsq)  // running divergence sum
+				pMidK := ldm.MustAlloc("pMidK", npsq) // pressure at my level
+				divK := ldm.MustAlloc("divK", npsq)
+				uK := ldm.MustAlloc("uK", npsq)
+				vK := ldm.MustAlloc("vK", npsq)
+				tK := ldm.MustAlloc("tK", npsq)
+				dpK := ldm.MustAlloc("dpK", npsq)
+				// Buffered hydrostatic increments for the descending sum:
+				// one value per node per level at or below k.
+				dphi := ldm.MustAlloc("dphi", nlev*npsq)
 
-			for n := 0; n < npsq; n++ {
-				pRun[n] = dycore.PTop
-				cumDiv[n] = 0
-			}
-			// Pass 1 (top -> my level): pressure scan, mass-flux
-			// divergence, running omega sum. Every level's data is
-			// re-fetched by every CPE working on this element.
-			for l := 0; l <= k; l++ {
-				o := l * npsq
-				c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
-				c.DMA.Get(uL, cur.U[le][o:o+npsq])
-				c.DMA.Get(vL, cur.V[le][o:o+npsq])
 				for n := 0; n < npsq; n++ {
-					flxU[n] = uL[n] * dpL[n]
-					flxV[n] = vL[n] * dpL[n]
+					pRun[n] = dycore.PTop
+					cumDiv[n] = 0
 				}
-				dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np, flxU, flxV, div, s1, s2)
-				c.CountFlops(int64(2*npsq) + divFlops(np))
-				if l < k {
+				// Pass 1 (top -> my level): pressure scan, mass-flux
+				// divergence, running omega sum. Every level's data is
+				// re-fetched by every CPE working on this element.
+				for l := 0; l <= k; l++ {
+					o := l * npsq
+					c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
+					c.DMA.Get(uL, cur.U[le][o:o+npsq])
+					c.DMA.Get(vL, cur.V[le][o:o+npsq])
 					for n := 0; n < npsq; n++ {
-						cumDiv[n] += div[n]
+						flxU[n] = uL[n] * dpL[n]
+						flxV[n] = vL[n] * dpL[n]
+					}
+					dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np, flxU, flxV, div, s1, s2)
+					c.CountFlops(int64(2*npsq) + divFlops(np))
+					if l < k {
+						for n := 0; n < npsq; n++ {
+							cumDiv[n] += div[n]
+							pRun[n] += dpL[n]
+						}
+						c.CountFlops(int64(2 * npsq))
+					} else {
+						for n := 0; n < npsq; n++ {
+							pMidK[n] = pRun[n] + dpL[n]/2
+							cumDiv[n] = cumDiv[n] + div[n]/2
+							divK[n] = div[n]
+							uK[n], vK[n], tK[n], dpK[n] = uL[n], vL[n], 0, dpL[n]
+						}
+						c.CountFlops(int64(4 * npsq))
+					}
+				}
+				c.DMA.Get(tK, cur.T[le][k*npsq:(k+1)*npsq])
+
+				// Pass 2 (my level -> surface, then back up): the hydrostatic
+				// geopotential integrates surface-to-top, so each CPE streams
+				// the remaining column downward (re-reading dp and T for every
+				// level at or below its own — the second redundancy), buffers
+				// the increments, and accumulates them in the serial kernel's
+				// descending order.
+				phiK := s1
+				phiInt := s2
+				for l := k; l < nlev; l++ {
+					o := l * npsq
+					c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
+					c.DMA.Get(tL, cur.T[le][o:o+npsq])
+					for n := 0; n < npsq; n++ {
+						pm := pRun[n] + dpL[n]/2
+						dphi[l*npsq+n] = dycore.Rd * tL[n] * dpL[n] / pm
 						pRun[n] += dpL[n]
 					}
-					c.CountFlops(int64(2 * npsq))
-				} else {
+					c.CountFlops(int64(6 * npsq))
+				}
+				for n := 0; n < npsq; n++ {
+					phiInt[n] = phis[n]
+				}
+				for l := nlev - 1; l >= k; l-- {
 					for n := 0; n < npsq; n++ {
-						pMidK[n] = pRun[n] + dpL[n]/2
-						cumDiv[n] = cumDiv[n] + div[n]/2
-						divK[n] = div[n]
-						uK[n], vK[n], tK[n], dpK[n] = uL[n], vL[n], 0, dpL[n]
+						if l == k {
+							phiK[n] = phiInt[n] + dphi[l*npsq+n]/2
+						}
+						phiInt[n] += dphi[l*npsq+n]
 					}
-					c.CountFlops(int64(4 * npsq))
+					c.CountFlops(int64(npsq))
 				}
-			}
-			c.DMA.Get(tK, cur.T[le][k*npsq:(k+1)*npsq])
 
-			// Pass 2 (my level -> surface, then back up): the hydrostatic
-			// geopotential integrates surface-to-top, so each CPE streams
-			// the remaining column downward (re-reading dp and T for every
-			// level at or below its own — the second redundancy), buffers
-			// the increments, and accumulates them in the serial kernel's
-			// descending order.
-			phiK := s1
-			phiInt := s2
-			for l := k; l < nlev; l++ {
-				o := l * npsq
-				c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
-				c.DMA.Get(tL, cur.T[le][o:o+npsq])
+				// Level-k horizontal terms and tendencies.
+				gx := ldm.MustAlloc("gx", npsq)
+				gy := ldm.MustAlloc("gy", npsq)
+				gpx := ldm.MustAlloc("gpx", npsq)
+				gpy := ldm.MustAlloc("gpy", npsq)
+				tx := ldm.MustAlloc("tx", npsq)
+				ty := ldm.MustAlloc("ty", npsq)
+				vort := ldm.MustAlloc("vort", npsq)
+				ke := ldm.MustAlloc("ke", npsq)
+				sa := ldm.MustAlloc("sa", npsq)
+				sb := ldm.MustAlloc("sb", npsq)
 				for n := 0; n < npsq; n++ {
-					pm := pRun[n] + dpL[n]/2
-					dphi[l*npsq+n] = dycore.Rd * tL[n] * dpL[n] / pm
-					pRun[n] += dpL[n]
+					ke[n] = (uK[n]*uK[n]+vK[n]*vK[n])/2 + phiK[n]
 				}
-				c.CountFlops(int64(6 * npsq))
-			}
-			for n := 0; n < npsq; n++ {
-				phiInt[n] = phis[n]
-			}
-			for l := nlev - 1; l >= k; l-- {
+				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, ke, gx, gy, sa, sb)
+				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, pMidK, gpx, gpy, sa, sb)
+				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, tK, tx, ty, sa, sb)
+				dycore.VorticitySlab(deriv, dflat, metdet, e.DAlpha, np, uK, vK, vort, sa, sb)
+				c.CountFlops(int64(4*npsq) + 3*gradFlops(np) + vortFlops(np))
+
+				o := k * npsq
+				outU := ldm.MustAlloc("outU", npsq)
+				outV := ldm.MustAlloc("outV", npsq)
+				outT := ldm.MustAlloc("outT", npsq)
+				outDP := ldm.MustAlloc("outDP", npsq)
+				c.DMA.Get(outU, base.U[le][o:o+npsq])
+				c.DMA.Get(outV, base.V[le][o:o+npsq])
+				c.DMA.Get(outT, base.T[le][o:o+npsq])
+				c.DMA.Get(outDP, base.DP[le][o:o+npsq])
 				for n := 0; n < npsq; n++ {
-					if l == k {
-						phiK[n] = phiInt[n] + dphi[l*npsq+n]/2
-					}
-					phiInt[n] += dphi[l*npsq+n]
+					f := 2 * dycore.Omega * math.Sin(lat[n])
+					absv := vort[n] + f
+					p := pMidK[n]
+					vgradP := uK[n]*gpx[n] + vK[n]*gpy[n]
+					omega := vgradP - cumDiv[n]
+					omegaP := omega / p
+					ut := absv*vK[n] - gx[n] - dycore.Rd*tK[n]/p*gpx[n]
+					vt := -absv*uK[n] - gy[n] - dycore.Rd*tK[n]/p*gpy[n]
+					tt := -(uK[n]*tx[n] + vK[n]*ty[n]) + dycore.Kappa*tK[n]*omegaP
+					dpt := -divK[n]
+					outU[n] += dt * ut
+					outV[n] += dt * vt
+					outT[n] += dt * tt
+					outDP[n] += dt * dpt
 				}
-				c.CountFlops(int64(npsq))
+				c.CountFlops(int64(38 * npsq))
+				c.DMA.Put(out.U[le][o:o+npsq], outU)
+				c.DMA.Put(out.V[le][o:o+npsq], outV)
+				c.DMA.Put(out.T[le][o:o+npsq], outT)
+				c.DMA.Put(out.DP[le][o:o+npsq], outDP)
 			}
-
-			// Level-k horizontal terms and tendencies.
-			gx := ldm.MustAlloc("gx", npsq)
-			gy := ldm.MustAlloc("gy", npsq)
-			gpx := ldm.MustAlloc("gpx", npsq)
-			gpy := ldm.MustAlloc("gpy", npsq)
-			tx := ldm.MustAlloc("tx", npsq)
-			ty := ldm.MustAlloc("ty", npsq)
-			vort := ldm.MustAlloc("vort", npsq)
-			ke := ldm.MustAlloc("ke", npsq)
-			sa := ldm.MustAlloc("sa", npsq)
-			sb := ldm.MustAlloc("sb", npsq)
-			for n := 0; n < npsq; n++ {
-				ke[n] = (uK[n]*uK[n]+vK[n]*vK[n])/2 + phiK[n]
-			}
-			dycore.GradientSlab(deriv, dinv, e.DAlpha, np, ke, gx, gy, sa, sb)
-			dycore.GradientSlab(deriv, dinv, e.DAlpha, np, pMidK, gpx, gpy, sa, sb)
-			dycore.GradientSlab(deriv, dinv, e.DAlpha, np, tK, tx, ty, sa, sb)
-			dycore.VorticitySlab(deriv, dflat, metdet, e.DAlpha, np, uK, vK, vort, sa, sb)
-			c.CountFlops(int64(4*npsq) + 3*gradFlops(np) + vortFlops(np))
-
-			o := k * npsq
-			outU := ldm.MustAlloc("outU", npsq)
-			outV := ldm.MustAlloc("outV", npsq)
-			outT := ldm.MustAlloc("outT", npsq)
-			outDP := ldm.MustAlloc("outDP", npsq)
-			c.DMA.Get(outU, base.U[le][o:o+npsq])
-			c.DMA.Get(outV, base.V[le][o:o+npsq])
-			c.DMA.Get(outT, base.T[le][o:o+npsq])
-			c.DMA.Get(outDP, base.DP[le][o:o+npsq])
-			for n := 0; n < npsq; n++ {
-				f := 2 * dycore.Omega * math.Sin(lat[n])
-				absv := vort[n] + f
-				p := pMidK[n]
-				vgradP := uK[n]*gpx[n] + vK[n]*gpy[n]
-				omega := vgradP - cumDiv[n]
-				omegaP := omega / p
-				ut := absv*vK[n] - gx[n] - dycore.Rd*tK[n]/p*gpx[n]
-				vt := -absv*uK[n] - gy[n] - dycore.Rd*tK[n]/p*gpy[n]
-				tt := -(uK[n]*tx[n] + vK[n]*ty[n]) + dycore.Kappa*tK[n]*omegaP
-				dpt := -divK[n]
-				outU[n] += dt * ut
-				outV[n] += dt * vt
-				outT[n] += dt * tt
-				outDP[n] += dt * dpt
-			}
-			c.CountFlops(int64(38 * npsq))
-			c.DMA.Put(out.U[le][o:o+npsq], outU)
-			c.DMA.Put(out.V[le][o:o+npsq], outV)
-			c.DMA.Put(out.T[le][o:o+npsq], outT)
-			c.DMA.Put(out.DP[le][o:o+npsq], outDP)
-		}
+		})
 	})
 	return en.collect(OpenACC, 1)
 }
@@ -225,174 +228,176 @@ func (en *Engine) rhsAthread(cur, base, out *dycore.State, dt float64) Cost {
 	np := en.Np
 	npsq := np * np
 	maxVl := en.maxRowLevels()
-	en.CG.Spawn(func(c *sw.CPE) {
-		ldm := c.LDM
-		s, vl := en.rowLevels(c.Row)
-		slab := vl * npsq
-		maxSlab := maxVl * npsq
+	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+		cg.Spawn(func(c *sw.CPE) {
+			ldm := c.LDM
+			s, vl := en.rowLevels(c.Row)
+			slab := vl * npsq
+			maxSlab := maxVl * npsq
 
-		deriv := ldm.MustAlloc("deriv", npsq)
-		c.DMA.GetShared(deriv, en.M.DerivFlat)
-		dinv := ldm.MustAlloc("dinv", 4*npsq)
-		dflat := ldm.MustAlloc("dflat", 4*npsq)
-		metdet := ldm.MustAlloc("metdet", npsq)
-		lat := ldm.MustAlloc("lat", npsq)
-		phis := ldm.MustAlloc("phis", npsq)
+			deriv := ldm.MustAlloc("deriv", npsq)
+			c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
+			dinv := ldm.MustAlloc("dinv", 4*npsq)
+			dflat := ldm.MustAlloc("dflat", 4*npsq)
+			metdet := ldm.MustAlloc("metdet", npsq)
+			lat := ldm.MustAlloc("lat", npsq)
+			phis := ldm.MustAlloc("phis", npsq)
 
-		uT := ldm.MustAlloc("u", maxSlab)[:slab]
-		vT := ldm.MustAlloc("v", maxSlab)[:slab]
-		tT := ldm.MustAlloc("t", maxSlab)[:slab]
-		dpT := ldm.MustAlloc("dp", maxSlab)[:slab]
-		pMid := ldm.MustAlloc("pMid", maxSlab)[:slab]
-		phi := ldm.MustAlloc("phi", maxSlab)[:slab]
-		divDp := ldm.MustAlloc("divDp", maxSlab)[:slab]
-		cumDiv := ldm.MustAlloc("cumDiv", maxSlab)[:slab]
+			uT := ldm.MustAlloc("u", maxSlab)[:slab]
+			vT := ldm.MustAlloc("v", maxSlab)[:slab]
+			tT := ldm.MustAlloc("t", maxSlab)[:slab]
+			dpT := ldm.MustAlloc("dp", maxSlab)[:slab]
+			pMid := ldm.MustAlloc("pMid", maxSlab)[:slab]
+			phi := ldm.MustAlloc("phi", maxSlab)[:slab]
+			divDp := ldm.MustAlloc("divDp", maxSlab)[:slab]
+			cumDiv := ldm.MustAlloc("cumDiv", maxSlab)[:slab]
 
-		colIn := ldm.MustAlloc("colIn", maxVl)[:vl]
-		colOut := ldm.MustAlloc("colOut", maxVl)[:vl]
+			colIn := ldm.MustAlloc("colIn", maxVl)[:vl]
+			colOut := ldm.MustAlloc("colOut", maxVl)[:vl]
 
-		flxU := ldm.MustAlloc("flxU", npsq)
-		flxV := ldm.MustAlloc("flxV", npsq)
-		gv1 := ldm.MustAlloc("gv1", npsq)
-		gv2 := ldm.MustAlloc("gv2", npsq)
-		ke := ldm.MustAlloc("ke", npsq)
-		gx := ldm.MustAlloc("gx", npsq)
-		gy := ldm.MustAlloc("gy", npsq)
-		gpx := ldm.MustAlloc("gpx", npsq)
-		gpy := ldm.MustAlloc("gpy", npsq)
-		tx := ldm.MustAlloc("tx", npsq)
-		ty := ldm.MustAlloc("ty", npsq)
-		vort := ldm.MustAlloc("vort", npsq)
+			flxU := ldm.MustAlloc("flxU", npsq)
+			flxV := ldm.MustAlloc("flxV", npsq)
+			gv1 := ldm.MustAlloc("gv1", npsq)
+			gv2 := ldm.MustAlloc("gv2", npsq)
+			ke := ldm.MustAlloc("ke", npsq)
+			gx := ldm.MustAlloc("gx", npsq)
+			gy := ldm.MustAlloc("gy", npsq)
+			gpx := ldm.MustAlloc("gpx", npsq)
+			gpy := ldm.MustAlloc("gpy", npsq)
+			tx := ldm.MustAlloc("tx", npsq)
+			ty := ldm.MustAlloc("ty", npsq)
+			vort := ldm.MustAlloc("vort", npsq)
 
-		oU := ldm.MustAlloc("oU", maxSlab)[:slab]
-		oV := ldm.MustAlloc("oV", maxSlab)[:slab]
-		oT := ldm.MustAlloc("oT", maxSlab)[:slab]
-		oDP := ldm.MustAlloc("oDP", maxSlab)[:slab]
+			oU := ldm.MustAlloc("oU", maxSlab)[:slab]
+			oV := ldm.MustAlloc("oV", maxSlab)[:slab]
+			oT := ldm.MustAlloc("oT", maxSlab)[:slab]
+			oDP := ldm.MustAlloc("oDP", maxSlab)[:slab]
 
-		for blk := 0; blk+c.Col < len(en.Elems); blk += sw.MeshDim {
-			le := blk + c.Col
-			e := en.element(le)
-			c.DMA.Get(dinv, e.DinvFlat)
-			c.DMA.Get(dflat, e.DFlat)
-			c.DMA.Get(metdet, e.Metdet)
-			c.DMA.Get(lat, e.Lat)
-			c.DMA.Get(phis, cur.Phis[le])
-			c.DMA.Get(uT, cur.U[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(vT, cur.V[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(tT, cur.T[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(dpT, cur.DP[le][s*npsq:s*npsq+slab])
+			for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
+				le := blk + c.Col
+				e := en.element(le)
+				c.DMA.Get(dinv, e.DinvFlat)
+				c.DMA.Get(dflat, e.DFlat)
+				c.DMA.Get(metdet, e.Metdet)
+				c.DMA.Get(lat, e.Lat)
+				c.DMA.Get(phis, cur.Phis[le])
+				c.DMA.Get(uT, cur.U[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(vT, cur.V[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(tT, cur.T[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(dpT, cur.DP[le][s*npsq:s*npsq+slab])
 
-			// Pressure: exclusive column scan of dp per node, carried
-			// down the CPE column by register communication, then the
-			// midpoint offset.
-			for n := 0; n < npsq; n++ {
-				for k := 0; k < vl; k++ {
-					colIn[k] = dpT[k*npsq+n]
-				}
-				sw.ColumnScanExclusive(c, colIn, colOut, dycore.PTop)
-				for k := 0; k < vl; k++ {
-					pMid[k*npsq+n] = colOut[k] + colIn[k]/2
-				}
-				c.CountFlops(int64(2 * vl))
-			}
-
-			// Mass-flux divergence per level (vectorized).
-			for k := 0; k < vl; k++ {
-				o := k * npsq
-				for j := 0; j < np; j++ {
-					uv := sw.LoadVec4(uT, o+4*j)
-					vv := sw.LoadVec4(vT, o+4*j)
-					dv := sw.LoadVec4(dpT, o+4*j)
-					uv.Mul(dv).Store(flxU, 4*j)
-					vv.Mul(dv).Store(flxV, 4*j)
-				}
-				c.CountVecFlops(int64(2 * npsq))
-				divergenceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, flxU, flxV, divDp[o:o+npsq], gv1, gv2)
-			}
-
-			// Geopotential: reverse (surface-to-top) scan of
-			// Rd T dp / pMid with the half-level fraction.
-			for n := 0; n < npsq; n++ {
-				for k := 0; k < vl; k++ {
-					i := k*npsq + n
-					colIn[k] = dycore.Rd * tT[i] * dpT[i] / pMid[i]
-				}
-				c.CountFlops(int64(3 * vl))
-				sw.ColumnScanReverse(c, colIn, colOut, phis[n], 0.5)
-				for k := 0; k < vl; k++ {
-					phi[k*npsq+n] = colOut[k]
-				}
-			}
-
-			// Omega running sum: exclusive scan of divDp plus half-level.
-			for n := 0; n < npsq; n++ {
-				for k := 0; k < vl; k++ {
-					colIn[k] = divDp[k*npsq+n]
-				}
-				sw.ColumnScanExclusive(c, colIn, colOut, 0)
-				for k := 0; k < vl; k++ {
-					cumDiv[k*npsq+n] = colOut[k] + colIn[k]/2
-				}
-				c.CountFlops(int64(2 * vl))
-			}
-
-			c.DMA.Get(oU, base.U[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(oV, base.V[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(oT, base.T[le][s*npsq:s*npsq+slab])
-			c.DMA.Get(oDP, base.DP[le][s*npsq:s*npsq+slab])
-
-			// Per-level horizontal terms and vectorized tendencies.
-			for k := 0; k < vl; k++ {
-				o := k * npsq
-				for j := 0; j < np; j++ {
-					uv := sw.LoadVec4(uT, o+4*j)
-					vv := sw.LoadVec4(vT, o+4*j)
-					pv := sw.LoadVec4(phi, o+4*j)
-					kev := uv.Mul(uv).Add(vv.Mul(vv)).Scale(0.5).Add(pv)
-					kev.Store(ke, 4*j)
-				}
-				c.CountVecFlops(int64(4 * npsq))
-				gradientSlabVec4(c, deriv, dinv, e.DAlpha, ke, gx, gy, gv1, gv2)
-				gradientSlabVec4(c, deriv, dinv, e.DAlpha, pMid[o:o+npsq], gpx, gpy, gv1, gv2)
-				gradientSlabVec4(c, deriv, dinv, e.DAlpha, tT[o:o+npsq], tx, ty, gv1, gv2)
-				vorticitySlabVec4(c, deriv, dflat, metdet, e.DAlpha, uT[o:o+npsq], vT[o:o+npsq], vort, gv1, gv2)
-
-				for j := 0; j < np; j++ {
-					fv := sw.Vec4{
-						2 * dycore.Omega * math.Sin(lat[4*j]),
-						2 * dycore.Omega * math.Sin(lat[4*j+1]),
-						2 * dycore.Omega * math.Sin(lat[4*j+2]),
-						2 * dycore.Omega * math.Sin(lat[4*j+3]),
+				// Pressure: exclusive column scan of dp per node, carried
+				// down the CPE column by register communication, then the
+				// midpoint offset.
+				for n := 0; n < npsq; n++ {
+					for k := 0; k < vl; k++ {
+						colIn[k] = dpT[k*npsq+n]
 					}
-					uv := sw.LoadVec4(uT, o+4*j)
-					vv := sw.LoadVec4(vT, o+4*j)
-					tv := sw.LoadVec4(tT, o+4*j)
-					pv := sw.LoadVec4(pMid, o+4*j)
-					absv := sw.LoadVec4(vort, 4*j).Add(fv)
-					vgradP := uv.Mul(sw.LoadVec4(gpx, 4*j)).Add(vv.Mul(sw.LoadVec4(gpy, 4*j)))
-					omega := vgradP.Sub(sw.LoadVec4(cumDiv, o+4*j))
-					omegaP := omega.Div(pv)
-					rt := sw.Splat(dycore.Rd).Mul(tv).Div(pv)
-					ut := absv.Mul(vv).Sub(sw.LoadVec4(gx, 4*j)).Sub(rt.Mul(sw.LoadVec4(gpx, 4*j)))
-					vt := absv.Neg().Mul(uv).Sub(sw.LoadVec4(gy, 4*j)).Sub(rt.Mul(sw.LoadVec4(gpy, 4*j)))
-					tt := uv.Mul(sw.LoadVec4(tx, 4*j)).Add(vv.Mul(sw.LoadVec4(ty, 4*j))).Neg().
-						Add(sw.Splat(dycore.Kappa).Mul(tv).Mul(omegaP))
-					dpt := sw.LoadVec4(divDp, o+4*j).Neg()
-
-					dtv := sw.Splat(dt)
-					sw.LoadVec4(oU, o+4*j).Add(dtv.Mul(ut)).Store(oU, o+4*j)
-					sw.LoadVec4(oV, o+4*j).Add(dtv.Mul(vt)).Store(oV, o+4*j)
-					sw.LoadVec4(oT, o+4*j).Add(dtv.Mul(tt)).Store(oT, o+4*j)
-					sw.LoadVec4(oDP, o+4*j).Add(dtv.Mul(dpt)).Store(oDP, o+4*j)
+					sw.ColumnScanExclusive(c, colIn, colOut, dycore.PTop)
+					for k := 0; k < vl; k++ {
+						pMid[k*npsq+n] = colOut[k] + colIn[k]/2
+					}
+					c.CountFlops(int64(2 * vl))
 				}
-				c.CountVecFlops(int64(38 * npsq))
-			}
 
-			c.DMA.Put(out.U[le][s*npsq:s*npsq+slab], oU)
-			c.DMA.Put(out.V[le][s*npsq:s*npsq+slab], oV)
-			c.DMA.Put(out.T[le][s*npsq:s*npsq+slab], oT)
-			c.DMA.Put(out.DP[le][s*npsq:s*npsq+slab], oDP)
-		}
+				// Mass-flux divergence per level (vectorized).
+				for k := 0; k < vl; k++ {
+					o := k * npsq
+					for j := 0; j < np; j++ {
+						uv := sw.LoadVec4(uT, o+4*j)
+						vv := sw.LoadVec4(vT, o+4*j)
+						dv := sw.LoadVec4(dpT, o+4*j)
+						uv.Mul(dv).Store(flxU, 4*j)
+						vv.Mul(dv).Store(flxV, 4*j)
+					}
+					c.CountVecFlops(int64(2 * npsq))
+					divergenceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, flxU, flxV, divDp[o:o+npsq], gv1, gv2)
+				}
+
+				// Geopotential: reverse (surface-to-top) scan of
+				// Rd T dp / pMid with the half-level fraction.
+				for n := 0; n < npsq; n++ {
+					for k := 0; k < vl; k++ {
+						i := k*npsq + n
+						colIn[k] = dycore.Rd * tT[i] * dpT[i] / pMid[i]
+					}
+					c.CountFlops(int64(3 * vl))
+					sw.ColumnScanReverse(c, colIn, colOut, phis[n], 0.5)
+					for k := 0; k < vl; k++ {
+						phi[k*npsq+n] = colOut[k]
+					}
+				}
+
+				// Omega running sum: exclusive scan of divDp plus half-level.
+				for n := 0; n < npsq; n++ {
+					for k := 0; k < vl; k++ {
+						colIn[k] = divDp[k*npsq+n]
+					}
+					sw.ColumnScanExclusive(c, colIn, colOut, 0)
+					for k := 0; k < vl; k++ {
+						cumDiv[k*npsq+n] = colOut[k] + colIn[k]/2
+					}
+					c.CountFlops(int64(2 * vl))
+				}
+
+				c.DMA.Get(oU, base.U[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(oV, base.V[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(oT, base.T[le][s*npsq:s*npsq+slab])
+				c.DMA.Get(oDP, base.DP[le][s*npsq:s*npsq+slab])
+
+				// Per-level horizontal terms and vectorized tendencies.
+				for k := 0; k < vl; k++ {
+					o := k * npsq
+					for j := 0; j < np; j++ {
+						uv := sw.LoadVec4(uT, o+4*j)
+						vv := sw.LoadVec4(vT, o+4*j)
+						pv := sw.LoadVec4(phi, o+4*j)
+						kev := uv.Mul(uv).Add(vv.Mul(vv)).Scale(0.5).Add(pv)
+						kev.Store(ke, 4*j)
+					}
+					c.CountVecFlops(int64(4 * npsq))
+					gradientSlabVec4(c, deriv, dinv, e.DAlpha, ke, gx, gy, gv1, gv2)
+					gradientSlabVec4(c, deriv, dinv, e.DAlpha, pMid[o:o+npsq], gpx, gpy, gv1, gv2)
+					gradientSlabVec4(c, deriv, dinv, e.DAlpha, tT[o:o+npsq], tx, ty, gv1, gv2)
+					vorticitySlabVec4(c, deriv, dflat, metdet, e.DAlpha, uT[o:o+npsq], vT[o:o+npsq], vort, gv1, gv2)
+
+					for j := 0; j < np; j++ {
+						fv := sw.Vec4{
+							2 * dycore.Omega * math.Sin(lat[4*j]),
+							2 * dycore.Omega * math.Sin(lat[4*j+1]),
+							2 * dycore.Omega * math.Sin(lat[4*j+2]),
+							2 * dycore.Omega * math.Sin(lat[4*j+3]),
+						}
+						uv := sw.LoadVec4(uT, o+4*j)
+						vv := sw.LoadVec4(vT, o+4*j)
+						tv := sw.LoadVec4(tT, o+4*j)
+						pv := sw.LoadVec4(pMid, o+4*j)
+						absv := sw.LoadVec4(vort, 4*j).Add(fv)
+						vgradP := uv.Mul(sw.LoadVec4(gpx, 4*j)).Add(vv.Mul(sw.LoadVec4(gpy, 4*j)))
+						omega := vgradP.Sub(sw.LoadVec4(cumDiv, o+4*j))
+						omegaP := omega.Div(pv)
+						rt := sw.Splat(dycore.Rd).Mul(tv).Div(pv)
+						ut := absv.Mul(vv).Sub(sw.LoadVec4(gx, 4*j)).Sub(rt.Mul(sw.LoadVec4(gpx, 4*j)))
+						vt := absv.Neg().Mul(uv).Sub(sw.LoadVec4(gy, 4*j)).Sub(rt.Mul(sw.LoadVec4(gpy, 4*j)))
+						tt := uv.Mul(sw.LoadVec4(tx, 4*j)).Add(vv.Mul(sw.LoadVec4(ty, 4*j))).Neg().
+							Add(sw.Splat(dycore.Kappa).Mul(tv).Mul(omegaP))
+						dpt := sw.LoadVec4(divDp, o+4*j).Neg()
+
+						dtv := sw.Splat(dt)
+						sw.LoadVec4(oU, o+4*j).Add(dtv.Mul(ut)).Store(oU, o+4*j)
+						sw.LoadVec4(oV, o+4*j).Add(dtv.Mul(vt)).Store(oV, o+4*j)
+						sw.LoadVec4(oT, o+4*j).Add(dtv.Mul(tt)).Store(oT, o+4*j)
+						sw.LoadVec4(oDP, o+4*j).Add(dtv.Mul(dpt)).Store(oDP, o+4*j)
+					}
+					c.CountVecFlops(int64(38 * npsq))
+				}
+
+				c.DMA.Put(out.U[le][s*npsq:s*npsq+slab], oU)
+				c.DMA.Put(out.V[le][s*npsq:s*npsq+slab], oV)
+				c.DMA.Put(out.T[le][s*npsq:s*npsq+slab], oT)
+				c.DMA.Put(out.DP[le][s*npsq:s*npsq+slab], oDP)
+			}
+		})
 	})
 	return en.collect(Athread, 1)
 }

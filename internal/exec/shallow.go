@@ -22,86 +22,88 @@ import (
 func (en *Engine) ShallowWaterRHS(cur, base, out *dycore.SWState, hs [][]float64, dt float64) Cost {
 	np := en.Np
 	npsq := np * np
-	en.CG.Spawn(func(c *sw.CPE) {
-		ldm := c.LDM
-		deriv := ldm.MustAlloc("deriv", npsq)
-		c.DMA.GetShared(deriv, en.M.DerivFlat)
-		dinv := ldm.MustAlloc("dinv", 4*npsq)
-		dflat := ldm.MustAlloc("dflat", 4*npsq)
-		metdet := ldm.MustAlloc("metdet", npsq)
-		lat := ldm.MustAlloc("lat", npsq)
-		hsT := ldm.MustAlloc("hs", npsq)
-		u := ldm.MustAlloc("u", npsq)
-		v := ldm.MustAlloc("v", npsq)
-		h := ldm.MustAlloc("h", npsq)
-		bu := ldm.MustAlloc("bu", npsq)
-		bv := ldm.MustAlloc("bv", npsq)
-		bh := ldm.MustAlloc("bh", npsq)
-		vort := ldm.MustAlloc("vort", npsq)
-		ke := ldm.MustAlloc("ke", npsq)
-		gx := ldm.MustAlloc("gx", npsq)
-		gy := ldm.MustAlloc("gy", npsq)
-		flxU := ldm.MustAlloc("flxU", npsq)
-		flxV := ldm.MustAlloc("flxV", npsq)
-		div := ldm.MustAlloc("div", npsq)
-		s1 := ldm.MustAlloc("s1", npsq)
-		s2 := ldm.MustAlloc("s2", npsq)
+	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+		cg.Spawn(func(c *sw.CPE) {
+			ldm := c.LDM
+			deriv := ldm.MustAlloc("deriv", npsq)
+			c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
+			dinv := ldm.MustAlloc("dinv", 4*npsq)
+			dflat := ldm.MustAlloc("dflat", 4*npsq)
+			metdet := ldm.MustAlloc("metdet", npsq)
+			lat := ldm.MustAlloc("lat", npsq)
+			hsT := ldm.MustAlloc("hs", npsq)
+			u := ldm.MustAlloc("u", npsq)
+			v := ldm.MustAlloc("v", npsq)
+			h := ldm.MustAlloc("h", npsq)
+			bu := ldm.MustAlloc("bu", npsq)
+			bv := ldm.MustAlloc("bv", npsq)
+			bh := ldm.MustAlloc("bh", npsq)
+			vort := ldm.MustAlloc("vort", npsq)
+			ke := ldm.MustAlloc("ke", npsq)
+			gx := ldm.MustAlloc("gx", npsq)
+			gy := ldm.MustAlloc("gy", npsq)
+			flxU := ldm.MustAlloc("flxU", npsq)
+			flxV := ldm.MustAlloc("flxV", npsq)
+			div := ldm.MustAlloc("div", npsq)
+			s1 := ldm.MustAlloc("s1", npsq)
+			s2 := ldm.MustAlloc("s2", npsq)
 
-		for le := c.ID; le < len(en.Elems); le += sw.CPEsPerCG {
-			e := en.element(le)
-			c.DMA.Get(dinv, e.DinvFlat)
-			c.DMA.Get(dflat, e.DFlat)
-			c.DMA.Get(metdet, e.Metdet)
-			c.DMA.Get(lat, e.Lat)
-			c.DMA.Get(hsT, hs[le])
-			c.DMA.Get(u, cur.U[le])
-			c.DMA.Get(v, cur.V[le])
-			c.DMA.Get(h, cur.H[le])
-			c.DMA.Get(bu, base.U[le])
-			c.DMA.Get(bv, base.V[le])
-			c.DMA.Get(bh, base.H[le])
+			for le := firstWorkItem(lo, c.ID); le < hi; le += sw.CPEsPerCG {
+				e := en.element(le)
+				c.DMA.Get(dinv, e.DinvFlat)
+				c.DMA.Get(dflat, e.DFlat)
+				c.DMA.Get(metdet, e.Metdet)
+				c.DMA.Get(lat, e.Lat)
+				c.DMA.Get(hsT, hs[le])
+				c.DMA.Get(u, cur.U[le])
+				c.DMA.Get(v, cur.V[le])
+				c.DMA.Get(h, cur.H[le])
+				c.DMA.Get(bu, base.U[le])
+				c.DMA.Get(bv, base.V[le])
+				c.DMA.Get(bh, base.H[le])
 
-			vorticitySlabVec4(c, deriv, dflat, metdet, e.DAlpha, u, v, vort, s1, s2)
-			for j := 0; j < np; j++ {
-				uv := sw.LoadVec4(u, 4*j)
-				vv := sw.LoadVec4(v, 4*j)
-				hv := sw.LoadVec4(h, 4*j)
-				hsv := sw.LoadVec4(hsT, 4*j)
-				// ke = (u*u+v*v)/2 + g*(h+hs), matching the scalar order.
-				kev := uv.Mul(uv).Add(vv.Mul(vv)).Scale(0.5).
-					Add(sw.Splat(dycore.Gravit).Mul(hv.Add(hsv)))
-				kev.Store(ke, 4*j)
-				uv.Mul(hv).Store(flxU, 4*j)
-				vv.Mul(hv).Store(flxV, 4*j)
-			}
-			c.CountVecFlops(int64(8 * npsq))
-			gradientSlabVec4(c, deriv, dinv, e.DAlpha, ke, gx, gy, s1, s2)
-			divergenceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, flxU, flxV, div, s1, s2)
-
-			for j := 0; j < np; j++ {
-				fv := sw.Vec4{
-					2 * dycore.Omega * math.Sin(lat[4*j]),
-					2 * dycore.Omega * math.Sin(lat[4*j+1]),
-					2 * dycore.Omega * math.Sin(lat[4*j+2]),
-					2 * dycore.Omega * math.Sin(lat[4*j+3]),
+				vorticitySlabVec4(c, deriv, dflat, metdet, e.DAlpha, u, v, vort, s1, s2)
+				for j := 0; j < np; j++ {
+					uv := sw.LoadVec4(u, 4*j)
+					vv := sw.LoadVec4(v, 4*j)
+					hv := sw.LoadVec4(h, 4*j)
+					hsv := sw.LoadVec4(hsT, 4*j)
+					// ke = (u*u+v*v)/2 + g*(h+hs), matching the scalar order.
+					kev := uv.Mul(uv).Add(vv.Mul(vv)).Scale(0.5).
+						Add(sw.Splat(dycore.Gravit).Mul(hv.Add(hsv)))
+					kev.Store(ke, 4*j)
+					uv.Mul(hv).Store(flxU, 4*j)
+					vv.Mul(hv).Store(flxV, 4*j)
 				}
-				uv := sw.LoadVec4(u, 4*j)
-				vv := sw.LoadVec4(v, 4*j)
-				absv := sw.LoadVec4(vort, 4*j).Add(fv)
-				dtv := sw.Splat(dt)
-				// out = base + dt*(absv*v - gx), etc., scalar order.
-				outU := sw.LoadVec4(bu, 4*j).Add(dtv.Mul(absv.Mul(vv).Sub(sw.LoadVec4(gx, 4*j))))
-				outV := sw.LoadVec4(bv, 4*j).Add(dtv.Mul(absv.Neg().Mul(uv).Sub(sw.LoadVec4(gy, 4*j))))
-				outH := sw.LoadVec4(bh, 4*j).Add(dtv.Mul(sw.LoadVec4(div, 4*j).Neg()))
-				outU.Store(u, 4*j)
-				outV.Store(v, 4*j)
-				outH.Store(h, 4*j)
+				c.CountVecFlops(int64(8 * npsq))
+				gradientSlabVec4(c, deriv, dinv, e.DAlpha, ke, gx, gy, s1, s2)
+				divergenceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, flxU, flxV, div, s1, s2)
+
+				for j := 0; j < np; j++ {
+					fv := sw.Vec4{
+						2 * dycore.Omega * math.Sin(lat[4*j]),
+						2 * dycore.Omega * math.Sin(lat[4*j+1]),
+						2 * dycore.Omega * math.Sin(lat[4*j+2]),
+						2 * dycore.Omega * math.Sin(lat[4*j+3]),
+					}
+					uv := sw.LoadVec4(u, 4*j)
+					vv := sw.LoadVec4(v, 4*j)
+					absv := sw.LoadVec4(vort, 4*j).Add(fv)
+					dtv := sw.Splat(dt)
+					// out = base + dt*(absv*v - gx), etc., scalar order.
+					outU := sw.LoadVec4(bu, 4*j).Add(dtv.Mul(absv.Mul(vv).Sub(sw.LoadVec4(gx, 4*j))))
+					outV := sw.LoadVec4(bv, 4*j).Add(dtv.Mul(absv.Neg().Mul(uv).Sub(sw.LoadVec4(gy, 4*j))))
+					outH := sw.LoadVec4(bh, 4*j).Add(dtv.Mul(sw.LoadVec4(div, 4*j).Neg()))
+					outU.Store(u, 4*j)
+					outV.Store(v, 4*j)
+					outH.Store(h, 4*j)
+				}
+				c.CountVecFlops(int64(14 * npsq))
+				c.DMA.Put(out.U[le], u)
+				c.DMA.Put(out.V[le], v)
+				c.DMA.Put(out.H[le], h)
 			}
-			c.CountVecFlops(int64(14 * npsq))
-			c.DMA.Put(out.U[le], u)
-			c.DMA.Put(out.V[le], v)
-			c.DMA.Put(out.H[le], h)
-		}
+		})
 	})
 	return en.collect(Athread, 1)
 }

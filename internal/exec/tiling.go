@@ -1,0 +1,265 @@
+// Intra-rank tiling: each kernel invocation splits the rank's element
+// list into contiguous tiles and runs them concurrently on a bounded
+// pool of host workers, one private workspace (and, for the CPE
+// backends, one private simulated core group) per worker.
+//
+// The determinism contract — tiled output bit-identical to the
+// single-worker path for every backend and every worker count — rests
+// on three properties:
+//
+//  1. Tiles are aligned to the CPE mesh width (sw.MeshDim): an
+//     Athread-style block loop over a tile visits exactly the
+//     (element, CPE column) pairs the untiled loop visits, so every
+//     element is computed by the same simulated CPE with the same
+//     arithmetic, and per-CPE counters land on the same ids.
+//  2. Round-robin work-item loops (OpenACC collapse, remap columns,
+//     shallow-water elements) restart inside a tile at
+//     firstWorkItem(start, id), preserving the global item → CPE
+//     assignment.
+//  3. Tiles write disjoint element rows and read only their own rows
+//     (the one cross-row reader, the OpenACC remap, snapshots its tile
+//     first), so there are no cross-tile data flows whose order could
+//     matter; per-tile partial sums and counters are gathered in fixed
+//     tile order afterwards.
+//  4. Per-launch setup fetches hoisted out of a kernel's work loop
+//     (the broadcast derivative-matrix load) are wrapped in sw.CPE
+//     Setup: every tile's core group still loads its own LDM image,
+//     but only the first tile accounts the traffic, so DMA counters
+//     match the untiled single spawn exactly.
+package exec
+
+import (
+	"runtime"
+	"time"
+
+	"swcam/internal/obs"
+	"swcam/internal/sw"
+)
+
+// tile is a contiguous, MeshDim-aligned range [Lo, Hi) of local
+// element slots.
+type tile struct{ Lo, Hi int }
+
+// serialPartial collects one tile's analytic flop/byte sums for the
+// serial backends; padded so concurrent tiles don't share a cache line.
+type serialPartial struct {
+	flops, bytes int64
+	_            [48]byte
+}
+
+// DefaultDynWorkers is the worker-pool size used when none is
+// configured: the host's CPUs, capped at the CPE mesh width (tiles are
+// MeshDim-aligned, so more workers than mesh-width element blocks
+// rarely pay off at bench scales).
+func DefaultDynWorkers() int {
+	n := runtime.NumCPU()
+	if n > sw.MeshDim {
+		n = sw.MeshDim
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetWorkers sizes the intra-rank worker pool to n (n <= 0 selects
+// DefaultDynWorkers). Worker workspaces are allocated here, once;
+// steady-state kernel calls then run without heap allocation. Not safe
+// to call concurrently with kernel execution.
+func (en *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = DefaultDynWorkers()
+	}
+	if n == en.workers && en.pool != nil {
+		return
+	}
+	en.workers = n
+	// Keep existing workers (their core-group counters may hold state
+	// between collects only transiently — kernels always collect before
+	// returning — but their LDM high-water marks feed LDMPeak, so
+	// shrinking the pool mid-run would lose nothing correctness-wise).
+	for len(en.pool) < n {
+		en.pool = append(en.pool, newDynWorker(en.Np, en.Nlev))
+	}
+	en.pool = en.pool[:n]
+	en.tilesC = computeTiles(len(en.Elems), n)
+	en.partials = make([]serialPartial, len(en.tilesC))
+	en.tilePanics = make([]any, len(en.tilesC))
+	en.bindObsRegistry()
+}
+
+// Workers reports the configured intra-rank worker-pool size.
+func (en *Engine) Workers() int { return en.workers }
+
+// Tiles reports how many element tiles kernel calls actually run
+// (min(workers, aligned element blocks), and 1 when the rank is empty).
+func (en *Engine) Tiles() int { return len(en.tilesC) }
+
+// computeTiles splits n elements into at most `workers` contiguous
+// tiles aligned to sw.MeshDim. Alignment blocks are distributed as
+// evenly as possible (counts differ by at most one), matching how the
+// untiled Athread block loop strides the list. n == 0 still yields one
+// empty tile so every kernel performs exactly one (empty) launch
+// regardless of the pool size.
+func computeTiles(n, workers int) []tile {
+	if n == 0 {
+		return []tile{{0, 0}}
+	}
+	blocks := (n + sw.MeshDim - 1) / sw.MeshDim
+	nt := workers
+	if nt > blocks {
+		nt = blocks
+	}
+	tiles := make([]tile, nt)
+	base, rem := blocks/nt, blocks%nt
+	b := 0
+	for i := range tiles {
+		nb := base
+		if i < rem {
+			nb++
+		}
+		lo := b * sw.MeshDim
+		b += nb
+		hi := b * sw.MeshDim
+		if hi > n {
+			hi = n
+		}
+		tiles[i] = tile{lo, hi}
+	}
+	return tiles
+}
+
+// firstWorkItem returns the smallest work-item index >= start assigned
+// to CPE id under the global round-robin distribution (item % CPEsPerCG
+// == id). Item loops restricted to a tile's [start, end) range start
+// here so tiling never changes which CPE computes which item.
+func firstWorkItem(start, id int) int {
+	r := (id - start%sw.CPEsPerCG + sw.CPEsPerCG) % sw.CPEsPerCG
+	return start + r
+}
+
+// runTilesSerial runs fn over every tile on the worker pool, each tile
+// with its own dynWorker scratch, and returns the analytic flop/byte
+// sums accumulated in fixed tile order. With one tile the call is
+// inline on the caller's goroutine — the zero-overhead, zero-allocation
+// serial path.
+func (en *Engine) runTilesSerial(fn func(w *dynWorker, lo, hi int, p *serialPartial)) (flops, bytes int64) {
+	tiles := en.tilesC
+	for i := range en.partials {
+		en.partials[i] = serialPartial{}
+	}
+	if len(tiles) == 1 {
+		sp, done := en.tileObsStart(0)
+		fn(en.pool[0], tiles[0].Lo, tiles[0].Hi, &en.partials[0])
+		en.tileObsEnd(0, sp, done)
+		return en.partials[0].flops, en.partials[0].bytes
+	}
+	en.curSerialFn = fn
+	en.tileWG.Add(len(tiles))
+	for i := 1; i < len(tiles); i++ {
+		go en.serialTile(i)
+	}
+	en.serialTile(0)
+	en.tileWG.Wait()
+	en.curSerialFn = nil
+	en.rethrowTilePanic()
+	for i := range tiles {
+		flops += en.partials[i].flops
+		bytes += en.partials[i].bytes
+	}
+	return flops, bytes
+}
+
+// serialTile executes one tile of the current serial kernel; panics are
+// parked for the coordinating goroutine to re-raise.
+func (en *Engine) serialTile(i int) {
+	defer en.tileWG.Done()
+	defer func() { en.tilePanics[i] = recover() }()
+	sp, done := en.tileObsStart(i)
+	t := en.tilesC[i]
+	en.curSerialFn(en.pool[i], t.Lo, t.Hi, &en.partials[i])
+	en.tileObsEnd(i, sp, done)
+}
+
+// runTilesCG runs fn over every tile, handing each tile its worker's
+// private simulated core group; fn spawns the CPE closure itself (so it
+// can do per-tile setup such as the OpenACC remap snapshot). Counters
+// accumulate on the per-worker core groups and are merged by collect.
+func (en *Engine) runTilesCG(fn func(cg *sw.CoreGroup, lo, hi int)) {
+	tiles := en.tilesC
+	for i := range tiles {
+		en.pool[i].ensureCG()
+		en.pool[i].cg.SetReplaySetup(i != 0)
+	}
+	if len(tiles) == 1 {
+		sp, done := en.tileObsStart(0)
+		fn(en.pool[0].cg, tiles[0].Lo, tiles[0].Hi)
+		en.tileObsEnd(0, sp, done)
+		return
+	}
+	en.curCGFn = fn
+	en.tileWG.Add(len(tiles))
+	for i := 1; i < len(tiles); i++ {
+		go en.cgTile(i)
+	}
+	en.cgTile(0)
+	en.tileWG.Wait()
+	en.curCGFn = nil
+	en.rethrowTilePanic()
+}
+
+// workerOf maps a core group handed out by runTilesCG back to its
+// owning worker, for kernels that also need the worker's host-side
+// scratch (the OpenACC remap snapshot). The pool is at most MeshDim
+// entries, so the scan is trivial and allocation-free.
+func (en *Engine) workerOf(cg *sw.CoreGroup) *dynWorker {
+	for _, w := range en.pool {
+		if w.cg == cg {
+			return w
+		}
+	}
+	panic("exec: core group not owned by this engine's pool")
+}
+
+// cgTile executes one tile of the current core-group kernel.
+func (en *Engine) cgTile(i int) {
+	defer en.tileWG.Done()
+	defer func() { en.tilePanics[i] = recover() }()
+	sp, done := en.tileObsStart(i)
+	t := en.tilesC[i]
+	en.curCGFn(en.pool[i].cg, t.Lo, t.Hi)
+	en.tileObsEnd(i, sp, done)
+}
+
+// rethrowTilePanic re-raises the first parked tile panic on the rank
+// goroutine, where the mpirt runtime's failure handling expects kernel
+// faults to surface.
+func (en *Engine) rethrowTilePanic() {
+	for i, p := range en.tilePanics {
+		if p != nil {
+			en.tilePanics[i] = nil
+			panic(p)
+		}
+	}
+}
+
+// tileObsStart opens a per-tile trace span (tid = worker slot + 1, so
+// worker utilization reads directly off the trace timeline next to the
+// rank's tid-0 kernel spans) and a busy-time stamp when observation is
+// attached; both are no-ops — and allocation-free — otherwise.
+func (en *Engine) tileObsStart(i int) (sp obs.Span, start time.Time) {
+	if en.obsTr == nil && en.busyNs == nil {
+		return obs.Span{}, time.Time{}
+	}
+	if en.obsTr != nil {
+		sp = en.obsTr.BeginTid(en.obsRank, i+1, en.curKernel+".tile", en.curBackend)
+	}
+	return sp, time.Now()
+}
+
+func (en *Engine) tileObsEnd(i int, sp obs.Span, start time.Time) {
+	sp.End()
+	if en.busyNs != nil && i < len(en.busyNs) && !start.IsZero() {
+		en.busyNs[i].Add(time.Since(start).Nanoseconds())
+	}
+}

@@ -16,12 +16,15 @@ import (
 const BenchSchema = "swcam-bench/v1"
 
 // BenchConfig records the model configuration a benchmark file measured.
+// DynWorkers is the intra-rank worker-pool size the run used (0 in files
+// written before tiling existed; treated as 1, the serial path).
 type BenchConfig struct {
-	Ne    int `json:"ne"`
-	Nlev  int `json:"nlev"`
-	Qsize int `json:"qsize"`
-	Steps int `json:"steps"`
-	Ranks int `json:"ranks"`
+	Ne         int `json:"ne"`
+	Nlev       int `json:"nlev"`
+	Qsize      int `json:"qsize"`
+	Steps      int `json:"steps"`
+	Ranks      int `json:"ranks"`
+	DynWorkers int `json:"dyn_workers,omitempty"`
 }
 
 // BenchKernel is one kernel's accumulated record within one backend.
@@ -143,18 +146,30 @@ func WriteBenchFile(dir string, f *BenchFile) (string, error) {
 	return path, nil
 }
 
+// DecodeBench parses and validates a benchmark file's raw bytes. This
+// is the whole untrusted-input surface of the bench format — fuzzed in
+// bench_fuzz_test.go — and must return an error, never panic, on
+// arbitrary input.
+func DecodeBench(data []byte) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obs: bench: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
 // LoadBenchFile reads and validates a benchmark file.
 func LoadBenchFile(path string) (*BenchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: bench: %w", err)
 	}
-	var f BenchFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("obs: bench %s: %w", path, err)
-	}
-	if err := f.Validate(); err != nil {
+	f, err := DecodeBench(data)
+	if err != nil {
 		return nil, fmt.Errorf("%w (in %s)", err, path)
 	}
-	return &f, nil
+	return f, nil
 }

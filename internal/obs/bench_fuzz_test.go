@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// validBenchBytes builds the canonical well-formed BENCH file used to
+// seed the fuzzer (and the checked-in corpus).
+func validBenchBytes(tb testing.TB) []byte {
+	tb.Helper()
+	f := NewBenchFile(BenchConfig{Ne: 4, Nlev: 8, Qsize: 2, Steps: 3, Ranks: 2, DynWorkers: 4})
+	f.Backends["Athread"] = BenchBackend{
+		SYPD:        1.25,
+		WallSeconds: 2.5,
+		Kernels: map[string]BenchKernel{
+			"euler_step":     {Calls: 6, Ns: 120000, Flops: 500000, Bytes: 40000},
+			"vertical_remap": {Calls: 3, Ns: 90000, Flops: 300000, Bytes: 30000},
+		},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzDecodeBench: DecodeBench is the whole untrusted-input surface of
+// the BENCH_<n>.json format (CI's bench-smoke job feeds it files from
+// disk). It must return an error — never panic — on arbitrary bytes,
+// and anything it accepts must satisfy Validate and survive a
+// re-encode/re-decode round trip.
+func FuzzDecodeBench(f *testing.F) {
+	valid := validBenchBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated JSON
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1"}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v0","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},"backends":{}}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":-4,"nlev":8,"steps":1,"ranks":1},"backends":{}}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},` +
+		`"backends":{"Intel":{"sypd":0,"wall_seconds":1,"kernels":{"k":{"calls":1,"ns":1}}}}}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},` +
+		`"backends":{"Intel":{"sypd":1,"wall_seconds":1,"kernels":{}}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bf, err := DecodeBench(data)
+		if err != nil {
+			if bf != nil {
+				t.Fatal("non-nil bench file returned with an error")
+			}
+			return
+		}
+		if verr := bf.Validate(); verr != nil {
+			t.Fatalf("accepted file fails its own validation: %v", verr)
+		}
+		out, merr := json.Marshal(bf)
+		if merr != nil {
+			t.Fatalf("accepted file does not re-encode: %v", merr)
+		}
+		if _, rerr := DecodeBench(out); rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+	})
+}

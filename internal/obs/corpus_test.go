@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// writeFuzzCorpusEntry encodes data in the Go native fuzzing corpus
+// format (go test fuzz v1) under testdata/fuzz/<fuzzName>/<entry>, the
+// directory `go test` replays on every ordinary test run.
+func writeFuzzCorpusEntry(t *testing.T, fuzzName, entry string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+	if err := os.WriteFile(filepath.Join(dir, entry), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegenFuzzCorpora rewrites the checked-in seed corpus for
+// FuzzDecodeBench. Gated behind SWCAM_REGEN_FUZZ_CORPUS so ordinary
+// test runs never touch the tree; run with the variable set after
+// changing the bench schema, then commit the result.
+func TestRegenFuzzCorpora(t *testing.T) {
+	if os.Getenv("SWCAM_REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set SWCAM_REGEN_FUZZ_CORPUS=1 to regenerate the checked-in fuzz seed corpora")
+	}
+	valid := validBenchBytes(t)
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-valid", valid)
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-truncated", valid[:len(valid)/2])
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-not-json", []byte(`not json at all`))
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-empty-object", []byte(`{}`))
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-wrong-schema",
+		[]byte(`{"schema":"swcam-bench/v0","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},"backends":{}}`))
+	writeFuzzCorpusEntry(t, "FuzzDecodeBench", "seed-zero-sypd",
+		[]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},`+
+			`"backends":{"Intel":{"sypd":0,"wall_seconds":1,"kernels":{"k":{"calls":1,"ns":1}}}}}`))
+}
+
+// TestFuzzCorporaCheckedIn guards against the seed corpus being
+// accidentally deleted: every fuzz target must have checked-in entries
+// (they run as regular test cases on every `go test`).
+func TestFuzzCorporaCheckedIn(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzDecodeBench"))
+	if err != nil {
+		t.Fatalf("missing checked-in corpus for FuzzDecodeBench: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("FuzzDecodeBench corpus has %d entries, want >= 3", len(entries))
+	}
+}

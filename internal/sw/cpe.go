@@ -21,6 +21,24 @@ type CPE struct {
 // CountFlops accounts n double-precision scalar operations.
 func (c *CPE) CountFlops(n int64) { c.Ctr.FlopsScalar += n }
 
+// Setup runs f, a kernel's per-launch setup block: the broadcast
+// constant fetches hoisted out of the work loop and executed once per
+// CPE per athread_spawn. On an ordinary launch Setup is a transparent
+// call. When the host has split one logical launch into several tiles
+// (CoreGroup.SetReplaySetup), replay tiles still execute f — every
+// core group needs its own LDM image of the constants — but with DMA
+// accounting muted, so performance counters are invariant to how the
+// host tiles the launch: the setup traffic is charged exactly once, by
+// the tile covering the first block, just as the untiled spawn charges
+// it once.
+func (c *CPE) Setup(f func()) {
+	if c.cg.replaySetup {
+		c.DMA.mute = true
+		defer func() { c.DMA.mute = false }()
+	}
+	f()
+}
+
 // CountVecFlops accounts n double-precision operations retired through
 // the vector unit (already multiplied out to element count by the caller).
 func (c *CPE) CountVecFlops(n int64) { c.Ctr.FlopsVector += n }
@@ -49,7 +67,19 @@ type CoreGroup struct {
 	MPE    *MPE
 	CPEs   [CPEsPerCG]*CPE
 	fabric *regFabric
+	// replaySetup marks launches on this core group as re-executions of
+	// a logical launch whose per-launch setup traffic another core group
+	// already accounted; see CPE.Setup.
+	replaySetup bool
 }
+
+// SetReplaySetup marks (or clears) this core group as replaying the
+// per-launch setup of a logical launch that another core group has
+// already accounted. The host tiling layer sets it on every tile but
+// the first before a kernel launch, so hoisted setup fetches wrapped in
+// CPE.Setup are charged once per logical launch regardless of how many
+// tiles simulate it.
+func (cg *CoreGroup) SetReplaySetup(v bool) { cg.replaySetup = v }
 
 // NewCoreGroup builds a core group with fresh LDMs, counters, and
 // register fabric.
