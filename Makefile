@@ -19,12 +19,14 @@ race:
 	$(GO) test -race ./...
 
 # Native fuzzing over every untrusted-bytes decoder (checkpoint,
-# history, BENCH json), 30s each on top of the checked-in seed corpora.
+# history, BENCH json, buddy-snapshot wire payloads), 30s each on top
+# of the checked-in seed corpora.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzReadCheckpoint$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzReadHistory$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzDecodeBench$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz '^FuzzDecodeRankSnapshot$$' -fuzztime $(FUZZTIME)
 
 # One benchmark per paper table/figure plus the ablations, and a
 # BENCH_<n>.json regression point from the profiler.

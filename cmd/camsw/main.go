@@ -5,6 +5,7 @@
 //	camsw -ne 8 -nlev 16 -hours 6 -physics moist
 //	camsw -ne 4 -nlev 8 -hours 24 -physics heldsuarez
 //	camsw -ne 4 -nlev 8 -hours 2 -parallel 4 -backend athread
+//	camsw -ne 2 -nlev 8 -hours 1 -parallel 3 -faults chaos:6@42 -checkpoint-every 2 -recovery ladder -spares 1
 //
 // With -parallel N the dynamics run through the distributed driver (N
 // simulated core groups, halo exchanges, chosen execution backend)
@@ -38,6 +39,8 @@ func main() {
 	history := flag.String("history", "", "write lat-lon history frames to this file")
 	faults := flag.String("faults", "", "fault-injection spec for -parallel, comma-separated: kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED")
 	ckEvery := flag.Int("checkpoint-every", 0, "with -parallel: checkpoint every N steps and auto-recover from faults (0 = no supervision)")
+	recovery := flag.String("recovery", "ladder", "with -checkpoint-every: recovery strategy: ladder (retransmit, then rebuild the failed rank from its buddy's in-memory copy, then global rollback) | global (rollback-only) | off")
+	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks available to replace permanently dead ranks (0 = shrink onto the survivors instead)")
 	obsOn := flag.Bool("obs", false, "collect and print the unified observability report (spans, counters, step report)")
 	tracePath := flag.String("trace", "", "write a Chrome about://tracing JSON trace to this file (implies -obs)")
 	dynWorkers := flag.Int("dyn-workers", 0, "with -parallel: intra-rank dynamics workers per rank (0 = one per CPU up to 8, 1 = serial; results are bit-identical for any value)")
@@ -48,8 +51,14 @@ func main() {
 		probe = obs.NewProbe()
 	}
 
+	switch *recovery {
+	case "ladder", "global", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "camsw: unknown -recovery %q (ladder|global|off)\n", *recovery)
+		os.Exit(2)
+	}
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, probe, *tracePath, *dynWorkers)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -196,7 +205,7 @@ func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath string, probe *obs.Probe, tracePath string, dynWorkers int) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers int) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -251,11 +260,17 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		nranks, backend, steps, job.EngineWorkers())
 	start := time.Now()
 	var stats core.RunStats
-	if ckEvery > 0 {
+	if ckEvery > 0 && recoveryMode != "off" {
 		rj := core.NewResilientJob(job)
 		rj.CheckpointEvery = ckEvery
 		rj.MaxRetries = 10
 		rj.DiskPath = ckPath
+		rj.Spares = spares
+		if recoveryMode == "ladder" {
+			rj.Mode = core.ModeLadder
+		} else {
+			rj.Mode = core.ModeGlobal
+		}
 		rj.OnEvent = func(e core.RecoveryEvent) {
 			if e.Kind != "checkpoint" {
 				fmt.Printf("  recovery: %v\n", e)
@@ -267,14 +282,17 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 			os.Exit(1)
 		}
 		stats = rs.Run
+		// A shrink recovery replaces the state slice (the world lost a
+		// rank); the supervisor owns the current one.
+		local = rj.States()
+		fmt.Printf("  resilience (%s): %d ckpt, %d/%d retransmits recovered, %d localized, %d respawn, %d shrink, %d rollback, %.1f ms in recovery\n",
+			recoveryMode, rs.Checkpoints, rs.RetxRecovered, rs.RetxAttempts,
+			rs.Localized, rs.Respawns, rs.Shrinks, rs.Rollbacks,
+			float64(rs.RecoveryNs)/1e6)
 		if probe != nil {
-			fmt.Printf("  recovery: %d checkpoints, %d rollbacks, %d steps replayed, %d giveups\n",
-				probe.Reg.CounterValue("core.recovery.checkpoints"),
-				probe.Reg.CounterValue("core.recovery.rollbacks"),
+			fmt.Printf("  recovery counters: %d steps replayed, %d giveups\n",
 				probe.Reg.CounterValue("core.recovery.replayed_steps"),
 				probe.Reg.CounterValue("core.recovery.giveups"))
-		} else {
-			fmt.Printf("  resilience: %d checkpoints, %d rollbacks\n", rs.Checkpoints, rs.Rollbacks)
 		}
 	} else {
 		stats, err = job.RunChecked(local, steps)

@@ -8,6 +8,7 @@
 //	swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir bench/
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 4 -trace prof.trace.json
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 2 -dyn-workers 4 -dir bench/
+//	swprof -ne 2 -nlev 4 -steps 6 -ranks 3 -faults chaos:4@42 -recovery ladder -dir bench/
 //	swprof -validate bench/BENCH_1.json
 //
 // -dyn-workers sets the intra-rank tiling pool (see internal/exec):
@@ -31,6 +32,7 @@ import (
 	"swcam/internal/core"
 	"swcam/internal/dycore"
 	"swcam/internal/exec"
+	"swcam/internal/mpirt"
 	"swcam/internal/obs"
 )
 
@@ -44,6 +46,9 @@ func main() {
 	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
 	tracePath := flag.String("trace", "", "also write a combined Chrome trace to this file")
 	validate := flag.String("validate", "", "validate an existing BENCH_<n>.json and exit")
+	faults := flag.String("faults", "", "fault-injection spec per backend run (kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED); the run executes under supervision and the bench file records the recovery activity")
+	recovery := flag.String("recovery", "ladder", "with -faults: recovery strategy: ladder|global")
+	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks for replacing permanently dead ranks")
 	flag.Parse()
 
 	if *validate != "" {
@@ -57,6 +62,10 @@ func main() {
 	}
 	if *steps < 1 || *ranks < 1 {
 		fmt.Fprintln(os.Stderr, "swprof: -steps and -ranks must be positive")
+		os.Exit(2)
+	}
+	if *recovery != "ladder" && *recovery != "global" {
+		fmt.Fprintf(os.Stderr, "swprof: unknown -recovery %q (ladder|global)\n", *recovery)
 		os.Exit(2)
 	}
 
@@ -81,12 +90,18 @@ func main() {
 		*ne, *nlev, *qsize, *steps, *ranks, *dynWorkers, len(backends))
 	for _, b := range backends {
 		name := strings.ToLower(b.String())
-		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers, tracer, bench)
+		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers, *faults, *recovery, *spares, tracer, bench)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swprof: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("  %-8s %8.3fs wall  SYPD %10.3f\n", name, wall, sypd)
+	}
+	if rec := bench.Recovery; rec != nil {
+		fmt.Printf("  recovery (%s, all backends): %d/%d retransmits recovered, %d ckpt, %d localized, %d respawn, %d shrink, %d rollback, %.1f ms\n",
+			*recovery, rec.Retransmitted, rec.Retransmits, rec.Checkpoints,
+			rec.Localized, rec.Respawns, rec.Shrinks, rec.Rollbacks,
+			float64(rec.RecoveryWallNs)/1e6)
 	}
 
 	path, err := obs.WriteBenchFile(*dir, bench)
@@ -107,8 +122,12 @@ func main() {
 }
 
 // runBackend measures one backend: a fresh job and probe (sharing the
-// combined tracer), one timed RunChecked, one bench entry.
+// combined tracer), one timed run, one bench entry. With a fault spec
+// the run executes under the recovery supervisor (fresh fault plan per
+// backend, so every backend faces the same schedule) and the recovery
+// activity accumulates into the bench file's recovery block.
 func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
+	faultSpec, recoveryMode string, spares int,
 	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall float64, err error) {
 	job, err := core.NewParallelJob(cfg, b, true, ranks)
 	if err != nil {
@@ -126,11 +145,50 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 	s.InitBaroclinicWave(g)
 	local := job.Scatter(g)
 
-	start := time.Now()
-	if _, err := job.RunChecked(local, steps); err != nil {
-		return 0, 0, err
+	if faultSpec == "" {
+		start := time.Now()
+		if _, err := job.RunChecked(local, steps); err != nil {
+			return 0, 0, err
+		}
+		wall = time.Since(start).Seconds()
+	} else {
+		// A rank performs on the order of 40 communication ops per step;
+		// chaos:N@SEED events are spread over that estimated span.
+		plan, err := mpirt.ParseFaultPlan(faultSpec, ranks, int64(steps)*40)
+		if err != nil {
+			return 0, 0, err
+		}
+		job.Faults = plan
+		job.RecvTimeout = 2 * time.Second
+		job.CheckEvery = 1
+		rj := core.NewResilientJob(job)
+		rj.Mode = core.ModeGlobal
+		if recoveryMode == "ladder" {
+			rj.Mode = core.ModeLadder
+		}
+		rj.CheckpointEvery = 1
+		rj.MaxRetries = 10
+		rj.Spares = spares
+		start := time.Now()
+		rs, err := rj.Run(local, steps)
+		if err != nil {
+			return 0, 0, err
+		}
+		wall = time.Since(start).Seconds()
+		rec := bench.Recovery
+		if rec == nil {
+			rec = &obs.BenchRecovery{}
+			bench.Recovery = rec
+		}
+		rec.Retransmits += rs.RetxAttempts
+		rec.Retransmitted += rs.RetxRecovered
+		rec.Checkpoints += int64(rs.Checkpoints)
+		rec.Localized += int64(rs.Localized)
+		rec.Respawns += int64(rs.Respawns)
+		rec.Shrinks += int64(rs.Shrinks)
+		rec.Rollbacks += int64(rs.Rollbacks)
+		rec.RecoveryWallNs += rs.RecoveryNs
 	}
-	wall = time.Since(start).Seconds()
 	sypd = obs.SYPD(float64(steps)*cfg.Dt, wall)
 	bench.AddBackend(strings.ToLower(b.String()), probe.Kernels, sypd, wall)
 	return sypd, wall, nil

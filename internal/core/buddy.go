@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"swcam/internal/dycore"
+)
+
+// Partner-replicated diskless checkpoints — the middle rung of the
+// recovery ladder. At every checkpoint interval each rank serializes
+// its local dycore.State with the v2 checkpoint encoding (fixed header,
+// raw fields, CRC32-C trailer) and ships the bytes to its buddy rank
+// (r+1 mod n) over the message runtime. When a single rank dies, it is
+// rebuilt in place from the buddy's in-memory copy while the survivors
+// restore their own local snapshots — no disk, no global replay. The
+// encoding is framed into a float64 payload because that is the only
+// wire type mpirt carries, exactly as a real implementation would pack
+// bytes into its transport's native datatype.
+
+// buddy exchange tags (outside halo's 101, the mass fixer's 202, and
+// the reserved negative collective tags).
+const (
+	tagBuddySize = 203
+	tagBuddyData = 204
+)
+
+// maxSnapshotBytes bounds a framed snapshot before decoding: the
+// largest per-rank state the checkpoint reader itself would accept
+// (1<<28 values), plus header and trailer slack.
+const maxSnapshotBytes = 1<<31 - 1
+
+// ErrBuddySnapshot reports a buddy-snapshot payload that cannot be
+// decoded: bad framing, truncation, or a failed checkpoint CRC. The
+// supervisor treats it as a lost copy and escalates to the next rung.
+var ErrBuddySnapshot = errors.New("core: buddy snapshot undecodable")
+
+// EncodeRankSnapshot serializes one rank's state (plus the step it was
+// taken at) into a float64 wire payload: word 0 holds the byte length
+// as a raw bit pattern, the remaining words hold the v2 checkpoint
+// bytes little-endian, zero-padded to a word boundary.
+func EncodeRankSnapshot(st *dycore.State, step int) ([]float64, error) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, st, step); err != nil {
+		return nil, fmt.Errorf("core: encoding rank snapshot: %w", err)
+	}
+	b := buf.Bytes()
+	words := (len(b) + 7) / 8
+	out := make([]float64, 1+words)
+	out[0] = math.Float64frombits(uint64(len(b)))
+	padded := b
+	if len(b) != words*8 {
+		padded = make([]byte, words*8)
+		copy(padded, b)
+	}
+	for i := 0; i < words; i++ {
+		out[1+i] = math.Float64frombits(binary.LittleEndian.Uint64(padded[i*8:]))
+	}
+	return out, nil
+}
+
+// DecodeRankSnapshot decodes a payload produced by EncodeRankSnapshot.
+// This is the untrusted surface of the localized-recovery path: the
+// copy survived in a peer's memory across a failure, so framing, every
+// header dimension, and the payload CRC are all verified before any
+// allocation is trusted. All failures wrap ErrBuddySnapshot.
+func DecodeRankSnapshot(payload []float64) (*dycore.State, int, error) {
+	if len(payload) < 1 {
+		return nil, 0, fmt.Errorf("%w: empty payload", ErrBuddySnapshot)
+	}
+	n := math.Float64bits(payload[0])
+	if n > maxSnapshotBytes {
+		return nil, 0, fmt.Errorf("%w: framed length %d too large", ErrBuddySnapshot, n)
+	}
+	words := (int(n) + 7) / 8
+	if words != len(payload)-1 {
+		return nil, 0, fmt.Errorf("%w: framed length %d needs %d words, payload has %d",
+			ErrBuddySnapshot, n, words, len(payload)-1)
+	}
+	b := make([]byte, words*8)
+	for i := 0; i < words; i++ {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(payload[1+i]))
+	}
+	st, step, err := ReadCheckpoint(bytes.NewReader(b[:n]))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %w", ErrBuddySnapshot, err)
+	}
+	return st, step, nil
+}

@@ -63,6 +63,10 @@ func TestRegenFuzzCorpora(t *testing.T) {
 
 	writeFuzzCorpusEntry(t, "FuzzReadHistory", "seed-junk", []byte("junk"))
 	writeFuzzCorpusEntry(t, "FuzzReadHistory", "seed-zero-header", make([]byte, 48))
+
+	for name, data := range buddySnapshotSeeds(t.Fatal) {
+		writeFuzzCorpusEntry(t, "FuzzDecodeRankSnapshot", name, data)
+	}
 }
 
 // TestFuzzCorporaCheckedIn guards against the seed corpora being
@@ -70,8 +74,9 @@ func TestRegenFuzzCorpora(t *testing.T) {
 // (they run as regular test cases on every `go test`).
 func TestFuzzCorporaCheckedIn(t *testing.T) {
 	for target, min := range map[string]int{
-		"FuzzReadCheckpoint": 5,
-		"FuzzReadHistory":    2,
+		"FuzzReadCheckpoint":     5,
+		"FuzzReadHistory":        2,
+		"FuzzDecodeRankSnapshot": 5,
 	} {
 		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
 		if err != nil {

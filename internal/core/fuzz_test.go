@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
 	"testing"
 
 	"swcam/internal/dycore"
@@ -62,4 +65,75 @@ func makeSeedState() *dycore.State {
 	st := dycore.NewState(2, 4, 4, 1)
 	st.U[0][0] = 1.5
 	return st
+}
+
+// payloadToBytes flattens a buddy-snapshot float64 payload to wire
+// bytes (little-endian words) for the byte-oriented fuzz corpus.
+func payloadToBytes(p []float64) []byte {
+	out := make([]byte, len(p)*8)
+	for i, v := range p {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// payloadFromBytes is the inverse: 8-byte little-endian chunks become
+// payload words (a trailing partial chunk is dropped, as a transport
+// delivering whole datatype elements would).
+func payloadFromBytes(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+// buddySnapshotSeeds generates the seed payloads shared by
+// FuzzDecodeRankSnapshot and the checked-in corpus: a valid snapshot
+// plus the corruptions the localized-recovery rung must survive.
+func buddySnapshotSeeds(fatal func(...any)) map[string][]byte {
+	enc, err := EncodeRankSnapshot(makeSeedState(), 3)
+	if err != nil {
+		fatal(err)
+	}
+	valid := payloadToBytes(enc)
+
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-9] ^= 0x01 // flip a checkpoint byte, CRC now stale
+
+	corruptDims := append([]byte(nil), valid...)
+	corruptDims[16] ^= 0xFF // NElem's low byte inside the framed header
+
+	badFraming := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(badFraming[0:], 1<<40) // absurd framed length
+
+	return map[string][]byte{
+		"seed-valid":        valid,
+		"seed-truncated":    valid[:len(valid)/2],
+		"seed-length-only":  valid[:8],
+		"seed-garbage":      []byte("garbage buddy payload"),
+		"seed-bad-crc":      badCRC,
+		"seed-corrupt-dims": corruptDims,
+		"seed-bad-framing":  badFraming,
+	}
+}
+
+// FuzzDecodeRankSnapshot: the buddy-snapshot wire decoder is the
+// untrusted surface of localized recovery (the payload survived in a
+// peer's memory across a failure). It must reject arbitrary payloads
+// with an error wrapping ErrBuddySnapshot — never panic, never
+// over-allocate, never return a state it cannot vouch for.
+func FuzzDecodeRankSnapshot(f *testing.F) {
+	for _, seed := range buddySnapshotSeeds(f.Fatal) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, _, err := DecodeRankSnapshot(payloadFromBytes(data))
+		if err == nil && st == nil {
+			t.Fatal("nil state with nil error")
+		}
+		if err != nil && !errors.Is(err, ErrBuddySnapshot) {
+			t.Fatalf("decode failure not classified as ErrBuddySnapshot: %v", err)
+		}
+	})
 }

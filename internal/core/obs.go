@@ -40,6 +40,12 @@ func (rj *ResilientJob) observe(e RecoveryEvent) {
 		reg.Counter("core.recovery.rollbacks").Add(1)
 	case "giveup":
 		reg.Counter("core.recovery.giveups").Add(1)
+	case "localized":
+		reg.Counter("core.recovery.localized").Add(1)
+	case "respawn":
+		reg.Counter("core.recovery.respawns").Add(1)
+	case "shrink":
+		reg.Counter("core.recovery.shrinks").Add(1)
 	}
 	rj.Job.Obs.T().Instant(0, "core."+e.Kind, "model")
 }

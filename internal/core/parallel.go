@@ -37,10 +37,11 @@ type ParallelJob struct {
 	engs   []*exec.Engine
 
 	// Resilience knobs (zero values = the historical fault-free setup).
-	Faults      *mpirt.FaultPlan // injected faults, threaded through every world
-	RecvTimeout time.Duration    // receive deadline; makes lost messages ErrTimeout
-	CheckEvery  int              // run the blowup watchdog every N steps (0 = off)
-	MaxWind     float64          // CFL wind guard for the watchdog; 0 = Cfg.CFLMaxWind(0.9)
+	Faults      *mpirt.FaultPlan  // injected faults, threaded through every world
+	RecvTimeout time.Duration     // receive deadline; makes lost messages ErrTimeout
+	CheckEvery  int               // run the blowup watchdog every N steps (0 = off)
+	MaxWind     float64           // CFL wind guard for the watchdog; 0 = Cfg.CFLMaxWind(0.9)
+	Retry       mpirt.RetryPolicy // bounded per-message retransmission (zero = off)
 
 	// Obs observes the run when set via Instrument (nil = off).
 	Obs *obs.Probe
@@ -48,6 +49,7 @@ type ParallelJob struct {
 	// DynWorkers records the configured intra-rank worker-pool size
 	// (0 = the engines' default of one worker; set via SetDynWorkers).
 	DynWorkers int
+	dynSet     bool // SetDynWorkers was called (0 then means "auto", not "default")
 
 	steps   int
 	scratch []*stepScratch // per-rank pooled step workspaces (lazy)
@@ -96,6 +98,7 @@ func (j *ParallelJob) stepScratchFor(r int, st *dycore.State) *stepScratch {
 // (exec.DefaultDynWorkers). Results are bit-identical for every n.
 func (j *ParallelJob) SetDynWorkers(n int) {
 	j.DynWorkers = n
+	j.dynSet = true
 	for _, en := range j.engs {
 		en.SetWorkers(n)
 	}
@@ -175,6 +178,11 @@ type RunStats struct {
 	Halo  halo.Stats
 	Cost  exec.Cost
 	Steps int
+	// Retransmission activity across all ranks (nonzero only with a
+	// RetryPolicy set): retry cycles entered, and messages recovered
+	// from the retransmit log instead of aborting the world.
+	RetxAttempts  int64
+	RetxRecovered int64
 }
 
 // dssFields exchanges a set of level-major fields on one rank. A
@@ -230,6 +238,7 @@ func (j *ParallelJob) RunChecked(local []*dycore.State, n int) (RunStats, error)
 	if j.RecvTimeout > 0 {
 		w.SetRecvTimeout(j.RecvTimeout)
 	}
+	w.SetRetry(j.Retry)
 	w.SetTracer(j.Obs.T())
 	err := w.Run(func(c *mpirt.Comm) {
 		r := c.Rank()
@@ -242,6 +251,11 @@ func (j *ParallelJob) RunChecked(local []*dycore.State, n int) (RunStats, error)
 	for r := range perRank {
 		stats.Halo.Add(perRank[r].Halo)
 		stats.Cost.Add(perRank[r].Cost)
+	}
+	for r := 0; r < j.NRanks; r++ {
+		ws := w.Stats(r)
+		stats.RetxAttempts += ws.RetxAttempts
+		stats.RetxRecovered += ws.RetxRecovered
 	}
 	w.DumpStats(j.Obs.R())
 	recordCost(j.Obs.R(), stats.Cost)
@@ -307,7 +321,7 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 
 	// --- Hyperviscosity with the proportional mass fixer. ---
 	if cfg.HypervisSubcycle > 0 && (cfg.NuV != 0 || cfg.NuS != 0) {
-		mass0 := c.AllreduceScalar(mpirt.OpSum, j.localMass(r, st))
+		mass0 := j.canonicalMass(c, r, st)
 		dt := cfg.Dt / float64(cfg.HypervisSubcycle)
 		// Pooled Laplacian fields: HypervisDP1 overwrites every entry
 		// before the DSS reads them, so reuse is safe.
@@ -318,7 +332,7 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 			rs.Cost.Add(en.HypervisDP2(j.Backend, lapU, lapV, lapT, lapP, st, dt, cfg.NuV, cfg.NuS))
 			j.dssFields(c, r, &rs.Halo, nlev, st.U, st.V, st.T, st.DP)
 		}
-		mass1 := c.AllreduceScalar(mpirt.OpSum, j.localMass(r, st))
+		mass1 := j.canonicalMass(c, r, st)
 		if mass1 > 0 {
 			scale := mass0 / mass1
 			for le := range st.DP {
@@ -368,12 +382,17 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	}
 }
 
-// localMass integrates dp over this rank's elements.
-func (j *ParallelJob) localMass(r int, st *dycore.State) float64 {
+// tagMass is the point-to-point tag of the canonical mass reduction
+// (outside the halo tag and the reserved negative collective tags).
+const tagMass = 202
+
+// elemMasses integrates dp over each of this rank's elements separately.
+func (j *ParallelJob) elemMasses(r int, st *dycore.State) []float64 {
 	npsq := j.Cfg.Np * j.Cfg.Np
-	total := 0.0
+	out := make([]float64, len(j.Plans[r].Elems))
 	for le, ge := range j.Plans[r].Elems {
 		e := j.Mesh.Elements[ge]
+		total := 0.0
 		for n := 0; n < npsq; n++ {
 			col := 0.0
 			for k := 0; k < j.Cfg.Nlev; k++ {
@@ -381,8 +400,43 @@ func (j *ParallelJob) localMass(r int, st *dycore.State) float64 {
 			}
 			total += e.SphereMP[n] * col
 		}
+		out[le] = total
 	}
-	return total
+	return out
+}
+
+// canonicalMass computes the global dp mass with a partition-invariant
+// floating-point grouping: per-element masses are gathered to rank 0,
+// placed by global element id, summed in ascending-id order, and the
+// scalar broadcast back. A rank-order allreduce tree would regroup the
+// sum whenever the partition changes, so a shrink-recovered run would
+// drift from the fault-free trajectory at the mass fixer even though
+// the DSS itself is canonical; this chain never depends on ownership.
+func (j *ParallelJob) canonicalMass(c *mpirt.Comm, r int, st *dycore.State) float64 {
+	local := j.elemMasses(r, st)
+	out := []float64{0}
+	if r == 0 {
+		global := make([]float64, j.Mesh.NElems())
+		for le, ge := range j.Plans[0].Elems {
+			global[ge] = local[le]
+		}
+		for src := 1; src < j.NRanks; src++ {
+			buf := make([]float64, len(j.Plans[src].Elems))
+			c.Recv(src, tagMass, buf)
+			for le, ge := range j.Plans[src].Elems {
+				global[ge] = buf[le]
+			}
+		}
+		total := 0.0
+		for _, v := range global {
+			total += v
+		}
+		out[0] = total
+	} else {
+		c.Send(0, tagMass, local)
+	}
+	c.Bcast(0, out)
+	return out[0]
 }
 
 func allocFields(n, per int) [][]float64 {
@@ -391,6 +445,41 @@ func allocFields(n, per int) [][]float64 {
 		f[i] = make([]float64, per)
 	}
 	return f
+}
+
+// Shrink removes a permanently dead rank from the job — degraded-mode
+// recovery: the dead rank's elements are redistributed over the
+// survivors along the space-filling curve, the halo plans, engines
+// (re-tiled for the new element counts), scratch pools, and fault plan
+// are rebuilt for the reduced world, and the step counter is preserved.
+// The caller owns moving the state data: rebuild a global state from
+// checkpoints and Scatter it with the new plans. Because the DSS and
+// the mass fixer are partition-invariant, the shrunk job continues the
+// exact fault-free trajectory.
+func (j *ParallelJob) Shrink(dead int) error {
+	newRankOf, err := j.Mesh.ShrinkPartition(j.RankOf, dead, j.NRanks)
+	if err != nil {
+		return err
+	}
+	j.RankOf = newRankOf
+	j.NRanks--
+	j.Plans = make([]*halo.Plan, j.NRanks)
+	j.engs = make([]*exec.Engine, j.NRanks)
+	j.scratch = make([]*stepScratch, j.NRanks)
+	for r := 0; r < j.NRanks; r++ {
+		j.Plans[r] = halo.NewPlan(j.Mesh, j.RankOf, r)
+		j.engs[r] = exec.NewEngine(j.Mesh, j.Plans[r].Elems, j.Cfg.Nlev, j.Cfg.Qsize)
+		if j.dynSet {
+			j.engs[r].SetWorkers(j.DynWorkers)
+		}
+	}
+	if j.Faults != nil {
+		j.Faults = j.Faults.Shrink(dead)
+	}
+	if j.Obs != nil {
+		j.Instrument(j.Obs)
+	}
+	return nil
 }
 
 // newJobWithPartition builds a job over a caller-supplied element-to-

@@ -1,37 +1,72 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"swcam/internal/dycore"
+	"swcam/internal/mpirt"
 )
 
-// ResilientJob supervises a ParallelJob through faults: it takes
-// periodic in-memory checkpoints of every rank's state plus the step
-// counter, and when the world aborts — an injected kill, a corrupted or
-// lost message, a blowup caught by the watchdog, a rank panic — it rolls
-// back to the last checkpoint, rebuilds a fresh world, and replays.
-// Because the dycore is deterministic, the recovered trajectory is
-// bit-identical to a fault-free run.
+// ResilientJob supervises a ParallelJob through faults. Two supervision
+// modes are available:
+//
+// ModeGlobal (the default, and the original design): periodic in-memory
+// checkpoints of every rank's state; any abort — an injected kill, a
+// corrupted or lost message, a blowup caught by the watchdog, a rank
+// panic — rolls the whole world back to the last checkpoint and replays.
+//
+// ModeLadder: a three-rung escalation that localizes recovery instead of
+// always paying the global bill.
+//
+//  1. Bounded retransmission (mpirt.RetryPolicy): a corrupted or lost
+//     message is re-pulled from the sender-side log with exponential
+//     backoff before anyone declares a failure. Most transient faults
+//     never surface past this rung.
+//  2. Localized rebuild from partner-replicated diskless checkpoints:
+//     at every checkpoint each rank ships its encoded state (v2
+//     checkpoint format, CRC32-C) to its buddy rank (r+1 mod n). When a
+//     single rank dies, it alone is rebuilt from the buddy's in-memory
+//     copy while the survivors restore their own local snapshots at a
+//     recovery barrier — no disk, no global replay. A rank that keeps
+//     dying (DeadAfter consecutive failures) is declared permanently
+//     dead and either respawned onto a spare (Spares > 0) or removed by
+//     shrink recovery: its elements are repartitioned over the
+//     survivors along the space-filling curve and the run continues on
+//     n-1 ranks at reduced throughput.
+//  3. Global rollback, the PR-1 path, as the fallback rung: blowups
+//     (every rank's state is suspect, nobody's memory was lost),
+//     unattributable faults, and lost/undecodable buddy copies fall
+//     back to restoring everything — from own snapshots when they
+//     survive, else from the disk checkpoint when DiskPath is set.
+//
+// Because the dycore, the DSS, and the mass fixer are deterministic and
+// partition-invariant, every rung — including shrink onto fewer ranks —
+// reproduces the fault-free trajectory bit-for-bit.
 //
 // This is the miniature of the checkpoint/restart discipline every
-// production climate model runs under (and the in-memory flavour mirrors
-// ULFM-style shrink-and-recover MPI practice): at the paper's 10M-core
-// scale the question is not whether a rank dies mid-run but how cheaply
-// the job continues when it does.
+// production climate model runs under (the ladder mirrors ULFM-style
+// shrink-and-recover MPI practice plus diskless buddy checkpointing):
+// at the paper's 10M-core scale the question is not whether a rank dies
+// mid-run but how cheaply the job continues when it does.
 type ResilientJob struct {
 	Job *ParallelJob
+
+	// Mode selects the supervision strategy: ModeGlobal (default, also
+	// the zero value) or ModeLadder.
+	Mode string
 
 	// CheckpointEvery is the number of steps between checkpoints
 	// (default 1). Larger values checkpoint less often but replay more
 	// steps after a fault.
 	CheckpointEvery int
 
-	// MaxRetries bounds the total number of rollbacks across the run
-	// (default 3). When exhausted, Run restores the last good checkpoint
-	// into the caller's states (best-effort result) and returns an error
-	// wrapping the final cause — graceful degradation, not a panic.
+	// MaxRetries bounds the total number of recovery actions across the
+	// run (default 3). When exhausted, Run restores the last good
+	// checkpoint into the supervised states (best-effort result) and
+	// returns an error wrapping the final cause — graceful degradation,
+	// not a panic.
 	MaxRetries int
 
 	// Backoff is the sleep before the first retry, doubling per
@@ -42,26 +77,57 @@ type ResilientJob struct {
 
 	// DiskPath, when set, additionally persists every checkpoint to this
 	// file (gathered global state, atomic rename, v2 CRC format) so a
-	// killed process can restart from disk with LoadCheckpoint.
+	// killed process can restart from disk with LoadCheckpoint. In
+	// ladder mode it doubles as the bottom rung when a buddy copy is
+	// lost together with the rank it covered.
 	DiskPath string
+
+	// Spares is the number of replacement ranks available to ladder
+	// recovery: a permanently dead rank consumes one spare and is
+	// respawned (rebuilt from its buddy copy) instead of shrinking the
+	// world.
+	Spares int
+
+	// DeadAfter is how many consecutive failures attributed to the same
+	// rank escalate it from "suspect" (rebuild in place) to "permanently
+	// dead" (respawn or shrink). Default 2.
+	DeadAfter int
 
 	// OnEvent, when set, observes every recovery decision.
 	OnEvent func(RecoveryEvent)
+
+	// Ladder bookkeeping.
+	local       []*dycore.State // states under supervision (shrink replaces the slice)
+	own         []*dycore.State // per-rank own snapshots ("node-local memory")
+	buddyEnc    [][]float64     // buddyEnc[r] = encoded snapshot of rank r, held by rank (r+1)%n
+	suspectRank int             // rank of the most recent attributed failure
+	suspectRun  int             // consecutive failures attributed to suspectRank
 }
+
+// Supervision modes.
+const (
+	ModeGlobal = "global"
+	ModeLadder = "ladder"
+)
 
 // RecoveryEvent describes one supervisor decision, for diagnostics.
 type RecoveryEvent struct {
-	Kind    string // "checkpoint", "rollback", "giveup"
+	Kind    string // "checkpoint", "rollback", "giveup", "localized", "respawn", "shrink"
 	Step    int    // model step of the active checkpoint
-	Attempt int    // consecutive failures at this checkpoint (rollback/giveup)
-	Err     error  // the fault that triggered it (rollback/giveup)
+	Attempt int    // consecutive failures at this checkpoint (recovery kinds)
+	Rank    int    // failed rank for localized/respawn/shrink; -1 otherwise
+	Err     error  // the fault that triggered it (recovery kinds)
 }
 
 func (e RecoveryEvent) String() string {
-	if e.Err == nil {
-		return fmt.Sprintf("%s@step%d", e.Kind, e.Step)
+	rank := ""
+	if e.Rank >= 0 {
+		rank = fmt.Sprintf(" rank%d", e.Rank)
 	}
-	return fmt.Sprintf("%s@step%d attempt %d: %v", e.Kind, e.Step, e.Attempt, e.Err)
+	if e.Err == nil {
+		return fmt.Sprintf("%s@step%d%s", e.Kind, e.Step, rank)
+	}
+	return fmt.Sprintf("%s@step%d%s attempt %d: %v", e.Kind, e.Step, rank, e.Attempt, e.Err)
 }
 
 // ResilientStats aggregates a supervised run: the underlying
@@ -70,15 +136,30 @@ func (e RecoveryEvent) String() string {
 type ResilientStats struct {
 	Run         RunStats
 	Checkpoints int
-	Rollbacks   int
-	Events      []RecoveryEvent
+	Rollbacks   int // global rollbacks (rung 3)
+	Localized   int // single-rank rebuilds from a buddy copy (rung 2)
+	Respawns    int // permanently dead ranks replaced from spares
+	Shrinks     int // permanently dead ranks removed by repartitioning
+	// RetxAttempts/RetxRecovered mirror RunStats: rung-1 activity.
+	RetxAttempts  int64
+	RetxRecovered int64
+	RecoveryNs    int64 // wall time spent inside recovery actions
+	BuddyBytes    int64 // buddy-replication traffic (checkpoint + recovery)
+	Events        []RecoveryEvent
 }
 
 // NewResilientJob wraps a ParallelJob with default supervision
-// (checkpoint every step, 3 retries, no backoff, in-memory only).
+// (global mode, checkpoint every step, 3 retries, no backoff,
+// in-memory only).
 func NewResilientJob(job *ParallelJob) *ResilientJob {
 	return &ResilientJob{Job: job, CheckpointEvery: 1, MaxRetries: 3}
 }
+
+// States returns the state slice currently under supervision. It aliases
+// the slice passed to Run until a shrink recovery replaces it (the world
+// lost a rank, so the slice length changed); ladder-mode callers must
+// gather results via States() rather than the slice they passed in.
+func (rj *ResilientJob) States() []*dycore.State { return rj.local }
 
 // snapshot deep-copies the per-rank states.
 func snapshot(local []*dycore.State) []*dycore.State {
@@ -103,13 +184,28 @@ func (rj *ResilientJob) event(e RecoveryEvent) {
 	}
 }
 
+// addRecoveryNs folds one recovery action's wall time into the run's
+// stats and mirrors it into the registry (core.recovery.ns), where the
+// StepReport's recovery summary picks it up.
+func (rj *ResilientJob) addRecoveryNs(rs *ResilientStats, t0 time.Time) {
+	ns := time.Since(t0).Nanoseconds()
+	rs.RecoveryNs += ns
+	rj.Job.Obs.R().Counter("core.recovery.ns").Add(ns)
+}
+
 // Run advances the local states n steps under supervision. On success
 // the states hold exactly what a fault-free ParallelJob.Run would have
-// produced (bit-identical: rollback restores checkpointed bits and the
+// produced (bit-identical: every rung restores checkpointed bits and the
 // replay is deterministic). On retry-budget exhaustion the states hold
 // the last good checkpoint and the returned error wraps the final
 // fault; the stats' Events list is the full recovery history either way.
+// In ladder mode a shrink recovery replaces the supervised slice — read
+// results via States().
 func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error) {
+	if rj.Mode == ModeLadder {
+		return rj.runLadder(local, n)
+	}
+	rj.local = local
 	every := rj.CheckpointEvery
 	if every < 1 {
 		every = 1
@@ -135,6 +231,8 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		stats, err := rj.Job.RunChecked(local, chunk)
 		rs.Run.Halo.Add(stats.Halo)
 		rs.Run.Cost.Add(stats.Cost)
+		rs.RetxAttempts += stats.RetxAttempts
+		rs.RetxRecovered += stats.RetxRecovered
 		if err == nil {
 			attempt = 0
 			backoff = rj.Backoff
@@ -143,7 +241,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 			sp.End()
 			snapStep = rj.Job.StepCount()
 			rs.Checkpoints++
-			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep})
+			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep, Rank: -1})
 			rj.event(rs.Events[len(rs.Events)-1])
 			if err := rj.persist(local, snapStep); err != nil {
 				return rs, err
@@ -155,9 +253,11 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		if retries >= rj.MaxRetries {
 			// Graceful degradation: hand back the last state known good
 			// and the full diagnosis instead of a corrupt field set.
+			t0 := time.Now()
 			restore(local, snap)
 			rj.Job.SetStepCount(snapStep)
-			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Err: err}
+			rj.addRecoveryNs(&rs, t0)
+			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
 			rs.Events = append(rs.Events, ev)
 			rj.event(ev)
 			return rs, fmt.Errorf("core: retry budget (%d) exhausted at step %d (best-effort state restored): %w",
@@ -165,7 +265,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		}
 		retries++
 		rs.Rollbacks++
-		ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Err: err}
+		ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
 		rs.Events = append(rs.Events, ev)
 		rj.event(ev)
 		if backoff > 0 {
@@ -175,13 +275,391 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		// The failed chunk's steps are burned work: they get replayed
 		// from the checkpoint on the next attempt.
 		rj.Job.Obs.R().Counter("core.recovery.replayed_steps").Add(int64(chunk))
+		t0 := time.Now()
 		sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
 		restore(local, snap)
 		sp.End()
 		rj.Job.SetStepCount(snapStep)
+		rj.addRecoveryNs(&rs, t0)
 	}
 	rs.Run.Steps = rj.Job.StepCount()
 	return rs, nil
+}
+
+// deadAfterN returns the escalation threshold with its default applied.
+func (rj *ResilientJob) deadAfterN() int {
+	if rj.DeadAfter < 1 {
+		return 2
+	}
+	return rj.DeadAfter
+}
+
+// runLadder is Run in ModeLadder: bounded retransmission underneath,
+// partner-replicated checkpoints for localized recovery, respawn/shrink
+// for permanent deaths, global rollback as the fallback rung.
+func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats, error) {
+	every := rj.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	// The ladder's first rung: make sure message-level retransmission is
+	// on, and that lost messages surface as timeouts rather than hanging
+	// the job forever when faults are being injected.
+	if rj.Job.Retry.MaxAttempts == 0 {
+		rj.Job.Retry = mpirt.DefaultRetryPolicy()
+	}
+	if rj.Job.Faults != nil && rj.Job.RecvTimeout == 0 {
+		rj.Job.RecvTimeout = 150 * time.Millisecond
+	}
+	rj.local = local
+	rj.suspectRank, rj.suspectRun = -1, 0
+
+	var rs ResilientStats
+	rs.Run.Cost.Backend = rj.Job.Backend
+
+	snapStep := rj.Job.StepCount()
+	if err := rj.replicate(&rs, snapStep); err != nil {
+		return rs, err
+	}
+	if err := rj.persist(rj.local, snapStep); err != nil {
+		return rs, err
+	}
+	target := snapStep + n
+	retries := 0
+	attempt := 0
+	backoff := rj.Backoff
+
+	for rj.Job.StepCount() < target {
+		chunk := every
+		if left := target - rj.Job.StepCount(); left < chunk {
+			chunk = left
+		}
+		stats, err := rj.Job.RunChecked(rj.local, chunk)
+		rs.Run.Halo.Add(stats.Halo)
+		rs.Run.Cost.Add(stats.Cost)
+		rs.RetxAttempts += stats.RetxAttempts
+		rs.RetxRecovered += stats.RetxRecovered
+		if err == nil {
+			attempt = 0
+			backoff = rj.Backoff
+			rj.suspectRank, rj.suspectRun = -1, 0
+			snapStep = rj.Job.StepCount()
+			if err := rj.replicate(&rs, snapStep); err != nil {
+				return rs, err
+			}
+			rs.Checkpoints++
+			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep, Rank: -1})
+			rj.event(rs.Events[len(rs.Events)-1])
+			if err := rj.persist(rj.local, snapStep); err != nil {
+				return rs, err
+			}
+			continue
+		}
+
+		attempt++
+		if retries >= rj.MaxRetries {
+			t0 := time.Now()
+			restore(rj.local, rj.own)
+			rj.Job.SetStepCount(snapStep)
+			rj.addRecoveryNs(&rs, t0)
+			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
+			rs.Events = append(rs.Events, ev)
+			rj.event(ev)
+			return rs, fmt.Errorf("core: retry budget (%d) exhausted at step %d (best-effort state restored): %w",
+				rj.MaxRetries, snapStep, err)
+		}
+		retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		rj.Job.Obs.R().Counter("core.recovery.replayed_steps").Add(int64(chunk))
+		t0 := time.Now()
+		rerr := rj.recoverLadder(&rs, snapStep, attempt, err)
+		rj.addRecoveryNs(&rs, t0)
+		if rerr != nil {
+			return rs, rerr
+		}
+	}
+	rs.Run.Steps = rj.Job.StepCount()
+	return rs, nil
+}
+
+// recoverLadder picks and executes the recovery rung for one failed
+// chunk. A nil return means the supervised states are back at the last
+// checkpoint (possibly on a reduced world) and the chunk can be
+// replayed; an error means every applicable rung failed.
+func (rj *ResilientJob) recoverLadder(rs *ResilientStats, snapStep, attempt int, cause error) error {
+	var re *mpirt.RunError
+	faulty := -1
+	if errors.As(cause, &re) {
+		faulty = re.Rank
+	}
+	// Blowups are not rank failures: nobody's memory was lost, and the
+	// state is wrong (or about to be) everywhere. Likewise a fault with
+	// no rank attribution gives localized recovery nothing to localize.
+	if faulty < 0 || errors.Is(cause, ErrBlowup) {
+		return rj.rollbackOwn(rs, snapStep, attempt, cause)
+	}
+	if faulty == rj.suspectRank {
+		rj.suspectRun++
+	} else {
+		rj.suspectRank, rj.suspectRun = faulty, 1
+	}
+	if rj.suspectRun >= rj.deadAfterN() {
+		// Permanently dead: the failure detector has watched this rank
+		// die DeadAfter times in a row through localized rebuilds.
+		rj.suspectRank, rj.suspectRun = -1, 0
+		if rj.Spares > 0 {
+			rj.Spares--
+			return rj.localizedRestore(rs, "respawn", faulty, snapStep, attempt, cause)
+		}
+		if rj.Job.NRanks > 1 {
+			return rj.shrinkRestore(rs, faulty, snapStep, attempt, cause)
+		}
+		// A 1-rank world has nothing to shrink onto.
+		return rj.rollbackOwn(rs, snapStep, attempt, cause)
+	}
+	return rj.localizedRestore(rs, "localized", faulty, snapStep, attempt, cause)
+}
+
+// rollbackOwn is the global rung when every rank's own snapshot
+// survives: restore all, rewind, replay.
+func (rj *ResilientJob) rollbackOwn(rs *ResilientStats, snapStep, attempt int, cause error) error {
+	sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
+	restore(rj.local, rj.own)
+	sp.End()
+	rj.Job.SetStepCount(snapStep)
+	rs.Rollbacks++
+	ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
+	rs.Events = append(rs.Events, ev)
+	rj.event(ev)
+	return nil
+}
+
+// localizedRestore rebuilds a single failed rank from its buddy's
+// in-memory copy while the survivors restore their own snapshots. kind
+// is "localized" (suspect rebuild in place) or "respawn" (permanently
+// dead rank replaced from a spare — same data path, different ledger).
+func (rj *ResilientJob) localizedRestore(rs *ResilientStats, kind string, faulty, snapStep, attempt int, cause error) error {
+	// The failed process's memory is gone: drop its own snapshot first
+	// so every fallback is honest about what survives.
+	rj.own[faulty] = nil
+	st, err := rj.fetchBuddy(rs, faulty, snapStep)
+	if err != nil {
+		return rj.globalFallback(rs, snapStep, attempt,
+			fmt.Errorf("core: localized recovery of rank %d failed: %w (original fault: %w)", faulty, err, cause))
+	}
+	sp := rj.Job.Obs.T().Begin(0, "core."+kind, "model")
+	for r := range rj.local {
+		if r == faulty {
+			rj.local[r].CopyFrom(st)
+		} else {
+			rj.local[r].CopyFrom(rj.own[r])
+		}
+	}
+	// The rebuilt rank holds the checkpoint in memory again.
+	rj.own[faulty] = st
+	sp.End()
+	rj.Job.SetStepCount(snapStep)
+	if kind == "respawn" {
+		rs.Respawns++
+	} else {
+		rs.Localized++
+	}
+	ev := RecoveryEvent{Kind: kind, Step: snapStep, Attempt: attempt, Rank: faulty, Err: cause}
+	rs.Events = append(rs.Events, ev)
+	rj.event(ev)
+	return nil
+}
+
+// shrinkRestore removes a permanently dead rank: the checkpoint-time
+// global state is reassembled from the survivors' own snapshots plus the
+// dead rank's buddy copy (using the pre-shrink plans), the job is
+// repartitioned over n-1 ranks, and the reassembled state is scattered
+// onto the new layout. The supervised slice is replaced — see States().
+func (rj *ResilientJob) shrinkRestore(rs *ResilientStats, dead, snapStep, attempt int, cause error) error {
+	rj.own[dead] = nil
+	st, err := rj.fetchBuddy(rs, dead, snapStep)
+	if err != nil {
+		return rj.globalFallback(rs, snapStep, attempt,
+			fmt.Errorf("core: shrink recovery of rank %d failed: %w (original fault: %w)", dead, err, cause))
+	}
+	sp := rj.Job.Obs.T().Begin(0, "core.shrink", "model")
+	srcs := make([]*dycore.State, rj.Job.NRanks)
+	for r := range srcs {
+		if r == dead {
+			srcs[r] = st
+		} else {
+			srcs[r] = rj.own[r]
+		}
+	}
+	g := rj.Job.Gather(srcs) // pre-shrink plans: checkpoint-time global state
+	if serr := rj.Job.Shrink(dead); serr != nil {
+		sp.End()
+		return rj.globalFallback(rs, snapStep, attempt,
+			fmt.Errorf("core: shrinking away rank %d failed: %w (original fault: %w)", dead, serr, cause))
+	}
+	rj.local = rj.Job.Scatter(g)
+	sp.End()
+	rj.Job.SetStepCount(snapStep)
+	// A fresh replication round on the reduced world: new own snapshots,
+	// new buddy assignment.
+	if err := rj.replicate(rs, snapStep); err != nil {
+		return err
+	}
+	rs.Shrinks++
+	ev := RecoveryEvent{Kind: "shrink", Step: snapStep, Attempt: attempt, Rank: dead, Err: cause}
+	rs.Events = append(rs.Events, ev)
+	rj.event(ev)
+	return nil
+}
+
+// globalFallback is the bottom rung when a rank's memory AND its buddy
+// copy are both gone: reload the disk checkpoint if there is one,
+// otherwise give up with the survivors restored best-effort.
+func (rj *ResilientJob) globalFallback(rs *ResilientStats, snapStep, attempt int, cause error) error {
+	if rj.DiskPath != "" {
+		g, step, err := LoadCheckpoint(rj.DiskPath)
+		if err == nil && step != snapStep {
+			err = fmt.Errorf("disk checkpoint at step %d, want %d", step, snapStep)
+		}
+		if err == nil {
+			locals := rj.Job.Scatter(g)
+			for r := range rj.local {
+				rj.local[r].CopyFrom(locals[r])
+			}
+			rj.Job.SetStepCount(snapStep)
+			if rerr := rj.replicate(rs, snapStep); rerr != nil {
+				return rerr
+			}
+			rs.Rollbacks++
+			ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
+			rs.Events = append(rs.Events, ev)
+			rj.event(ev)
+			return nil
+		}
+		cause = fmt.Errorf("%w; disk fallback also failed: %w", cause, err)
+	}
+	// Nothing left to restore the lost rank from: hand back what
+	// survives and the full diagnosis.
+	for r := range rj.local {
+		if rj.own[r] != nil {
+			rj.local[r].CopyFrom(rj.own[r])
+		}
+	}
+	rj.Job.SetStepCount(snapStep)
+	ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
+	rs.Events = append(rs.Events, ev)
+	rj.event(ev)
+	return fmt.Errorf("core: recovery ladder exhausted at step %d (best-effort state restored): %w", snapStep, cause)
+}
+
+// replicate takes the ladder checkpoint: own snapshots of every rank
+// plus the buddy exchange — each rank encodes its state (v2 checkpoint
+// format with CRC) and ships it to rank (r+1)%n over the message
+// runtime, so a copy of every rank's state survives in a peer's memory.
+// The replication network is modeled reliable (no fault injection): the
+// fault plan's operation counters are threaded only through the
+// computation worlds, keeping the chaos schedule independent of the
+// checkpoint cadence.
+func (rj *ResilientJob) replicate(rs *ResilientStats, step int) error {
+	sp := rj.Job.Obs.T().Begin(0, "core.checkpoint", "model")
+	defer sp.End()
+	rj.own = snapshot(rj.local)
+	n := rj.Job.NRanks
+	enc := make([][]float64, n)
+	if n == 1 {
+		e, err := EncodeRankSnapshot(rj.local[0], step)
+		if err != nil {
+			return err
+		}
+		enc[0] = e
+		rj.buddyEnc = enc
+		return nil
+	}
+	recvd := make([][]float64, n)
+	w := mpirt.NewWorld(n)
+	w.SetTracer(rj.Job.Obs.T())
+	err := w.Run(func(c *mpirt.Comm) {
+		r := c.Rank()
+		e, eerr := EncodeRankSnapshot(rj.local[r], step)
+		if eerr != nil {
+			mpirt.Fail(eerr)
+		}
+		buddy := (r + 1) % n
+		prev := (r - 1 + n) % n
+		c.Send(buddy, tagBuddySize, []float64{float64(len(e))})
+		c.Send(buddy, tagBuddyData, e)
+		sz := make([]float64, 1)
+		c.Recv(prev, tagBuddySize, sz)
+		buf := make([]float64, int(sz[0]))
+		c.Recv(prev, tagBuddyData, buf)
+		recvd[r] = buf // rank r now holds the copy of rank prev
+	})
+	rs.BuddyBytes += w.TotalBytes()
+	if err != nil {
+		return fmt.Errorf("core: buddy replication at step %d: %w", step, err)
+	}
+	for r := 0; r < n; r++ {
+		enc[r] = recvd[(r+1)%n]
+	}
+	rj.buddyEnc = enc
+	return nil
+}
+
+// fetchBuddy retrieves and decodes the buddy-held copy of a failed
+// rank's checkpoint, shipping it from the buddy's rank to the failed
+// rank's slot over a recovery world (survivors wait at the barrier).
+// The decode verifies framing, dimensions, the checkpoint CRC, the
+// checkpoint step, and the shape expected by the failed rank's plan.
+func (rj *ResilientJob) fetchBuddy(rs *ResilientStats, faulty, snapStep int) (*dycore.State, error) {
+	enc := rj.buddyEnc[faulty]
+	if enc == nil {
+		return nil, fmt.Errorf("%w: no buddy copy of rank %d", ErrBuddySnapshot, faulty)
+	}
+	n := rj.Job.NRanks
+	host := (faulty + 1) % n
+	var st *dycore.State
+	var step int
+	var derr error
+	if host == faulty {
+		st, step, derr = DecodeRankSnapshot(enc)
+	} else {
+		w := mpirt.NewWorld(n)
+		w.SetTracer(rj.Job.Obs.T())
+		err := w.Run(func(c *mpirt.Comm) {
+			switch c.Rank() {
+			case host:
+				c.Send(faulty, tagBuddySize, []float64{float64(len(enc))})
+				c.Send(faulty, tagBuddyData, enc)
+			case faulty:
+				sz := make([]float64, 1)
+				c.Recv(host, tagBuddySize, sz)
+				buf := make([]float64, int(sz[0]))
+				c.Recv(host, tagBuddyData, buf)
+				st, step, derr = DecodeRankSnapshot(buf)
+			}
+			// The recovery barrier: survivors wait here until the
+			// rebuilt rank has its state back.
+			c.Barrier()
+		})
+		rs.BuddyBytes += w.TotalBytes()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	if step != snapStep {
+		return nil, fmt.Errorf("%w: buddy copy of rank %d at step %d, want %d", ErrBuddySnapshot, faulty, step, snapStep)
+	}
+	if st.NElem() != rj.local[faulty].NElem() {
+		return nil, fmt.Errorf("%w: buddy copy of rank %d has %d elements, want %d",
+			ErrBuddySnapshot, faulty, st.NElem(), rj.local[faulty].NElem())
+	}
+	return st, nil
 }
 
 // persist writes the gathered global state to DiskPath, if configured.

@@ -1,0 +1,135 @@
+package halo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swcam/internal/mesh"
+	"swcam/internal/mpirt"
+)
+
+// runDSSOnPartition applies the distributed DSS to a copy of global
+// under an arbitrary rankOf map and gathers the result back into a
+// global field.
+func runDSSOnPartition(t *testing.T, m *mesh.Mesh, rankOf []int, nranks, stride int, overlap bool, global [][]float64) [][]float64 {
+	t.Helper()
+	plans := make([]*Plan, nranks)
+	for r := 0; r < nranks; r++ {
+		plans[r] = NewPlan(m, rankOf, r)
+	}
+	local := scatterToRanks(global, plans)
+	w := mpirt.NewWorld(nranks)
+	err := w.Run(func(c *mpirt.Comm) {
+		p := plans[c.Rank()]
+		var dssErr error
+		if overlap {
+			_, dssErr = p.DSSOverlap(c, NodeMajor(stride), nil, local[c.Rank()])
+		} else {
+			_, dssErr = p.DSSOriginal(c, NodeMajor(stride), local[c.Rank()])
+		}
+		if dssErr != nil {
+			t.Error(dssErr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, len(global))
+	for r, p := range plans {
+		for le, ge := range p.Elems {
+			out[ge] = append([]float64(nil), local[r][le]...)
+		}
+	}
+	return out
+}
+
+// TestDSSBitIdenticalToSerial pins the canonical-chain contract: the
+// distributed DSS performs the exact floating-point operations of the
+// serial DSS — same products, same summation order — so the comparison
+// is ==, not a tolerance. This is the property localized/shrink recovery
+// builds on.
+func TestDSSBitIdenticalToSerial(t *testing.T) {
+	m := mesh.New(4, 4)
+	const stride = 3
+	global := makeField(m, stride, 7)
+	want := make([][]float64, len(global))
+	for i := range global {
+		want[i] = append([]float64(nil), global[i]...)
+	}
+	serialDSS(m, want, stride)
+
+	for _, nranks := range []int{1, 2, 3, 5, 6, 8} {
+		rankOf, err := m.Partition(nranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, overlap := range []bool{false, true} {
+			got := runDSSOnPartition(t, m, rankOf, nranks, stride, overlap, global)
+			for ge := range want {
+				for k := range want[ge] {
+					if math.Float64bits(got[ge][k]) != math.Float64bits(want[ge][k]) {
+						t.Fatalf("nranks=%d overlap=%v: elem %d idx %d: got %x want %x (not bit-identical)",
+							nranks, overlap, ge, k, math.Float64bits(got[ge][k]), math.Float64bits(want[ge][k]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDSSPartitionInvariant is the determinism argument for shrink
+// recovery: moving elements between ranks — including to a completely
+// random, non-contiguous assignment — must not change a single bit of
+// the DSS result, because every rank assembles shared nodes by the same
+// canonical NodeElems chain regardless of ownership.
+func TestDSSPartitionInvariant(t *testing.T) {
+	m := mesh.New(4, 4)
+	const stride = 2
+	global := makeField(m, stride, 99)
+
+	ref2, err := m.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runDSSOnPartition(t, m, ref2, 2, stride, false, global)
+
+	rng := rand.New(rand.NewSource(12345))
+	partitions := [][]int{}
+	for _, nranks := range []int{3, 4, 6} {
+		rankOf, err := m.Partition(nranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partitions = append(partitions, rankOf)
+	}
+	// A random non-contiguous 5-rank assignment (every rank non-empty).
+	random := make([]int, m.NElems())
+	for i := range random {
+		random[i] = rng.Intn(5)
+	}
+	for r := 0; r < 5; r++ {
+		random[r] = r
+	}
+	partitions = append(partitions, random)
+
+	for pi, rankOf := range partitions {
+		nranks := 0
+		for _, r := range rankOf {
+			if r+1 > nranks {
+				nranks = r + 1
+			}
+		}
+		for _, overlap := range []bool{false, true} {
+			got := runDSSOnPartition(t, m, rankOf, nranks, stride, overlap, global)
+			for ge := range want {
+				for k := range want[ge] {
+					if math.Float64bits(got[ge][k]) != math.Float64bits(want[ge][k]) {
+						t.Fatalf("partition %d (nranks=%d) overlap=%v: elem %d idx %d differs: got %v want %v",
+							pi, nranks, overlap, ge, k, got[ge][k], want[ge][k])
+					}
+				}
+			}
+		}
+	}
+}

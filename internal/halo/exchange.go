@@ -97,13 +97,15 @@ func LevelMajor(levels, npsq int) Layout {
 	return Layout{Levels: levels, NodeStride: 1, LevelStride: npsq}
 }
 
-// partials computes, for every group in the given list, the weighted sum
-// of its local copies across all fields, storing it in scratch laid out
-// as [slot][field][l].
-func (p *Plan) partials(scratch []float64, lay Layout, nfields int, remoteOnly bool, fields ...[][]float64) {
+// localPartials computes, for every purely local group, the weighted sum
+// of its copies across all fields, storing it in scratch laid out as
+// [slot][field][l]. Remote groups are assembled by the canonical chain
+// instead (assembleRemote).
+func (p *Plan) localPartials(scratch []float64, lay Layout, nfields int, fields ...[][]float64) {
 	stride := lay.Levels
-	for _, g := range p.Groups {
-		if remoteOnly && !g.Remote {
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if g.Remote {
 			continue
 		}
 		base := g.Slot * nfields * stride
@@ -119,15 +121,13 @@ func (p *Plan) partials(scratch []float64, lay Layout, nfields int, remoteOnly b
 	}
 }
 
-// scatter writes the assembled totals back into every local copy of the
-// given groups.
-func (p *Plan) scatter(scratch []float64, lay Layout, nfields int, remoteOnly, localOnly bool, fields ...[][]float64) {
+// scatterLocal writes the assembled totals back into every copy of the
+// purely local groups.
+func (p *Plan) scatterLocal(scratch []float64, lay Layout, nfields int, fields ...[][]float64) {
 	stride := lay.Levels
-	for _, g := range p.Groups {
-		if remoteOnly && !g.Remote {
-			continue
-		}
-		if localOnly && g.Remote {
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if g.Remote {
 			continue
 		}
 		base := g.Slot * nfields * stride
@@ -142,26 +142,68 @@ func (p *Plan) scatter(scratch []float64, lay Layout, nfields int, remoteOnly, l
 	}
 }
 
-// packNeighbor fills buf with this rank's partials for neighbour nb.
-func (p *Plan) packNeighbor(nb *Neighbor, scratch, buf []float64, stride, nfields int) {
+// packNeighbor fills buf with the weighted copy values this rank sends
+// to neighbour nb: for every scheduled (group, local copy) entry, the
+// copy's DSSW weight times its field value. Shipping w·x per copy — not
+// per-rank partial sums — is what lets every receiver replay the
+// canonical summation chain.
+func (p *Plan) packNeighbor(nb *Neighbor, buf []float64, lay Layout, nfields int, fields ...[][]float64) {
+	stride := lay.Levels
 	k := 0
-	for _, slot := range nb.Slots {
-		base := slot * nfields * stride
-		copy(buf[k:k+nfields*stride], scratch[base:base+nfields*stride])
-		k += nfields * stride
+	for e, slot := range nb.SendGroup {
+		g := &p.Groups[slot]
+		ref := g.Refs[nb.SendRef[e]]
+		w := g.W[nb.SendRef[e]]
+		off := ref.Node * lay.NodeStride
+		for f := 0; f < nfields; f++ {
+			src := fields[f][ref.Elem]
+			for l := 0; l < stride; l++ {
+				buf[k] = w * src[off+l*lay.LevelStride]
+				k++
+			}
+		}
 	}
 }
 
-// accumulateNeighbor adds a received neighbour partial into scratch.
-func (p *Plan) accumulateNeighbor(nb *Neighbor, scratch, buf []float64, stride, nfields int) {
-	k := 0
-	for _, slot := range nb.Slots {
-		base := slot * nfields * stride
-		for i := 0; i < nfields*stride; i++ {
-			scratch[base+i] += buf[k+i]
+// assembleRemote resolves every remote-shared group by walking its
+// canonical chain — local copies weighted in place, remote copies read
+// from the neighbour receive buffers — and writes the total back into
+// all local copies. The chain order is mesh.NodeElems order on every
+// rank, so the result is bit-identical to the serial DSS and independent
+// of the partition.
+func (p *Plan) assembleRemote(recvBufs [][]float64, lay Layout, nfields int, fields ...[][]float64) {
+	stride := lay.Levels
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if !g.Remote {
+			continue
 		}
-		k += nfields * stride
+		for f := 0; f < nfields; f++ {
+			for l := 0; l < stride; l++ {
+				off := l * lay.LevelStride
+				sum := 0.0
+				for _, t := range g.Chain {
+					if t.Local {
+						ref := g.Refs[t.Ref]
+						sum += g.W[t.Ref] * fields[f][ref.Elem][ref.Node*lay.NodeStride+off]
+					} else {
+						sum += recvBufs[t.Nb][(t.Pos*nfields+f)*stride+l]
+					}
+				}
+				for _, ref := range g.Refs {
+					fields[f][ref.Elem][ref.Node*lay.NodeStride+off] = sum
+				}
+			}
+		}
 	}
+}
+
+func (p *Plan) sendLen(nb *Neighbor, nfields, stride int) int {
+	return len(nb.SendGroup) * nfields * stride
+}
+
+func (p *Plan) recvLen(nb *Neighbor, nfields, stride int) int {
+	return nb.RecvLen * nfields * stride
 }
 
 // DSSOriginal performs the exchange in HOMME's original unified-buffer
@@ -186,26 +228,24 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (St
 	defer p.exchangeProbe("halo.dss_original", &st)()
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
-	p.partials(scratch, lay, nf, false, fields...)
-
-	msgLen := func(nb *Neighbor) int { return len(nb.Slots) * nf * stride }
 
 	// Pack all, send all, receive all: no overlap anywhere.
 	sendBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		sendBufs[i] = make([]float64, msgLen(nb))
-		p.packNeighbor(nb, scratch, sendBufs[i], stride, nf)
-		st.PackBytes += int64(msgLen(nb) * 8)
+		sendBufs[i] = make([]float64, p.sendLen(nb, nf, stride))
+		p.packNeighbor(nb, sendBufs[i], lay, nf, fields...)
+		st.PackBytes += int64(len(sendBufs[i]) * 8)
 	}
 	for i := range p.Neighbors {
 		c.Send(p.Neighbors[i].Rank, tagDSS, sendBufs[i])
 		st.Msgs++
-		st.WireBytes += int64(msgLen(&p.Neighbors[i]) * 8)
+		st.WireBytes += int64(len(sendBufs[i]) * 8)
 	}
+	recvBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		recv := make([]float64, msgLen(nb))
+		recv := make([]float64, p.recvLen(nb, nf, stride))
 		var w0 time.Time
 		if timed {
 			w0 = time.Now()
@@ -222,17 +262,20 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (St
 		staged := make([]float64, len(recv))
 		copy(staged, recv)
 		st.StagingBytes += int64(len(recv) * 8)
-		p.accumulateNeighbor(nb, scratch, staged, stride, nf)
 		st.UnpackBytes += int64(len(recv) * 8)
+		recvBufs[i] = staged
 	}
-	p.scatter(scratch, lay, nf, false, false, fields...)
+	// All receives verified; only now touch the fields.
+	p.localPartials(scratch, lay, nf, fields...)
+	p.scatterLocal(scratch, lay, nf, fields...)
+	p.assembleRemote(recvBufs, lay, nf, fields...)
 	return st, nil
 }
 
 // DSSOverlap performs the redesigned exchange of §7.6. The caller must
 // already have computed the boundary elements' field values; inner
 // elements are produced by computeInner, which runs while boundary
-// partials are in flight. Received partials are accumulated directly from
+// partials are in flight. Received copies are assembled directly from
 // the receive buffers (no staging copy). computeInner may be nil when
 // there is nothing to overlap.
 //
@@ -254,27 +297,24 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
 
-	// Remote groups live entirely on boundary elements, which are ready:
-	// compute their partials and get the messages moving first.
-	p.partials(scratch, lay, nf, true, fields...)
-
-	msgLen := func(nb *Neighbor) int { return len(nb.Slots) * nf * stride }
+	// Remote-shared copies live entirely on boundary elements, which are
+	// ready: pack their weighted values and get the messages moving first.
 	recvBufs := make([][]float64, len(p.Neighbors))
 	recvReqs := make([]*mpirt.Request, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		recvBufs[i] = make([]float64, msgLen(nb))
+		recvBufs[i] = make([]float64, p.recvLen(nb, nf, stride))
 		recvReqs[i] = c.Irecv(nb.Rank, tagDSS, recvBufs[i])
 	}
 	sendBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		sendBufs[i] = make([]float64, msgLen(nb))
-		p.packNeighbor(nb, scratch, sendBufs[i], stride, nf)
-		st.PackBytes += int64(msgLen(nb) * 8)
+		sendBufs[i] = make([]float64, p.sendLen(nb, nf, stride))
+		p.packNeighbor(nb, sendBufs[i], lay, nf, fields...)
+		st.PackBytes += int64(len(sendBufs[i]) * 8)
 		c.Isend(nb.Rank, tagDSS, sendBufs[i]).Wait()
 		st.Msgs++
-		st.WireBytes += int64(msgLen(nb) * 8)
+		st.WireBytes += int64(len(sendBufs[i]) * 8)
 	}
 
 	// Overlap window: inner elements compute while messages are in flight.
@@ -282,11 +322,11 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 		computeInner()
 	}
 	// Inner values exist now; resolve the purely local groups.
-	p.partials(scratch, lay, nf, false, fields...)
-	p.scatter(scratch, lay, nf, false, true, fields...)
+	p.localPartials(scratch, lay, nf, fields...)
+	p.scatterLocal(scratch, lay, nf, fields...)
 
-	// Drain receives straight into the partial sums — the direct
-	// receive-buffer unpack that removes the staging copy.
+	// Drain receives and assemble shared nodes straight from the receive
+	// buffers — the direct unpack that removes the staging copy.
 	for i := range p.Neighbors {
 		var w0 time.Time
 		if timed {
@@ -298,9 +338,8 @@ func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields
 		if timed {
 			st.WaitNs += time.Since(w0).Nanoseconds()
 		}
-		p.accumulateNeighbor(&p.Neighbors[i], scratch, recvBufs[i], stride, nf)
 		st.UnpackBytes += int64(len(recvBufs[i]) * 8)
 	}
-	p.scatter(scratch, lay, nf, true, false, fields...)
+	p.assembleRemote(recvBufs, lay, nf, fields...)
 	return st, nil
 }

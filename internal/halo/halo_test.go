@@ -283,7 +283,11 @@ func TestNeighborSymmetry(t *testing.T) {
 	}
 	for r, p := range plans {
 		for i, nb := range p.Neighbors {
-			// The neighbour must list us with the same shared-node count.
+			// The neighbour must list us back, with the same distinct
+			// shared-node count, and its send schedule toward us must
+			// match our expected receive length entry for entry (the
+			// per-copy messages themselves are asymmetric: each side
+			// sends one entry per copy it holds).
 			var back *Neighbor
 			for j := range plans[nb.Rank].Neighbors {
 				if plans[nb.Rank].Neighbors[j].Rank == r {
@@ -293,8 +297,19 @@ func TestNeighborSymmetry(t *testing.T) {
 			if back == nil {
 				t.Fatalf("rank %d lists %d but not vice versa", r, nb.Rank)
 			}
-			if len(back.Slots) != p.SharedNodes(i) {
+			if back.Nodes != p.SharedNodes(i) {
 				t.Fatalf("asymmetric shared-node count between %d and %d", r, nb.Rank)
+			}
+			if len(back.SendGroup) != nb.RecvLen {
+				t.Fatalf("rank %d expects %d entries from %d, which sends %d",
+					r, nb.RecvLen, nb.Rank, len(back.SendGroup))
+			}
+			if len(nb.SendGroup) != back.RecvLen {
+				t.Fatalf("rank %d sends %d entries to %d, which expects %d",
+					r, len(nb.SendGroup), nb.Rank, back.RecvLen)
+			}
+			if len(nb.SendGroup) != len(nb.SendRef) {
+				t.Fatalf("rank %d: send schedule to %d has mismatched group/ref lists", r, nb.Rank)
 			}
 		}
 	}

@@ -17,6 +17,16 @@
 // spectral-element fields C0-continuous: every GLL node shared by several
 // elements — possibly on several ranks — ends up holding the
 // SphereMP-weighted average of all its element copies.
+//
+// The exchange ships individual weighted copies (one w·x value per
+// element copy of a shared node) rather than per-rank partial sums, and
+// every rank assembles each shared node by adding the copies in the
+// mesh's canonical NodeElems order — the same chain the serial solver
+// walks. That makes the distributed DSS bit-identical to the serial DSS
+// and, crucially, invariant under repartitioning: the floating-point
+// grouping never depends on which rank owns which element, which is what
+// lets shrink recovery (core.ResilientJob) move elements between ranks
+// mid-run without perturbing the trajectory.
 package halo
 
 import (
@@ -33,22 +43,41 @@ type LocalRef struct {
 	Node int // local node index within the element, j*np+i
 }
 
+// ChainTerm is one link of a shared node's canonical summation chain: a
+// single element copy, either held locally or arriving from a neighbour
+// message. The chain lists every copy of the node in mesh.NodeElems
+// order (ascending element id), so summing it term by term reproduces
+// the serial DSS bit for bit on every rank that holds the node.
+type ChainTerm struct {
+	Local bool
+	Ref   int // Local: index into Group.Refs
+	Nb    int // !Local: index into Plan.Neighbors
+	Pos   int // !Local: entry index within that neighbour's message
+}
+
 // Group is one shared GLL node as seen from this rank: the local copies
-// that contribute to it and their DSS weights. Remote groups additionally
-// receive partial sums from neighbouring ranks.
+// that contribute to it and their DSS weights, both in mesh.NodeElems
+// order. Remote groups additionally carry the full canonical chain over
+// local and received copies.
 type Group struct {
 	Refs   []LocalRef
 	W      []float64 // DSSW weight of each local copy
 	Slot   int       // index into the rank's partial-sum scratch
 	Remote bool      // true when other ranks also hold copies
+	Chain  []ChainTerm
 }
 
-// Neighbor is one adjacent rank and the agreed-order list of shared
-// groups exchanged with it. Both sides sort shared nodes by global id, so
-// position i of the message refers to the same physical node on each.
+// Neighbor is one adjacent rank and the agreed-order schedules exchanged
+// with it. Messages carry one weighted copy value per element copy the
+// sender holds of each shared node; both sides enumerate shared nodes in
+// global-node-id order and copies in mesh.NodeElems order, so entry k of
+// a message means the same physical copy on each end.
 type Neighbor struct {
-	Rank  int
-	Slots []int // partial-sum slots, in global-node-id order
+	Rank      int
+	SendGroup []int // group slot of each outgoing entry
+	SendRef   []int // local copy (index into Group.Refs) of each outgoing entry
+	RecvLen   int   // incoming entries: copies the peer holds of our shared nodes
+	Nodes     int   // distinct shared nodes (symmetric; the machine-model message size)
 }
 
 // Plan is the rank-local exchange schedule, built once per partition and
@@ -90,57 +119,95 @@ func NewPlan(m *mesh.Mesh, rankOf []int, rank int) *Plan {
 		}
 	}
 
-	// Walk every global node touched by this rank; build groups for the
-	// shared ones and per-neighbour slot lists for the remote ones.
-	type remoteKey struct{ nbRank, gid int }
-	remoteSlots := map[int][]struct{ gid, slot int }{} // neighbour rank -> slots
-	boundary := map[int]bool{}
-
-	for gid, refs := range m.NodeElems {
-		var local []LocalRef
-		var w []float64
-		remoteRanks := map[int]bool{}
+	// Pass 1: collect the neighbour rank set so chain terms can refer to
+	// neighbours by their final sorted index.
+	nbSet := map[int]bool{}
+	for _, refs := range m.NodeElems {
+		onRank := false
 		for _, r := range refs {
 			if rankOf[r.Elem] == rank {
-				le := p.LocalOf[r.Elem]
-				local = append(local, LocalRef{Elem: le, Node: r.Idx})
+				onRank = true
+				break
+			}
+		}
+		if !onRank {
+			continue
+		}
+		for _, r := range refs {
+			if rankOf[r.Elem] != rank {
+				nbSet[rankOf[r.Elem]] = true
+			}
+		}
+	}
+	nbRanks := make([]int, 0, len(nbSet))
+	for nb := range nbSet {
+		nbRanks = append(nbRanks, nb)
+	}
+	sort.Ints(nbRanks)
+	nbIndex := make(map[int]int, len(nbRanks))
+	p.Neighbors = make([]Neighbor, len(nbRanks))
+	for i, nb := range nbRanks {
+		p.Neighbors[i] = Neighbor{Rank: nb}
+		nbIndex[nb] = i
+	}
+
+	// Pass 2: walk every global node in ascending-gid order (NodeElems is
+	// indexed by gid) and build groups, canonical chains, and the agreed
+	// send/receive schedules. Because every rank enumerates the same
+	// NodeElems refs in the same order, sender entry order and receiver
+	// chain positions agree by construction.
+	boundary := map[int]bool{}
+	for _, refs := range m.NodeElems {
+		var local []LocalRef
+		var w []float64
+		remote := false
+		for _, r := range refs {
+			if rankOf[r.Elem] == rank {
+				local = append(local, LocalRef{Elem: p.LocalOf[r.Elem], Node: r.Idx})
 				w = append(w, m.Elements[r.Elem].DSSW[r.Idx])
 			} else {
-				remoteRanks[rankOf[r.Elem]] = true
+				remote = true
 			}
 		}
 		if len(local) == 0 {
 			continue // node not on this rank
 		}
-		if len(local) == 1 && len(remoteRanks) == 0 {
+		if len(local) == 1 && !remote {
 			continue // unshared node, no DSS needed
 		}
-		g := Group{Refs: local, W: w, Slot: len(p.Groups), Remote: len(remoteRanks) > 0}
-		p.Groups = append(p.Groups, g)
-		for nb := range remoteRanks {
-			remoteSlots[nb] = append(remoteSlots[nb], struct{ gid, slot int }{gid, g.Slot})
-		}
-		if g.Remote {
+		g := Group{Refs: local, W: w, Slot: len(p.Groups), Remote: remote}
+		if remote {
+			// Canonical chain over every copy, and per-neighbour message
+			// positions advanced in the same canonical order.
+			localIdx := 0
+			touched := map[int]bool{}
+			for _, r := range refs {
+				if rankOf[r.Elem] == rank {
+					g.Chain = append(g.Chain, ChainTerm{Local: true, Ref: localIdx})
+					localIdx++
+					continue
+				}
+				ni := nbIndex[rankOf[r.Elem]]
+				nb := &p.Neighbors[ni]
+				g.Chain = append(g.Chain, ChainTerm{Nb: ni, Pos: nb.RecvLen})
+				nb.RecvLen++
+				touched[ni] = true
+			}
+			// Every local copy of the node is sent to every neighbour
+			// that holds it, in chain (NodeElems) order.
+			for ni := range touched {
+				nb := &p.Neighbors[ni]
+				nb.Nodes++
+				for li := range g.Refs {
+					nb.SendGroup = append(nb.SendGroup, g.Slot)
+					nb.SendRef = append(nb.SendRef, li)
+				}
+			}
 			for _, lr := range local {
 				boundary[lr.Elem] = true
 			}
 		}
-	}
-
-	// Deterministic neighbour ordering and agreed per-message node order.
-	nbRanks := make([]int, 0, len(remoteSlots))
-	for nb := range remoteSlots {
-		nbRanks = append(nbRanks, nb)
-	}
-	sort.Ints(nbRanks)
-	for _, nb := range nbRanks {
-		slots := remoteSlots[nb]
-		sort.Slice(slots, func(a, b int) bool { return slots[a].gid < slots[b].gid })
-		n := Neighbor{Rank: nb}
-		for _, s := range slots {
-			n.Slots = append(n.Slots, s.slot)
-		}
-		p.Neighbors = append(p.Neighbors, n)
+		p.Groups = append(p.Groups, g)
 	}
 
 	for le := range p.Elems {
@@ -158,8 +225,8 @@ func (p *Plan) NLocal() int { return len(p.Elems) }
 
 // SharedNodes returns the count of distinct nodes this rank exchanges
 // with neighbour i — the per-message element count used by the machine
-// model.
-func (p *Plan) SharedNodes(i int) int { return len(p.Neighbors[i].Slots) }
+// model. Symmetric between the two ends of a neighbour pair.
+func (p *Plan) SharedNodes(i int) int { return p.Neighbors[i].Nodes }
 
 func (p *Plan) ensureScratch(n int) []float64 {
 	if cap(p.scratch) < n {

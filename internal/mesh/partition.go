@@ -73,6 +73,61 @@ func (m *Mesh) Partition(nranks int) ([]int, error) {
 	return rankOf, nil
 }
 
+// ShrinkPartition redistributes a dead rank's elements over the
+// survivors and renumbers ranks above it down by one, returning the new
+// rankOf over nranks-1 ranks. Each orphaned element goes to the new
+// rank of its nearest preceding survivor-owned element along the
+// space-filling curve (the following one for a dead rank at the head of
+// the curve), so a contiguous SFC partition stays contiguous and the
+// extra halo surface of the degraded layout stays small.
+func (m *Mesh) ShrinkPartition(rankOf []int, dead, nranks int) ([]int, error) {
+	if len(rankOf) != m.NElems() {
+		return nil, fmt.Errorf("mesh: rankOf covers %d of %d elements", len(rankOf), m.NElems())
+	}
+	if dead < 0 || dead >= nranks {
+		return nil, fmt.Errorf("mesh: shrink rank %d of %d", dead, nranks)
+	}
+	if nranks < 2 {
+		return nil, fmt.Errorf("mesh: cannot shrink a %d-rank partition", nranks)
+	}
+	renum := func(r int) int {
+		if r > dead {
+			return r - 1
+		}
+		return r
+	}
+	order := m.SFCOrder()
+	out := make([]int, len(rankOf))
+	for i := range out {
+		out[i] = -1
+	}
+	last := -1
+	for _, id := range order {
+		if rankOf[id] != dead {
+			last = renum(rankOf[id])
+		}
+		out[id] = last
+	}
+	// Orphans at the head of the curve inherit the first survivor after
+	// them.
+	first := -1
+	for _, id := range order {
+		if rankOf[id] != dead {
+			first = renum(rankOf[id])
+			break
+		}
+	}
+	if first < 0 {
+		return nil, fmt.Errorf("mesh: shrink would leave no survivor elements")
+	}
+	for _, id := range order {
+		if out[id] < 0 {
+			out[id] = first
+		}
+	}
+	return out, nil
+}
+
 // RankElems inverts a partition: for each rank, the sorted list of its
 // element ids.
 func RankElems(rankOf []int, nranks int) [][]int {

@@ -113,3 +113,61 @@ func TestMortonInterleaveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShrinkPartition(t *testing.T) {
+	m := New(4, 4)
+	const nranks = 5
+	rankOf, err := m.Partition(nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dead := 0; dead < nranks; dead++ {
+		got, err := m.ShrinkPartition(rankOf, dead, nranks)
+		if err != nil {
+			t.Fatalf("dead=%d: %v", dead, err)
+		}
+		counts := make([]int, nranks-1)
+		for id, r := range got {
+			if r < 0 || r >= nranks-1 {
+				t.Fatalf("dead=%d: element %d assigned to rank %d of %d", dead, id, r, nranks-1)
+			}
+			counts[r]++
+			// Survivors keep their elements (renumbered).
+			if old := rankOf[id]; old != dead {
+				want := old
+				if old > dead {
+					want--
+				}
+				if r != want {
+					t.Fatalf("dead=%d: survivor element %d moved from %d to %d", dead, id, old, r)
+				}
+			}
+		}
+		for r, n := range counts {
+			if n == 0 {
+				t.Fatalf("dead=%d: rank %d left empty", dead, r)
+			}
+		}
+		// A contiguous SFC partition stays contiguous: walking the curve
+		// must visit each rank's elements in one run.
+		seen := map[int]bool{}
+		prev := -1
+		for _, id := range m.SFCOrder() {
+			r := got[id]
+			if r != prev {
+				if seen[r] {
+					t.Fatalf("dead=%d: rank %d's elements not contiguous on the SFC", dead, r)
+				}
+				seen[r] = true
+				prev = r
+			}
+		}
+	}
+	if _, err := m.ShrinkPartition(rankOf, 9, nranks); err == nil {
+		t.Fatal("out-of-range dead rank accepted")
+	}
+	one, _ := m.Partition(1)
+	if _, err := m.ShrinkPartition(one, 0, 1); err == nil {
+		t.Fatal("shrinking a 1-rank partition accepted")
+	}
+}

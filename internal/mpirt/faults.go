@@ -230,6 +230,36 @@ func (p *FaultPlan) Pending() []Fault {
 	return out
 }
 
+// Shrink derives the plan for a world that dropped rank dead: the dead
+// rank's unfired faults are discarded (there is no such rank any more),
+// higher ranks — and their accumulated op counters — shift down by one,
+// and fired faults stay fired. Used by shrink recovery so the same
+// deterministic schedule keeps driving the reduced world.
+func (p *FaultPlan) Shrink(dead int) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dead < 0 || dead >= len(p.ops) || len(p.ops) == 1 {
+		panic(fmt.Sprintf("mpirt: shrink rank %d of %d", dead, len(p.ops)))
+	}
+	q := &FaultPlan{ops: make([]int64, 0, len(p.ops)-1)}
+	for r, op := range p.ops {
+		if r != dead {
+			q.ops = append(q.ops, op)
+		}
+	}
+	for _, f := range p.faults {
+		if f.Rank == dead && !f.fired {
+			continue
+		}
+		c := *f
+		if c.Rank > dead {
+			c.Rank--
+		}
+		q.faults = append(q.faults, &c)
+	}
+	return q
+}
+
 // fire advances rank's op counter and returns the first due, unfired,
 // kind-eligible fault (marked fired), or nil. Kill faults are eligible
 // at any operation; message faults only at sends.

@@ -24,6 +24,7 @@ package mpirt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -40,10 +41,17 @@ type Stats struct {
 	BytesSent  int64
 	MsgsRecvd  int64
 	BytesRecvd int64
+	// Retransmission counters (failure detector, see RetryPolicy):
+	// attempts counts retry cycles entered after a timeout/CRC failure,
+	// recovered counts messages ultimately delivered from the
+	// retransmit log instead of being escalated.
+	RetxAttempts  int64
+	RetxRecovered int64
 }
 
 type message struct {
 	src, tag int
+	seq      uint64 // position in the (src, dst, tag) stream; see seqKey
 	data     []float64
 	crc      uint32
 }
@@ -73,6 +81,12 @@ type World struct {
 	recvTimeout time.Duration // default deadline for receives; 0 = wait forever
 	faults      *FaultPlan    // nil = fault-free
 	tracer      *obs.Tracer   // nil = untraced (see obs.go)
+	retry       RetryPolicy   // bounded retransmission; zero value = off
+
+	// sendSeq[src] numbers the messages of each (dst, tag) stream this
+	// rank sends. One map per rank, touched only by that rank's
+	// goroutine, so sends stay lock-free.
+	sendSeq []map[seqKey]uint64
 
 	aborted   atomic.Bool
 	abortMu   sync.Mutex
@@ -81,15 +95,33 @@ type World struct {
 }
 
 // mailbox is the receive queue of one rank: a condition-variable-guarded
-// list supporting tag- and source-selective matching like MPI.
+// list supporting tag- and source-selective matching like MPI, but with
+// strictly sequenced delivery per (src, tag) stream: a message is only
+// matched when it carries the stream's next expected sequence number. A
+// gap — the expected message was dropped or delayed on the wire — makes
+// the receive wait (and eventually time out into the retransmission
+// path) instead of silently consuming a later message of the same
+// stream, and a stale sequence number (the delayed original of a
+// message already recovered from the retransmit log) is discarded. The
+// mailbox also holds the senders' clean payload log — the "NIC buffer"
+// a real transport retries from.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
+	retx    []message         // clean copies, send order (retry enabled only)
+	nextSeq map[seqKey]uint64 // next expected seq per (src, tag) stream
+}
+
+// seqKey identifies one ordered message stream: the peer rank plus the
+// tag (the sender keys by destination, the receiver by source).
+type seqKey struct {
+	rank int
+	tag  int
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
+	b := &mailbox{nextSeq: make(map[seqKey]uint64)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -101,10 +133,12 @@ func (b *mailbox) put(m message) {
 	b.cond.Broadcast()
 }
 
-// take blocks until a message from src with the given tag is available
-// and removes it (first matching message, preserving per-pair order).
-// With d > 0 the wait is bounded: expiry returns ErrTimeout. A poisoned
-// world returns ErrWorldAborted instead of blocking forever.
+// take blocks until the next in-sequence message of the (src, tag)
+// stream is available and removes it. Out-of-sequence arrivals do not
+// match: a gap keeps the receive waiting (retransmission's job), a
+// stale duplicate is discarded on sight. With d > 0 the wait is
+// bounded: expiry returns ErrTimeout. A poisoned world returns
+// ErrWorldAborted instead of blocking forever.
 func (b *mailbox) take(w *World, src, tag int, d time.Duration) (message, error) {
 	var deadline time.Time
 	if d > 0 {
@@ -122,11 +156,27 @@ func (b *mailbox) take(w *World, src, tag int, d time.Duration) (message, error)
 		if w.aborted.Load() {
 			return message{}, ErrWorldAborted
 		}
-		for i, m := range b.pending {
-			if m.src == src && m.tag == tag {
+		exp := b.nextSeq[seqKey{src, tag}]
+		for i := 0; i < len(b.pending); i++ {
+			m := b.pending[i]
+			if m.src != src || m.tag != tag {
+				continue
+			}
+			if m.seq < exp {
+				// Stale duplicate: the delayed original of a message
+				// already delivered via the retransmit log. Discard it.
 				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				i--
+				continue
+			}
+			if m.seq == exp {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				b.nextSeq[seqKey{src, tag}] = exp + 1
 				return m, nil
 			}
+			// m.seq > exp: the expected message is missing (dropped or
+			// still in flight). Matching this one instead would hand the
+			// caller the wrong round's data — keep waiting.
 		}
 		if d > 0 && !time.Now().Before(deadline) {
 			return message{}, fmt.Errorf("%w: from rank %d tag %d after %v", ErrTimeout, src, tag, d)
@@ -145,9 +195,11 @@ func NewWorld(nranks int) *World {
 		boxes:   make([]*mailbox, nranks),
 		stats:   make([]Stats, nranks),
 		barrier: newBarrier(nranks),
+		sendSeq: make([]map[seqKey]uint64, nranks),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+		w.sendSeq[i] = make(map[seqKey]uint64)
 	}
 	return w
 }
@@ -289,13 +341,23 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	}
 	f := c.faultPoint(true)
 	buf := append([]float64(nil), data...)
-	m := message{src: c.rank, tag: tag, data: buf, crc: payloadCRC(buf)}
+	sk := seqKey{dst, tag}
+	seq := c.world.sendSeq[c.rank][sk]
+	c.world.sendSeq[c.rank][sk] = seq + 1
+	m := message{src: c.rank, tag: tag, seq: seq, data: buf, crc: payloadCRC(buf)}
 
 	st := &c.world.stats[c.rank]
 	st.MsgsSent++
 	st.BytesSent += int64(len(data) * 8)
 
 	box := c.world.boxes[dst]
+	// With retransmission enabled the clean message is logged before any
+	// fault applies — the sender's NIC keeps the payload until the
+	// receiver acknowledges it, so corruption or loss on the wire leaves
+	// an intact copy to retry from.
+	if c.world.retry.enabled() {
+		box.logRetx(m)
+	}
 	if f != nil {
 		switch f.Kind {
 		case DropMsg:
@@ -303,9 +365,13 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		case CorruptMsg:
 			// Flip one mantissa bit after the CRC was computed, exactly
 			// like corruption on the wire; zero-length payloads corrupt
-			// the checksum itself so detection still triggers.
+			// the checksum itself so detection still triggers. The flip
+			// happens on a private copy so the logged clean payload is
+			// untouched.
 			if len(m.data) > 0 {
-				m.data[0] = math.Float64frombits(math.Float64bits(m.data[0]) ^ 1)
+				corrupted := append([]float64(nil), m.data...)
+				corrupted[0] = math.Float64frombits(math.Float64bits(corrupted[0]) ^ 1)
+				m.data = corrupted
 			} else {
 				m.crc ^= 0xDEADBEEF
 			}
@@ -341,24 +407,77 @@ func (c *Comm) RecvErr(src, tag int, buf []float64) error {
 // returns ErrTimeout if no matching message arrives in time, ErrCorrupt
 // on a CRC mismatch, ErrSize on a length mismatch, and ErrWorldAborted
 // if the world was poisoned while waiting — all wrapped with context.
+//
+// When the world carries a RetryPolicy, a timeout or CRC failure is not
+// final: the receiver backs off (exponentially, with deterministic
+// jitter) and re-requests the message from the sender's retransmit log,
+// up to MaxAttempts total attempts. Only after the budget is exhausted
+// does the failure surface — the failure-detector rung of the recovery
+// ladder: a rank is declared suspect by escalation, never by a single
+// lost packet.
 func (c *Comm) RecvTimeout(src, tag int, buf []float64, d time.Duration) error {
 	c.faultPoint(false)
+	rp := c.world.retry
+	attempts := rp.attempts()
+	for a := 1; ; a++ {
+		seq, err := c.recvOnce(src, tag, buf, d)
+		if err == nil {
+			return nil
+		}
+		corrupt := errors.Is(err, ErrCorrupt)
+		if !corrupt && !errors.Is(err, ErrTimeout) {
+			return err
+		}
+		if a >= attempts {
+			return err
+		}
+		// Which message to re-request: on a CRC failure, the one just
+		// delivered mangled; on a timeout, the stream's next expected
+		// sequence number (the gap that blocked matching).
+		want := seq
+		if !corrupt {
+			want = c.world.boxes[c.rank].expectedSeq(src, tag)
+		}
+		st := &c.world.stats[c.rank]
+		st.RetxAttempts++
+		rp.sleep(c.rank, a)
+		if c.recvRetx(src, tag, want, buf) {
+			st.RetxRecovered++
+			st.MsgsRecvd++
+			st.BytesRecvd += int64(len(buf) * 8)
+			return nil
+		}
+		if c.world.aborted.Load() {
+			return ErrWorldAborted
+		}
+	}
+}
+
+// recvOnce is a single mailbox receive attempt with CRC verification.
+// The returned sequence number identifies the taken message when the
+// verification failed (retransmission re-requests exactly it).
+func (c *Comm) recvOnce(src, tag int, buf []float64, d time.Duration) (uint64, error) {
 	m, err := c.world.boxes[c.rank].take(c.world, src, tag, d)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(m.data) != len(buf) {
-		return fmt.Errorf("%w: from %d tag %d: sent %d, buffer %d",
+		return m.seq, fmt.Errorf("%w: from %d tag %d: sent %d, buffer %d",
 			ErrSize, src, tag, len(m.data), len(buf))
 	}
 	if payloadCRC(m.data) != m.crc {
-		return fmt.Errorf("%w: from %d tag %d (%d values)", ErrCorrupt, src, tag, len(m.data))
+		return m.seq, fmt.Errorf("%w: from %d tag %d (%d values)", ErrCorrupt, src, tag, len(m.data))
+	}
+	// Acknowledge: the sender's retransmit log no longer needs this
+	// message.
+	if c.world.retry.enabled() {
+		c.world.boxes[c.rank].ackRetx(m.src, m.tag, m.seq)
 	}
 	copy(buf, m.data)
 	st := &c.world.stats[c.rank]
 	st.MsgsRecvd++
 	st.BytesRecvd += int64(len(buf) * 8)
-	return nil
+	return m.seq, nil
 }
 
 // Request is the handle of a pending non-blocking operation.

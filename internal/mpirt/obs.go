@@ -22,17 +22,22 @@ func (w *World) DumpStats(reg *obs.Registry) {
 		return
 	}
 	var msgsSent, bytesSent, msgsRecvd, bytesRecvd int64
+	var retxAtt, retxRec int64
 	for r := 0; r < w.n; r++ {
 		s := w.stats[r]
 		msgsSent += s.MsgsSent
 		bytesSent += s.BytesSent
 		msgsRecvd += s.MsgsRecvd
 		bytesRecvd += s.BytesRecvd
+		retxAtt += s.RetxAttempts
+		retxRec += s.RetxRecovered
 		reg.Histogram("mpirt.rank.send.bytes").Observe(float64(s.BytesSent))
 	}
 	reg.Counter("mpirt.send.msgs").Add(msgsSent)
 	reg.Counter("mpirt.send.bytes").Add(bytesSent)
 	reg.Counter("mpirt.recv.msgs").Add(msgsRecvd)
 	reg.Counter("mpirt.recv.bytes").Add(bytesRecvd)
+	reg.Counter("mpirt.retx.attempts").Add(retxAtt)
+	reg.Counter("mpirt.retx.recovered").Add(retxRec)
 	reg.Gauge("mpirt.ranks").Set(float64(w.n))
 }

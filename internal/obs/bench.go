@@ -42,13 +42,31 @@ type BenchBackend struct {
 	Kernels     map[string]BenchKernel `json:"kernels"`
 }
 
+// BenchRecovery records the resilience activity behind a benchmarked
+// run: how often each rung of the recovery ladder fired and what the
+// recovery actions cost in wall time. Nil in fault-free runs and in
+// files written before the ladder existed — the field is additive, so
+// older consumers and older files interoperate unchanged.
+type BenchRecovery struct {
+	Retransmits    int64 `json:"retransmits"`      // delivery retries attempted (rung 1)
+	Retransmitted  int64 `json:"retransmitted"`    // retries that recovered the message
+	Checkpoints    int64 `json:"checkpoints"`      // partner-replicated snapshots taken
+	Localized      int64 `json:"localized"`        // single-rank rebuilds from a buddy copy
+	Respawns       int64 `json:"respawns"`         // dead ranks replaced from spares
+	Shrinks        int64 `json:"shrinks"`          // degraded-mode repartitions onto n-1 ranks
+	Rollbacks      int64 `json:"rollbacks"`        // global rollbacks (fallback rung)
+	RecoveryWallNs int64 `json:"recovery_wall_ns"` // wall time inside recovery actions
+}
+
 // BenchFile is the on-disk schema of BENCH_<n>.json — the perf
 // trajectory's data points: per-kernel nanoseconds and bytes plus SYPD
-// for every backend measured.
+// for every backend measured, and (when faults were injected) the
+// recovery activity that the measured wall time absorbed.
 type BenchFile struct {
 	Schema   string                  `json:"schema"`
 	Config   BenchConfig             `json:"config"`
 	Backends map[string]BenchBackend `json:"backends"`
+	Recovery *BenchRecovery          `json:"recovery,omitempty"`
 }
 
 // NewBenchFile builds a file from per-backend kernel tables and rates.
@@ -98,6 +116,29 @@ func (f *BenchFile) Validate() error {
 			if k.Calls < 1 || k.Ns < 1 {
 				return fmt.Errorf("obs: backend %s kernel %s: calls=%d ns=%d", name, kn, k.Calls, k.Ns)
 			}
+		}
+	}
+	if rec := f.Recovery; rec != nil {
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"retransmits", rec.Retransmits},
+			{"retransmitted", rec.Retransmitted},
+			{"checkpoints", rec.Checkpoints},
+			{"localized", rec.Localized},
+			{"respawns", rec.Respawns},
+			{"shrinks", rec.Shrinks},
+			{"rollbacks", rec.Rollbacks},
+			{"recovery_wall_ns", rec.RecoveryWallNs},
+		} {
+			if c.v < 0 {
+				return fmt.Errorf("obs: bench recovery %s is negative: %d", c.name, c.v)
+			}
+		}
+		if rec.Retransmitted > rec.Retransmits {
+			return fmt.Errorf("obs: bench recovery retransmitted %d exceeds retransmits %d",
+				rec.Retransmitted, rec.Retransmits)
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -287,6 +288,12 @@ func TestBenchFileValidate(t *testing.T) {
 		{"zero-ns kernel", func(f *BenchFile) {
 			f.Backends["athread"].Kernels["euler_step"] = BenchKernel{Calls: 1, Ns: 0}
 		}},
+		{"negative recovery counter", func(f *BenchFile) {
+			f.Recovery = &BenchRecovery{Localized: -1}
+		}},
+		{"retransmitted exceeds retransmits", func(f *BenchFile) {
+			f.Recovery = &BenchRecovery{Retransmits: 1, Retransmitted: 2}
+		}},
 	}
 	for _, tc := range cases {
 		f := good()
@@ -298,5 +305,77 @@ func TestBenchFileValidate(t *testing.T) {
 	var nilFile *BenchFile
 	if err := nilFile.Validate(); err == nil {
 		t.Error("nil file validated")
+	}
+	// A well-formed recovery block is accepted and survives the disk
+	// round trip; a file without one stays backward compatible (nil).
+	f := good()
+	f.Recovery = &BenchRecovery{
+		Retransmits: 4, Retransmitted: 3, Checkpoints: 7,
+		Localized: 2, Shrinks: 1, RecoveryWallNs: 5e6,
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("recovery block rejected: %v", err)
+	}
+	dir := t.TempDir()
+	p, err := WriteBenchFile(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recovery == nil || *got.Recovery != *f.Recovery {
+		t.Errorf("recovery round trip: got %+v, want %+v", got.Recovery, f.Recovery)
+	}
+	if _, err := WriteBenchFile(dir, good()); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadBenchFile(filepath.Join(dir, "BENCH_2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Recovery != nil {
+		t.Errorf("fault-free file grew a recovery block: %+v", got2.Recovery)
+	}
+}
+
+func TestStepReportRecoverySummary(t *testing.T) {
+	kt := NewKernelTable()
+	kt.Record("euler_step", "Athread", 100, 10, 20, 1, 1)
+
+	// No recovery counters: the report stays recovery-free.
+	rep := BuildStepReport(kt, NewRegistry(), ReportInput{Steps: 1, SimSeconds: 1, WallSeconds: 1})
+	if rep.Recovery != nil {
+		t.Fatalf("fault-free report has recovery summary: %+v", rep.Recovery)
+	}
+	if strings.Contains(rep.Text(), "recovery:") {
+		t.Error("fault-free report text mentions recovery")
+	}
+
+	reg := NewRegistry()
+	reg.Counter("mpirt.retx.attempts").Add(5)
+	reg.Counter("mpirt.retx.recovered").Add(4)
+	reg.Counter("core.recovery.checkpoints").Add(9)
+	reg.Counter("core.recovery.localized").Add(2)
+	reg.Counter("core.recovery.shrinks").Add(1)
+	reg.Counter("core.recovery.rollbacks").Add(3)
+	reg.Counter("core.recovery.replayed_steps").Add(6)
+	reg.Counter("core.recovery.ns").Add(7e6)
+
+	rep = BuildStepReport(kt, reg, ReportInput{Steps: 1, SimSeconds: 1, WallSeconds: 1})
+	rec := rep.Recovery
+	if rec == nil {
+		t.Fatal("report with recovery counters has no summary")
+	}
+	want := RecoverySummary{
+		Retransmits: 5, Retransmitted: 4, Checkpoints: 9, Localized: 2,
+		Shrinks: 1, Rollbacks: 3, ReplayedSteps: 6, RecoveryWallNs: 7e6,
+	}
+	if *rec != want {
+		t.Errorf("summary = %+v, want %+v", *rec, want)
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "recovery: 4/5 retransmits recovered") {
+		t.Errorf("report text missing recovery line:\n%s", txt)
 	}
 }

@@ -126,8 +126,25 @@ type StepReport struct {
 	// OverlapRatio is the fraction of halo-exchange wall time not spent
 	// blocked waiting for messages: 1 means communication fully hidden
 	// behind computation (the §7.6 goal), 0 means fully exposed.
-	OverlapRatio float64       `json:"overlap_ratio"`
-	Kernels      []KernelShare `json:"kernels"`
+	OverlapRatio float64          `json:"overlap_ratio"`
+	Kernels      []KernelShare    `json:"kernels"`
+	Recovery     *RecoverySummary `json:"recovery,omitempty"`
+}
+
+// RecoverySummary is the run's resilience activity, assembled from the
+// registry counters the recovery ladder maintains (core.recovery.* and
+// mpirt.retx.*). Nil when the run saw no recovery activity at all —
+// fault-free runs keep their reports unchanged.
+type RecoverySummary struct {
+	Retransmits    int64 `json:"retransmits"`      // mpirt.retx.attempts
+	Retransmitted  int64 `json:"retransmitted"`    // mpirt.retx.recovered
+	Checkpoints    int64 `json:"checkpoints"`      // core.recovery.checkpoints
+	Localized      int64 `json:"localized"`        // core.recovery.localized
+	Respawns       int64 `json:"respawns"`         // core.recovery.respawns
+	Shrinks        int64 `json:"shrinks"`          // core.recovery.shrinks
+	Rollbacks      int64 `json:"rollbacks"`        // core.recovery.rollbacks
+	ReplayedSteps  int64 `json:"replayed_steps"`   // core.recovery.replayed_steps
+	RecoveryWallNs int64 `json:"recovery_wall_ns"` // core.recovery.ns
 }
 
 // ReportInput carries what BuildStepReport needs beyond the kernel table.
@@ -168,6 +185,20 @@ func BuildStepReport(kt *KernelTable, reg *Registry, in ReportInput) StepReport 
 		if v := reg.CounterValue("halo.wait.ns"); v > 0 {
 			waitNs = v
 		}
+		rec := RecoverySummary{
+			Retransmits:    reg.CounterValue("mpirt.retx.attempts"),
+			Retransmitted:  reg.CounterValue("mpirt.retx.recovered"),
+			Checkpoints:    reg.CounterValue("core.recovery.checkpoints"),
+			Localized:      reg.CounterValue("core.recovery.localized"),
+			Respawns:       reg.CounterValue("core.recovery.respawns"),
+			Shrinks:        reg.CounterValue("core.recovery.shrinks"),
+			Rollbacks:      reg.CounterValue("core.recovery.rollbacks"),
+			ReplayedSteps:  reg.CounterValue("core.recovery.replayed_steps"),
+			RecoveryWallNs: reg.CounterValue("core.recovery.ns"),
+		}
+		if rec != (RecoverySummary{}) {
+			rep.Recovery = &rec
+		}
 	}
 	if haloNs > 0 {
 		r := 1 - float64(waitNs)/float64(haloNs)
@@ -202,6 +233,12 @@ func (r StepReport) Text() string {
 		r.Steps, r.SimSeconds, r.WallSeconds)
 	fmt.Fprintf(&b, "  SYPD %.3f   counted PFlops %.3e   comm overlap %.0f%%\n",
 		r.SYPD, r.PFlops, 100*r.OverlapRatio)
+	if rec := r.Recovery; rec != nil {
+		fmt.Fprintf(&b, "  recovery: %d/%d retransmits recovered, %d ckpt, %d localized, %d respawn, %d shrink, %d rollback, %d steps replayed, %.3f ms\n",
+			rec.Retransmitted, rec.Retransmits, rec.Checkpoints, rec.Localized,
+			rec.Respawns, rec.Shrinks, rec.Rollbacks, rec.ReplayedSteps,
+			float64(rec.RecoveryWallNs)/1e6)
+	}
 	if len(r.Kernels) > 0 {
 		fmt.Fprintf(&b, "  %-26s %-8s %6s %12s %7s %14s %14s\n",
 			"kernel", "backend", "calls", "ns", "share", "flops", "bytes")
