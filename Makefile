@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled trace figures outputs clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap trace figures outputs clean
 
 all: build vet test
 
@@ -40,6 +40,14 @@ bench:
 bench-tiled:
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 2 -dyn-workers 1 -dir bench
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 2 -dyn-workers 4 -dir bench
+
+# The original/overlap BENCH pair (§7.6): identical configuration, the
+# first run under the blocking exchange, the second under the
+# boundary-first redesign with the measured per-backend overlap_ratio
+# recorded (and required to be > 0).
+bench-overlap:
+	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -overlap=false -dir bench
+	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -require-overlap -dir bench
 
 # A Chrome trace of all four backends on a small configuration; load
 # swcam.trace.json in chrome://tracing or ui.perfetto.dev.

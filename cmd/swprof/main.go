@@ -49,6 +49,8 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection spec per backend run (kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED); the run executes under supervision and the bench file records the recovery activity")
 	recovery := flag.String("recovery", "ladder", "with -faults: recovery strategy: ladder|global")
 	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks for replacing permanently dead ranks")
+	overlap := flag.Bool("overlap", true, "use the redesigned boundary-first exchange (§7.6); false selects the original blocking exchange")
+	requireOverlap := flag.Bool("require-overlap", false, "fail unless every backend run measured a comm/compute overlap ratio > 0 (needs -overlap and ranks > 1)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -90,12 +92,22 @@ func main() {
 		*ne, *nlev, *qsize, *steps, *ranks, *dynWorkers, len(backends))
 	for _, b := range backends {
 		name := strings.ToLower(b.String())
-		sypd, wall, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers, *faults, *recovery, *spares, tracer, bench)
+		sypd, wall, ratio, measured, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers,
+			*overlap, *faults, *recovery, *spares, tracer, bench)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swprof: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  %-8s %8.3fs wall  SYPD %10.3f\n", name, wall, sypd)
+		ostr := "n/a"
+		if measured {
+			ostr = fmt.Sprintf("%.0f%%", 100*ratio)
+		}
+		fmt.Printf("  %-8s %8.3fs wall  SYPD %10.3f  overlap %s\n", name, wall, sypd, ostr)
+		if *requireOverlap && (!measured || ratio <= 0) {
+			fmt.Fprintf(os.Stderr, "swprof: %s: overlap ratio not > 0 (measured=%v ratio=%g); the redesigned exchange hid no communication\n",
+				name, measured, ratio)
+			os.Exit(1)
+		}
 	}
 	if rec := bench.Recovery; rec != nil {
 		fmt.Printf("  recovery (%s, all backends): %d/%d retransmits recovered, %d ckpt, %d localized, %d respawn, %d shrink, %d rollback, %.1f ms\n",
@@ -125,13 +137,15 @@ func main() {
 // combined tracer), one timed run, one bench entry. With a fault spec
 // the run executes under the recovery supervisor (fresh fault plan per
 // backend, so every backend faces the same schedule) and the recovery
-// activity accumulates into the bench file's recovery block.
+// activity accumulates into the bench file's recovery block. The
+// returned ratio is the measured comm/compute overlap (valid only when
+// measured is true — i.e. the redesigned exchange ran real inner work).
 func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
-	faultSpec, recoveryMode string, spares int,
-	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall float64, err error) {
-	job, err := core.NewParallelJob(cfg, b, true, ranks)
+	overlap bool, faultSpec, recoveryMode string, spares int,
+	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall, ratio float64, measured bool, err error) {
+	job, err := core.NewParallelJob(cfg, b, overlap, ranks)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, false, err
 	}
 	job.SetDynWorkers(dynWorkers)
 	probe := &obs.Probe{Tracer: tracer, Reg: obs.NewRegistry(), Kernels: obs.NewKernelTable()}
@@ -139,7 +153,7 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 
 	s, err := dycore.NewSolver(cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, false, err
 	}
 	g := s.NewState()
 	s.InitBaroclinicWave(g)
@@ -148,7 +162,7 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 	if faultSpec == "" {
 		start := time.Now()
 		if _, err := job.RunChecked(local, steps); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, false, err
 		}
 		wall = time.Since(start).Seconds()
 	} else {
@@ -156,7 +170,7 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 		// chaos:N@SEED events are spread over that estimated span.
 		plan, err := mpirt.ParseFaultPlan(faultSpec, ranks, int64(steps)*40)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, false, err
 		}
 		job.Faults = plan
 		job.RecvTimeout = 2 * time.Second
@@ -172,7 +186,7 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 		start := time.Now()
 		rs, err := rj.Run(local, steps)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, false, err
 		}
 		wall = time.Since(start).Seconds()
 		rec := bench.Recovery
@@ -190,6 +204,19 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 		rec.RecoveryWallNs += rs.RecoveryNs
 	}
 	sypd = obs.SYPD(float64(steps)*cfg.Dt, wall)
-	bench.AddBackend(strings.ToLower(b.String()), probe.Kernels, sypd, wall)
-	return sypd, wall, nil
+	name := strings.ToLower(b.String())
+	bench.AddBackend(name, probe.Kernels, sypd, wall)
+	// Overlap ratio from the run's registry counters: only recorded when
+	// the redesigned exchange actually ran inner work in its window.
+	windows := probe.Reg.CounterValue("halo.overlap.windows")
+	haloNs := probe.Reg.CounterValue("halo.ns")
+	if windows > 0 && haloNs > 0 {
+		measured = true
+		ratio = 1 - float64(probe.Reg.CounterValue("halo.wait.ns"))/float64(haloNs)
+		if ratio < 0 {
+			ratio = 0
+		}
+		bench.SetBackendOverlap(name, ratio)
+	}
+	return sypd, wall, ratio, measured, nil
 }

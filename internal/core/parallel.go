@@ -36,6 +36,12 @@ type ParallelJob struct {
 	Plans  []*halo.Plan
 	engs   []*exec.Engine
 
+	// Per-rank compiled element subsets for the §7.6 boundary-first
+	// split: bsub covers Plan.BoundaryElems, isub Plan.InnerElems.
+	// Rebuilt whenever the partition changes (Shrink).
+	bsub []*exec.ElemSubset
+	isub []*exec.ElemSubset
+
 	// Resilience knobs (zero values = the historical fault-free setup).
 	Faults      *mpirt.FaultPlan  // injected faults, threaded through every world
 	RecvTimeout time.Duration     // receive deadline; makes lost messages ErrTimeout
@@ -134,7 +140,20 @@ func NewParallelJob(cfg dycore.Config, backend exec.Backend, overlap bool, nrank
 		j.Plans[r] = halo.NewPlan(m, rankOf, r)
 		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)
 	}
+	j.compileSubsets()
 	return j, nil
+}
+
+// compileSubsets registers each rank's boundary/interior element lists
+// with its engine so the overlap path can launch kernels in two halves.
+// Must be re-run after any change to Plans or engs (partition rebuilds).
+func (j *ParallelJob) compileSubsets() {
+	j.bsub = make([]*exec.ElemSubset, j.NRanks)
+	j.isub = make([]*exec.ElemSubset, j.NRanks)
+	for r := 0; r < j.NRanks; r++ {
+		j.bsub[r] = j.engs[r].CompileSubset(j.Plans[r].BoundaryElems)
+		j.isub[r] = j.engs[r].CompileSubset(j.Plans[r].InnerElems)
+	}
 }
 
 // Scatter splits a global state (element-indexed like the mesh) into
@@ -185,23 +204,39 @@ type RunStats struct {
 	RetxRecovered int64
 }
 
-// dssFields exchanges a set of level-major fields on one rank. A
-// detected transport fault (corruption, loss, aborted world) unwinds the
-// rank via mpirt.Fail rather than threading an error through every
+// runDSS runs a DSS-preceding kernel and its exchange as one pipelined
+// unit on rank r. In Overlap mode the kernel is launched boundary-first
+// (§7.6): the Open half covers Plan.BoundaryElems, whose values the
+// exchange packs and posts asynchronously, and the Close half runs over
+// Plan.InnerElems *inside* the exchange's computeInner — real work
+// filling the window while messages are in flight. Without Overlap the
+// kernel runs whole and the original blocking exchange follows. Both
+// paths are bit-identical: the split launches compute exactly the
+// unsplit kernel (see exec/subset.go) and both exchange flavours walk
+// the same canonical chains.
+//
+// A detected transport fault (corruption, loss, aborted world) unwinds
+// the rank via mpirt.Fail rather than threading an error through every
 // frame of the timestep; World.Run converts it back into an error.
-func (j *ParallelJob) dssFields(c *mpirt.Comm, r int, st *halo.Stats, levels int, fields ...[][]float64) {
+func (j *ParallelJob) runDSS(c *mpirt.Comm, r int, rs *RunStats, levels int,
+	run func(exec.Subset) exec.Cost, fields ...[][]float64) {
 	lay := halo.LevelMajor(levels, j.Cfg.Np*j.Cfg.Np)
 	var s halo.Stats
 	var err error
 	if j.Overlap {
-		s, err = j.Plans[r].DSSOverlap(c, lay, nil, fields...)
+		rs.Cost.Add(run(exec.Subset{Sel: j.bsub[r], Phase: exec.Open}))
+		inner := func() {
+			rs.Cost.Add(run(exec.Subset{Sel: j.isub[r], Phase: exec.Close}))
+		}
+		s, err = j.Plans[r].DSSOverlap(c, lay, inner, fields...)
 	} else {
+		rs.Cost.Add(run(exec.Subset{}))
 		s, err = j.Plans[r].DSSOriginal(c, lay, fields...)
 	}
 	if err != nil {
 		mpirt.Fail(err)
 	}
-	st.Add(s)
+	rs.Halo.Add(s)
 }
 
 // Run advances the per-rank states n dynamics steps, mirroring the
@@ -307,11 +342,13 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	sc := j.stepScratchFor(r, st)
 	s1, s2 := sc.s1, sc.s2
 	s1.CopyFrom(st)
-	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, st, st, s1, cfg.Dt))
-	j.dssFields(c, r, &rs.Halo, nlev, s1.U, s1.V, s1.T, s1.DP)
+	j.runDSS(c, r, rs, nlev, func(sub exec.Subset) exec.Cost {
+		return en.ComputeAndApplyRHSOn(sub, j.Backend, st, st, s1, cfg.Dt)
+	}, s1.U, s1.V, s1.T, s1.DP)
 	s2.CopyFrom(s1)
-	rs.Cost.Add(en.ComputeAndApplyRHS(j.Backend, s1, s1, s2, cfg.Dt))
-	j.dssFields(c, r, &rs.Halo, nlev, s2.U, s2.V, s2.T, s2.DP)
+	j.runDSS(c, r, rs, nlev, func(sub exec.Subset) exec.Cost {
+		return en.ComputeAndApplyRHSOn(sub, j.Backend, s1, s1, s2, cfg.Dt)
+	}, s2.U, s2.V, s2.T, s2.DP)
 	for le := range st.U {
 		dycore.SSPRK2Combine(st.U[le], s2.U[le], st.U[le])
 		dycore.SSPRK2Combine(st.V[le], s2.V[le], st.V[le])
@@ -326,11 +363,13 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 		// Pooled Laplacian fields: HypervisDP1 overwrites every entry
 		// before the DSS reads them, so reuse is safe.
 		lapU, lapV, lapT, lapP := sc.lapU, sc.lapV, sc.lapT, sc.lapP
-		for sub := 0; sub < cfg.HypervisSubcycle; sub++ {
-			rs.Cost.Add(en.HypervisDP1(j.Backend, st, lapU, lapV, lapT, lapP))
-			j.dssFields(c, r, &rs.Halo, nlev, lapU, lapV, lapT, lapP)
-			rs.Cost.Add(en.HypervisDP2(j.Backend, lapU, lapV, lapT, lapP, st, dt, cfg.NuV, cfg.NuS))
-			j.dssFields(c, r, &rs.Halo, nlev, st.U, st.V, st.T, st.DP)
+		for cyc := 0; cyc < cfg.HypervisSubcycle; cyc++ {
+			j.runDSS(c, r, rs, nlev, func(sub exec.Subset) exec.Cost {
+				return en.HypervisDP1On(sub, j.Backend, st, lapU, lapV, lapT, lapP)
+			}, lapU, lapV, lapT, lapP)
+			j.runDSS(c, r, rs, nlev, func(sub exec.Subset) exec.Cost {
+				return en.HypervisDP2On(sub, j.Backend, lapU, lapV, lapT, lapP, st, dt, cfg.NuV, cfg.NuS)
+			}, st.U, st.V, st.T, st.DP)
 		}
 		mass1 := j.canonicalMass(c, r, st)
 		if mass1 > 0 {
@@ -349,20 +388,34 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 		for le := range st.Qdp {
 			copy(qn[le], st.Qdp[le])
 		}
+		// The positivity limiter is element-local and must run before the
+		// exchange packs an element's tracers, so under the split it is
+		// applied per launch, over exactly the launch's slots.
+		limitElem := func(le int) {
+			e := j.Mesh.Elements[j.Plans[r].Elems[le]]
+			for q := 0; q < cfg.Qsize; q++ {
+				qdp := st.QdpAt(le, q)
+				for k := 0; k < nlev; k++ {
+					dycore.LimiterClipAndSum(qdp[k*npsq:(k+1)*npsq], e.SphereMP)
+				}
+			}
+		}
 		advance := func() {
-			rs.Cost.Add(en.EulerStep(j.Backend, st, cfg.Dt))
-			if cfg.Limiter {
-				for le, ge := range j.Plans[r].Elems {
-					e := j.Mesh.Elements[ge]
-					for q := 0; q < cfg.Qsize; q++ {
-						qdp := st.QdpAt(le, q)
-						for k := 0; k < nlev; k++ {
-							dycore.LimiterClipAndSum(qdp[k*npsq:(k+1)*npsq], e.SphereMP)
+			j.runDSS(c, r, rs, cfg.Qsize*nlev, func(sub exec.Subset) exec.Cost {
+				cost := en.EulerStepOn(sub, j.Backend, st, cfg.Dt)
+				if cfg.Limiter {
+					if sub.Sel != nil {
+						for _, le := range sub.Sel.Slots() {
+							limitElem(le)
+						}
+					} else {
+						for le := range st.Qdp {
+							limitElem(le)
 						}
 					}
 				}
-			}
-			j.dssFields(c, r, &rs.Halo, cfg.Qsize*nlev, st.Qdp)
+				return cost
+			}, st.Qdp)
 		}
 		advance()
 		advance()
@@ -473,6 +526,7 @@ func (j *ParallelJob) Shrink(dead int) error {
 			j.engs[r].SetWorkers(j.DynWorkers)
 		}
 	}
+	j.compileSubsets()
 	if j.Faults != nil {
 		j.Faults = j.Faults.Shrink(dead)
 	}
@@ -503,5 +557,6 @@ func newJobWithPartition(cfg dycore.Config, backend exec.Backend, overlap bool, 
 		j.Plans[r] = halo.NewPlan(m, rankOf, r)
 		j.engs[r] = exec.NewEngine(m, j.Plans[r].Elems, cfg.Nlev, cfg.Qsize)
 	}
+	j.compileSubsets()
 	return j, nil
 }

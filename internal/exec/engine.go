@@ -40,6 +40,18 @@ type Engine struct {
 	curSerialFn func(w *dynWorker, lo, hi int, p *serialPartial)
 	curCGFn     func(cg *sw.CoreGroup, lo, hi int)
 
+	// Subset execution (see subset.go): the identity subset backing
+	// Whole runs of the split kernels, registered subsets re-tiled on
+	// SetWorkers, the current subset-run callbacks, and the deferred
+	// split accounting (Open parks, Close collects).
+	allSub               *ElemSubset
+	subs                 []*ElemSubset
+	curSerialOnFn        func(w *dynWorker, slots []int, p *serialPartial)
+	curCGOnFn            func(cg *sw.CoreGroup, slots []int)
+	curSel               *ElemSubset
+	splitPend            bool
+	pendFlops, pendBytes int64
+
 	// Observability hooks (nil = off; see instrument.go).
 	obsTr   *obs.Tracer
 	obsKT   *obs.KernelTable

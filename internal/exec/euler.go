@@ -5,16 +5,18 @@ import (
 	"swcam/internal/sw"
 )
 
-// eulerStep dispatches the euler_step kernel; the exported,
-// instrumented entry point is in instrument.go.
-func (en *Engine) eulerStep(b Backend, st *dycore.State, dt float64) Cost {
+// eulerStep dispatches the euler_step kernel over the selected element
+// subset; the exported, instrumented entry points are in instrument.go.
+func (en *Engine) eulerStep(sub Subset, b Backend, st *dycore.State, dt float64) Cost {
+	en.beginLaunch(sub)
+	sel := en.sel(sub)
 	switch b {
 	case Intel, MPE:
-		return en.eulerSerial(b, st, dt)
+		return en.eulerSerial(sub, b, sel, st, dt)
 	case OpenACC:
-		return en.eulerOpenACC(st, dt)
+		return en.eulerOpenACC(sub, sel, st, dt)
 	case Athread:
-		return en.eulerAthread(st, dt)
+		return en.eulerAthread(sub, sel, st, dt)
 	}
 	panic("exec: unknown backend")
 }
@@ -22,9 +24,9 @@ func (en *Engine) eulerStep(b Backend, st *dycore.State, dt float64) Cost {
 // eulerSerial is the reference path: the dycore element kernel on one
 // conventional core (Intel) or on the management core (MPE), tiled
 // across the worker pool.
-func (en *Engine) eulerSerial(b Backend, st *dycore.State, dt float64) Cost {
-	flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
-		for le := lo; le < hi; le++ {
+func (en *Engine) eulerSerial(sub Subset, b Backend, sel *ElemSubset, st *dycore.State, dt float64) Cost {
+	flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
+		for _, le := range slots {
 			e := en.element(le)
 			for q := 0; q < en.Qsize; q++ {
 				qdp := st.QdpAt(le, q)
@@ -35,7 +37,7 @@ func (en *Engine) eulerSerial(b Backend, st *dycore.State, dt float64) Cost {
 			p.bytes += eulerBytes(en.Np, en.Nlev, en.Qsize)
 		}
 	})
-	return serialCost(b, flops, bytes)
+	return en.serialSplit(b, sub.Phase, flops, bytes)
 }
 
 // eulerOpenACC is Algorithm 1: the collapse(2) parallelization over
@@ -45,52 +47,56 @@ func (en *Engine) eulerSerial(b Backend, st *dycore.State, dt float64) Cost {
 // bandwidth "the inevitable bottleneck" (§7.3). Each element tile covers
 // the item range [lo*qsize, hi*qsize) with the global item → CPE
 // assignment intact.
-func (en *Engine) eulerOpenACC(st *dycore.State, dt float64) Cost {
+func (en *Engine) eulerOpenACC(sub Subset, sel *ElemSubset, st *dycore.State, dt float64) Cost {
 	np, nlev, qsize := en.Np, en.Nlev, en.Qsize
 	npsq := np * np
-	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
-		wlo, whi := lo*qsize, hi*qsize
+	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 		cg.Spawn(func(c *sw.CPE) {
 			ldm := c.LDM
-			for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
-				ldm.Reset()
-				le, q := w/qsize, w%qsize
-				e := en.element(le)
+			// Per-element restart keeps the global (element, tracer) ->
+			// CPE assignment and per-CPE item order of the contiguous
+			// collapse(2) loop.
+			for _, le := range slots {
+				for w := firstWorkItem(le*qsize, c.ID); w < (le+1)*qsize; w += sw.CPEsPerCG {
+					ldm.Reset()
+					q := w % qsize
+					e := en.element(le)
 
-				// Per-iteration copyin of everything, Algorithm 1 style.
-				deriv := ldm.MustAlloc("deriv", npsq)
-				dinv := ldm.MustAlloc("dinv", 4*npsq)
-				metdet := ldm.MustAlloc("metdet", npsq)
-				uT := ldm.MustAlloc("u", nlev*npsq)
-				vT := ldm.MustAlloc("v", nlev*npsq)
-				qT := ldm.MustAlloc("qdp", nlev*npsq)
-				c.DMA.GetShared(deriv, en.M.DerivFlat)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(metdet, e.Metdet)
-				c.DMA.Get(uT, st.U[le])
-				c.DMA.Get(vT, st.V[le])
-				qdp := st.QdpAt(le, q)
-				c.DMA.Get(qT, qdp)
+					// Per-iteration copyin of everything, Algorithm 1 style.
+					deriv := ldm.MustAlloc("deriv", npsq)
+					dinv := ldm.MustAlloc("dinv", 4*npsq)
+					metdet := ldm.MustAlloc("metdet", npsq)
+					uT := ldm.MustAlloc("u", nlev*npsq)
+					vT := ldm.MustAlloc("v", nlev*npsq)
+					qT := ldm.MustAlloc("qdp", nlev*npsq)
+					c.DMA.GetShared(deriv, en.M.DerivFlat)
+					c.DMA.Get(dinv, e.DinvFlat)
+					c.DMA.Get(metdet, e.Metdet)
+					c.DMA.Get(uT, st.U[le])
+					c.DMA.Get(vT, st.V[le])
+					qdp := st.QdpAt(le, q)
+					c.DMA.Get(qT, qdp)
 
-				flxU := ldm.MustAlloc("flxU", npsq)
-				flxV := ldm.MustAlloc("flxV", npsq)
-				div := ldm.MustAlloc("div", npsq)
-				gv1 := ldm.MustAlloc("gv1", npsq)
-				gv2 := ldm.MustAlloc("gv2", npsq)
-				for k := 0; k < nlev; k++ {
-					o := k * npsq
-					for n := 0; n < npsq; n++ {
-						flxU[n] = uT[o+n] * qT[o+n]
-						flxV[n] = vT[o+n] * qT[o+n]
+					flxU := ldm.MustAlloc("flxU", npsq)
+					flxV := ldm.MustAlloc("flxV", npsq)
+					div := ldm.MustAlloc("div", npsq)
+					gv1 := ldm.MustAlloc("gv1", npsq)
+					gv2 := ldm.MustAlloc("gv2", npsq)
+					for k := 0; k < nlev; k++ {
+						o := k * npsq
+						for n := 0; n < npsq; n++ {
+							flxU[n] = uT[o+n] * qT[o+n]
+							flxV[n] = vT[o+n] * qT[o+n]
+						}
+						dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np,
+							flxU, flxV, div, gv1, gv2)
+						for n := 0; n < npsq; n++ {
+							qT[o+n] -= dt * div[n]
+						}
 					}
-					dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np,
-						flxU, flxV, div, gv1, gv2)
-					for n := 0; n < npsq; n++ {
-						qT[o+n] -= dt * div[n]
-					}
+					c.CountFlops(eulerStageFlops(np, nlev)) // scalar: no manual vectorization
+					c.DMA.Put(qdp, qT)
 				}
-				c.CountFlops(eulerStageFlops(np, nlev)) // scalar: no manual vectorization
-				c.DMA.Put(qdp, qT)
 			}
 		})
 	})
@@ -98,7 +104,7 @@ func (en *Engine) eulerOpenACC(st *dycore.State, dt float64) Cost {
 	// runtime launches per directive region; the q loop is collapsed
 	// into the same region, and the host-side tiles all simulate
 	// portions of that one region).
-	return en.collect(OpenACC, 1)
+	return en.collectSplit(OpenACC, sub.Phase)
 }
 
 // eulerAthread is Algorithm 2: elements advance in blocks of 8 across
@@ -108,11 +114,11 @@ func (en *Engine) eulerOpenACC(st *dycore.State, dt float64) Cost {
 // arithmetic runs through the vector unit. Tiles are MeshDim-aligned,
 // so each tile's block loop visits exactly the untiled (base, column)
 // pairs within its range.
-func (en *Engine) eulerAthread(st *dycore.State, dt float64) Cost {
+func (en *Engine) eulerAthread(sub Subset, sel *ElemSubset, st *dycore.State, dt float64) Cost {
 	np := en.Np
 	npsq := np * np
 	maxVl := en.maxRowLevels()
-	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 		cg.Spawn(func(c *sw.CPE) {
 			ldm := c.LDM
 			s, vl := en.rowLevels(c.Row)
@@ -133,8 +139,12 @@ func (en *Engine) eulerAthread(st *dycore.State, dt float64) Cost {
 			gv1 := ldm.MustAlloc("gv1", npsq)
 			gv2 := ldm.MustAlloc("gv2", npsq)
 
-			for base := lo; base+c.Col < hi; base += sw.MeshDim {
-				le := base + c.Col
+			// Column membership is per element (le % MeshDim), so any
+			// slot list executes on the same CPEs as a contiguous run.
+			for _, le := range slots {
+				if le%sw.MeshDim != c.Col {
+					continue
+				}
 				e := en.element(le)
 				if vl == 0 {
 					continue // more mesh rows than levels: this row idles
@@ -172,5 +182,5 @@ func (en *Engine) eulerAthread(st *dycore.State, dt float64) Cost {
 			}
 		})
 	})
-	return en.collect(Athread, 1)
+	return en.collectSplit(Athread, sub.Phase)
 }

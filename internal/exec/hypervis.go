@@ -5,13 +5,16 @@ import (
 	"swcam/internal/sw"
 )
 
-// hypervisDP1 dispatches the first Laplacian pass; the exported,
-// instrumented entry point is in instrument.go.
-func (en *Engine) hypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
+// hypervisDP1 dispatches the first Laplacian pass over the selected
+// element subset; the exported, instrumented entry points are in
+// instrument.go.
+func (en *Engine) hypervisDP1(sub Subset, b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
+	en.beginLaunch(sub)
+	sel := en.sel(sub)
 	switch b {
 	case Intel, MPE:
-		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
-			for le := lo; le < hi; le++ {
+		flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
+			for _, le := range slots {
 				dycore.HypervisDP1Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
 					st.U[le], st.V[le], st.T[le], st.DP[le],
 					lapU[le], lapV[le], lapT[le], lapDP[le])
@@ -19,23 +22,25 @@ func (en *Engine) hypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lap
 				p.bytes += hypervisBytes(en.Np, en.Nlev)
 			}
 		})
-		return serialCost(b, flops, bytes)
+		return en.serialSplit(b, sub.Phase, flops, bytes)
 	case OpenACC:
-		return en.hvLevelParallel(OpenACC, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
+		return en.hvLevelParallel(sub, sel, OpenACC, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
 	case Athread:
-		return en.hvLevelParallel(Athread, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
+		return en.hvLevelParallel(sub, sel, Athread, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
 	}
 	panic("exec: unknown backend")
 }
 
-// hypervisDP2 dispatches the second pass; the exported, instrumented
-// entry point is in instrument.go.
-func (en *Engine) hypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
+// hypervisDP2 dispatches the second pass over the selected element
+// subset; the exported, instrumented entry points are in instrument.go.
+func (en *Engine) hypervisDP2(sub Subset, b Backend, lapU, lapV, lapT, lapDP [][]float64,
 	st *dycore.State, dt, nuV, nuS float64) Cost {
+	en.beginLaunch(sub)
+	sel := en.sel(sub)
 	switch b {
 	case Intel, MPE:
-		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
-			for le := lo; le < hi; le++ {
+		flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
+			for _, le := range slots {
 				dycore.HypervisDP2Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
 					lapU[le], lapV[le], lapT[le], lapDP[le],
 					st.U[le], st.V[le], st.T[le], st.DP[le],
@@ -44,11 +49,11 @@ func (en *Engine) hypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
 				p.bytes += hypervisBytes(en.Np, en.Nlev)
 			}
 		})
-		return serialCost(b, flops, bytes)
+		return en.serialSplit(b, sub.Phase, flops, bytes)
 	case OpenACC:
-		return en.hvLevelParallel(OpenACC, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
+		return en.hvLevelParallel(sub, sel, OpenACC, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
 	case Athread:
-		return en.hvLevelParallel(Athread, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
+		return en.hvLevelParallel(sub, sel, Athread, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
 	}
 	panic("exec: unknown backend")
 }
@@ -65,7 +70,7 @@ func (en *Engine) hypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
 //
 // With update=false, dst = laplace(src) (pass 1). With update=true,
 // dst -= dt*nu*laplace(src) where src holds the DSS'd first pass (pass 2).
-func (en *Engine) hvLevelParallel(b Backend,
+func (en *Engine) hvLevelParallel(sub Subset, sel *ElemSubset, b Backend,
 	srcU, srcV, srcT, srcDP [][]float64,
 	dstU, dstV, dstT, dstDP [][]float64,
 	dt, nuV, nuS float64, update bool) Cost {
@@ -74,85 +79,86 @@ func (en *Engine) hvLevelParallel(b Backend,
 	npsq := np * np
 
 	if b == OpenACC {
-		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
-			wlo, whi := lo*nlev, hi*nlev
+		en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 			cg.Spawn(func(c *sw.CPE) {
 				ldm := c.LDM
-				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
-					ldm.Reset()
-					le, k := w/nlev, w%nlev
-					e := en.element(le)
-					o := k * npsq
-					deriv := ldm.MustAlloc("deriv", npsq)
-					dinv := ldm.MustAlloc("dinv", 4*npsq)
-					dflat := ldm.MustAlloc("dflat", 4*npsq)
-					metdet := ldm.MustAlloc("metdet", npsq)
-					c.DMA.GetShared(deriv, en.M.DerivFlat)
-					c.DMA.Get(dinv, e.DinvFlat)
-					c.DMA.Get(dflat, e.DFlat)
-					c.DMA.Get(metdet, e.Metdet)
+				for _, le := range slots {
+					for w := firstWorkItem(le*nlev, c.ID); w < (le+1)*nlev; w += sw.CPEsPerCG {
+						ldm.Reset()
+						k := w % nlev
+						e := en.element(le)
+						o := k * npsq
+						deriv := ldm.MustAlloc("deriv", npsq)
+						dinv := ldm.MustAlloc("dinv", 4*npsq)
+						dflat := ldm.MustAlloc("dflat", 4*npsq)
+						metdet := ldm.MustAlloc("metdet", npsq)
+						c.DMA.GetShared(deriv, en.M.DerivFlat)
+						c.DMA.Get(dinv, e.DinvFlat)
+						c.DMA.Get(dflat, e.DFlat)
+						c.DMA.Get(metdet, e.Metdet)
 
-					u := ldm.MustAlloc("u", npsq)
-					v := ldm.MustAlloc("v", npsq)
-					tt := ldm.MustAlloc("t", npsq)
-					dp := ldm.MustAlloc("dp", npsq)
-					c.DMA.Get(u, srcU[le][o:o+npsq])
-					c.DMA.Get(v, srcV[le][o:o+npsq])
-					c.DMA.Get(tt, srcT[le][o:o+npsq])
-					c.DMA.Get(dp, srcDP[le][o:o+npsq])
+						u := ldm.MustAlloc("u", npsq)
+						v := ldm.MustAlloc("v", npsq)
+						tt := ldm.MustAlloc("t", npsq)
+						dp := ldm.MustAlloc("dp", npsq)
+						c.DMA.Get(u, srcU[le][o:o+npsq])
+						c.DMA.Get(v, srcV[le][o:o+npsq])
+						c.DMA.Get(tt, srcT[le][o:o+npsq])
+						c.DMA.Get(dp, srcDP[le][o:o+npsq])
 
-					lu := ldm.MustAlloc("lu", npsq)
-					lv := ldm.MustAlloc("lv", npsq)
-					lt := ldm.MustAlloc("lt", npsq)
-					ldp := ldm.MustAlloc("ldp", npsq)
-					s1 := ldm.MustAlloc("s1", npsq)
-					s2 := ldm.MustAlloc("s2", npsq)
-					s3 := ldm.MustAlloc("s3", npsq)
-					s4 := ldm.MustAlloc("s4", npsq)
-					s5 := ldm.MustAlloc("s5", npsq)
-					s6 := ldm.MustAlloc("s6", npsq)
+						lu := ldm.MustAlloc("lu", npsq)
+						lv := ldm.MustAlloc("lv", npsq)
+						lt := ldm.MustAlloc("lt", npsq)
+						ldp := ldm.MustAlloc("ldp", npsq)
+						s1 := ldm.MustAlloc("s1", npsq)
+						s2 := ldm.MustAlloc("s2", npsq)
+						s3 := ldm.MustAlloc("s3", npsq)
+						s4 := ldm.MustAlloc("s4", npsq)
+						s5 := ldm.MustAlloc("s5", npsq)
+						s6 := ldm.MustAlloc("s6", npsq)
 
-					dycore.VecLaplaceSlab(deriv, dflat, dinv, metdet, e.DAlpha, np,
-						u, v, lu, lv, s1, s2, s3, s4, s5, s6)
-					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, tt, lt, s1, s2, s3, s4)
-					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, dp, ldp, s1, s2, s3, s4)
-					c.CountFlops(vecLapFlops(np) + 2*lapFlops(np))
+						dycore.VecLaplaceSlab(deriv, dflat, dinv, metdet, e.DAlpha, np,
+							u, v, lu, lv, s1, s2, s3, s4, s5, s6)
+						dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, tt, lt, s1, s2, s3, s4)
+						dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, dp, ldp, s1, s2, s3, s4)
+						c.CountFlops(vecLapFlops(np) + 2*lapFlops(np))
 
-					if update {
-						du := ldm.MustAlloc("du", npsq)
-						dv := ldm.MustAlloc("dv", npsq)
-						dtt := ldm.MustAlloc("dt", npsq)
-						ddp := ldm.MustAlloc("ddp", npsq)
-						c.DMA.Get(du, dstU[le][o:o+npsq])
-						c.DMA.Get(dv, dstV[le][o:o+npsq])
-						c.DMA.Get(dtt, dstT[le][o:o+npsq])
-						c.DMA.Get(ddp, dstDP[le][o:o+npsq])
-						for n := 0; n < npsq; n++ {
-							du[n] -= dt * nuV * lu[n]
-							dv[n] -= dt * nuV * lv[n]
-							dtt[n] -= dt * nuS * lt[n]
-							ddp[n] -= dt * nuS * ldp[n]
+						if update {
+							du := ldm.MustAlloc("du", npsq)
+							dv := ldm.MustAlloc("dv", npsq)
+							dtt := ldm.MustAlloc("dt", npsq)
+							ddp := ldm.MustAlloc("ddp", npsq)
+							c.DMA.Get(du, dstU[le][o:o+npsq])
+							c.DMA.Get(dv, dstV[le][o:o+npsq])
+							c.DMA.Get(dtt, dstT[le][o:o+npsq])
+							c.DMA.Get(ddp, dstDP[le][o:o+npsq])
+							for n := 0; n < npsq; n++ {
+								du[n] -= dt * nuV * lu[n]
+								dv[n] -= dt * nuV * lv[n]
+								dtt[n] -= dt * nuS * lt[n]
+								ddp[n] -= dt * nuS * ldp[n]
+							}
+							c.CountFlops(int64(12 * npsq))
+							c.DMA.Put(dstU[le][o:o+npsq], du)
+							c.DMA.Put(dstV[le][o:o+npsq], dv)
+							c.DMA.Put(dstT[le][o:o+npsq], dtt)
+							c.DMA.Put(dstDP[le][o:o+npsq], ddp)
+						} else {
+							c.DMA.Put(dstU[le][o:o+npsq], lu)
+							c.DMA.Put(dstV[le][o:o+npsq], lv)
+							c.DMA.Put(dstT[le][o:o+npsq], lt)
+							c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 						}
-						c.CountFlops(int64(12 * npsq))
-						c.DMA.Put(dstU[le][o:o+npsq], du)
-						c.DMA.Put(dstV[le][o:o+npsq], dv)
-						c.DMA.Put(dstT[le][o:o+npsq], dtt)
-						c.DMA.Put(dstDP[le][o:o+npsq], ddp)
-					} else {
-						c.DMA.Put(dstU[le][o:o+npsq], lu)
-						c.DMA.Put(dstV[le][o:o+npsq], lv)
-						c.DMA.Put(dstT[le][o:o+npsq], lt)
-						c.DMA.Put(dstDP[le][o:o+npsq], ldp)
 					}
 				}
 			})
 		})
-		return en.collect(OpenACC, 1)
+		return en.collectSplit(OpenACC, sub.Phase)
 	}
 
 	// Athread: element per mesh column, levels split across rows,
 	// metric resident, vectorized slabs.
-	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 		cg.Spawn(func(c *sw.CPE) {
 			ldm := c.LDM
 			s, vl := en.rowLevels(c.Row)
@@ -177,8 +183,10 @@ func (en *Engine) hvLevelParallel(b Backend,
 			s6 := ldm.MustAlloc("s6", npsq)
 			dd := ldm.MustAlloc("dd", 4*npsq)
 
-			for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
-				le := blk + c.Col
+			for _, le := range slots {
+				if le%sw.MeshDim != c.Col {
+					continue
+				}
 				e := en.element(le)
 				c.DMA.Get(dinv, e.DinvFlat)
 				c.DMA.Get(dflat, e.DFlat)
@@ -223,12 +231,13 @@ func (en *Engine) hvLevelParallel(b Backend,
 			}
 		})
 	})
-	return en.collect(Athread, 1)
+	return en.collectSplit(Athread, sub.Phase)
 }
 
 // biharmonicDP3D dispatches the weak biharmonic of dp3d; the exported,
 // instrumented entry point is in instrument.go.
 func (en *Engine) biharmonicDP3D(b Backend, in, out [][]float64) Cost {
+	en.beginLaunch(Subset{})
 	np, nlev := en.Np, en.Nlev
 	npsq := np * np
 	switch b {

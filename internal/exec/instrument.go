@@ -37,7 +37,9 @@ func (en *Engine) bindObsRegistry() {
 	}
 	en.obsReg.Gauge("exec.dyn.workers").Set(float64(en.workers))
 	en.obsReg.Gauge("exec.dyn.tiles").Set(float64(len(en.tilesC)))
-	en.busyNs = make([]*obs.Counter, len(en.tilesC))
+	// One busy counter per worker: subset launches (subset.go) can run
+	// more tiles than the aligned Whole decomposition, up to pool size.
+	en.busyNs = make([]*obs.Counter, en.workers)
 	for i := range en.busyNs {
 		en.busyNs[i] = en.obsReg.Counter(fmt.Sprintf("exec.dyn.worker_busy_ns.%d", i))
 	}
@@ -70,8 +72,17 @@ func (en *Engine) kernelProbe(name string, b Backend) func(Cost) {
 // 1) under the chosen backend: out = base + dt * RHS(cur) for every
 // local element. The caller applies the DSS afterwards.
 func (en *Engine) ComputeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt float64) Cost {
-	done := en.kernelProbe("compute_and_apply_rhs", b)
-	c := en.computeAndApplyRHS(b, cur, base, out, dt)
+	return en.ComputeAndApplyRHSOn(Subset{}, b, cur, base, out, dt)
+}
+
+// ComputeAndApplyRHSOn is ComputeAndApplyRHS restricted to an element
+// subset, with split-phase cost accounting (subset.go). Split launches
+// record as "<kernel>.boundary" / "<kernel>.inner" KernelTable rows;
+// the Open row carries wall time only, the Close row the whole
+// kernel's deferred cost.
+func (en *Engine) ComputeAndApplyRHSOn(sub Subset, b Backend, cur, base, out *dycore.State, dt float64) Cost {
+	done := en.kernelProbe("compute_and_apply_rhs"+sub.suffix(), b)
+	c := en.computeAndApplyRHS(sub, b, cur, base, out, dt)
 	done(c)
 	return c
 }
@@ -81,8 +92,14 @@ func (en *Engine) ComputeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt
 // advanced in place, exactly like the dycore serial path. The caller
 // handles DSS/limiting between stages.
 func (en *Engine) EulerStep(b Backend, st *dycore.State, dt float64) Cost {
-	done := en.kernelProbe("euler_step", b)
-	c := en.eulerStep(b, st, dt)
+	return en.EulerStepOn(Subset{}, b, st, dt)
+}
+
+// EulerStepOn is EulerStep restricted to an element subset, with
+// split-phase cost accounting (subset.go).
+func (en *Engine) EulerStepOn(sub Subset, b Backend, st *dycore.State, dt float64) Cost {
+	done := en.kernelProbe("euler_step"+sub.suffix(), b)
+	c := en.eulerStep(sub, b, st, dt)
 	done(c)
 	return c
 }
@@ -101,8 +118,14 @@ func (en *Engine) VerticalRemap(b Backend, h *dycore.HybridCoord, st *dycore.Sta
 // chosen backend: lap* = laplace(state fields), element-local. The
 // caller DSSes the outputs before the second pass.
 func (en *Engine) HypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
-	done := en.kernelProbe("hypervis_dp1", b)
-	c := en.hypervisDP1(b, st, lapU, lapV, lapT, lapDP)
+	return en.HypervisDP1On(Subset{}, b, st, lapU, lapV, lapT, lapDP)
+}
+
+// HypervisDP1On is HypervisDP1 restricted to an element subset, with
+// split-phase cost accounting (subset.go).
+func (en *Engine) HypervisDP1On(sub Subset, b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
+	done := en.kernelProbe("hypervis_dp1"+sub.suffix(), b)
+	c := en.hypervisDP1(sub, b, st, lapU, lapV, lapT, lapDP)
 	done(c)
 	return c
 }
@@ -111,8 +134,15 @@ func (en *Engine) HypervisDP1(b Backend, st *dycore.State, lapU, lapV, lapT, lap
 // 5): field -= dt*nu*laplace(DSS'd first pass).
 func (en *Engine) HypervisDP2(b Backend, lapU, lapV, lapT, lapDP [][]float64,
 	st *dycore.State, dt, nuV, nuS float64) Cost {
-	done := en.kernelProbe("hypervis_dp2", b)
-	c := en.hypervisDP2(b, lapU, lapV, lapT, lapDP, st, dt, nuV, nuS)
+	return en.HypervisDP2On(Subset{}, b, lapU, lapV, lapT, lapDP, st, dt, nuV, nuS)
+}
+
+// HypervisDP2On is HypervisDP2 restricted to an element subset, with
+// split-phase cost accounting (subset.go).
+func (en *Engine) HypervisDP2On(sub Subset, b Backend, lapU, lapV, lapT, lapDP [][]float64,
+	st *dycore.State, dt, nuV, nuS float64) Cost {
+	done := en.kernelProbe("hypervis_dp2"+sub.suffix(), b)
+	c := en.hypervisDP2(sub, b, lapU, lapV, lapT, lapDP, st, dt, nuV, nuS)
 	done(c)
 	return c
 }

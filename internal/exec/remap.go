@@ -19,6 +19,7 @@ import (
 // the single node it needs — the directive-level access pattern that
 // cannot express a stride.
 func (en *Engine) verticalRemap(b Backend, h *dycore.HybridCoord, st *dycore.State) Cost {
+	en.beginLaunch(Subset{})
 	np, nlev, qsize := en.Np, en.Nlev, en.Qsize
 	npsq := np * np
 	switch b {

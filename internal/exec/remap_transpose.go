@@ -26,6 +26,7 @@ import (
 // grows, which is precisely the trade the paper built the transposition
 // machinery to win. BenchmarkRemapTransposeAblation compares the two.
 func (en *Engine) verticalRemapTransposed(h *dycore.HybridCoord, st *dycore.State) Cost {
+	en.beginLaunch(Subset{})
 	np, nlev, qsize := en.Np, en.Nlev, en.Qsize
 	npsq := np * np
 	vl := en.vlPerCPE()

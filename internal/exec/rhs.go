@@ -7,23 +7,26 @@ import (
 	"swcam/internal/sw"
 )
 
-// computeAndApplyRHS dispatches the compute_and_apply_rhs kernel; the
-// exported, instrumented entry point is in instrument.go.
-func (en *Engine) computeAndApplyRHS(b Backend, cur, base, out *dycore.State, dt float64) Cost {
+// computeAndApplyRHS dispatches the compute_and_apply_rhs kernel over
+// the selected element subset; the exported, instrumented entry points
+// are in instrument.go.
+func (en *Engine) computeAndApplyRHS(sub Subset, b Backend, cur, base, out *dycore.State, dt float64) Cost {
+	en.beginLaunch(sub)
+	sel := en.sel(sub)
 	switch b {
 	case Intel, MPE:
-		return en.rhsSerial(b, cur, base, out, dt)
+		return en.rhsSerial(sub, b, sel, cur, base, out, dt)
 	case OpenACC:
-		return en.rhsOpenACC(cur, base, out, dt)
+		return en.rhsOpenACC(sub, sel, cur, base, out, dt)
 	case Athread:
-		return en.rhsAthread(cur, base, out, dt)
+		return en.rhsAthread(sub, sel, cur, base, out, dt)
 	}
 	panic("exec: unknown backend")
 }
 
-func (en *Engine) rhsSerial(b Backend, cur, base, out *dycore.State, dt float64) Cost {
-	flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
-		for le := lo; le < hi; le++ {
+func (en *Engine) rhsSerial(sub Subset, b Backend, sel *ElemSubset, cur, base, out *dycore.State, dt float64) Cost {
+	flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
+		for _, le := range slots {
 			e := en.element(le)
 			dycore.ComputeAndApplyRHSElem(e, en.M.DerivFlat, w.ws, w.rhs,
 				cur.U[le], cur.V[le], cur.T[le], cur.DP[le], cur.Phis[le],
@@ -33,7 +36,7 @@ func (en *Engine) rhsSerial(b Backend, cur, base, out *dycore.State, dt float64)
 			p.bytes += rhsBytes(en.Np, en.Nlev)
 		}
 	})
-	return serialCost(b, flops, bytes)
+	return en.serialSplit(b, sub.Phase, flops, bytes)
 }
 
 // rhsOpenACC distributes (element, level) iterations across the CPEs,
@@ -46,176 +49,181 @@ func (en *Engine) rhsSerial(b Backend, cur, base, out *dycore.State, dt float64)
 // than a single Intel core in Table 1. Arithmetic follows the serial
 // kernel exactly (same order), so results are identical to the Intel
 // backend.
-func (en *Engine) rhsOpenACC(cur, base, out *dycore.State, dt float64) Cost {
+func (en *Engine) rhsOpenACC(sub Subset, sel *ElemSubset, cur, base, out *dycore.State, dt float64) Cost {
 	np, nlev := en.Np, en.Nlev
 	npsq := np * np
-	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
-		wlo, whi := lo*nlev, hi*nlev
+	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 		cg.Spawn(func(c *sw.CPE) {
 			ldm := c.LDM
-			for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
-				ldm.Reset()
-				le, k := w/nlev, w%nlev
-				e := en.element(le)
+			// Per-element restart of the round-robin item loop: the
+			// global (element, level) -> CPE assignment — and each
+			// CPE's item order — is identical to one loop over a
+			// contiguous range covering the same elements.
+			for _, le := range slots {
+				for w := firstWorkItem(le*nlev, c.ID); w < (le+1)*nlev; w += sw.CPEsPerCG {
+					ldm.Reset()
+					k := w % nlev
+					e := en.element(le)
 
-				deriv := ldm.MustAlloc("deriv", npsq)
-				dinv := ldm.MustAlloc("dinv", 4*npsq)
-				dflat := ldm.MustAlloc("dflat", 4*npsq)
-				metdet := ldm.MustAlloc("metdet", npsq)
-				lat := ldm.MustAlloc("lat", npsq)
-				phis := ldm.MustAlloc("phis", npsq)
-				c.DMA.GetShared(deriv, en.M.DerivFlat)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(dflat, e.DFlat)
-				c.DMA.Get(metdet, e.Metdet)
-				c.DMA.Get(lat, e.Lat)
-				c.DMA.Get(phis, cur.Phis[le])
+					deriv := ldm.MustAlloc("deriv", npsq)
+					dinv := ldm.MustAlloc("dinv", 4*npsq)
+					dflat := ldm.MustAlloc("dflat", 4*npsq)
+					metdet := ldm.MustAlloc("metdet", npsq)
+					lat := ldm.MustAlloc("lat", npsq)
+					phis := ldm.MustAlloc("phis", npsq)
+					c.DMA.GetShared(deriv, en.M.DerivFlat)
+					c.DMA.Get(dinv, e.DinvFlat)
+					c.DMA.Get(dflat, e.DFlat)
+					c.DMA.Get(metdet, e.Metdet)
+					c.DMA.Get(lat, e.Lat)
+					c.DMA.Get(phis, cur.Phis[le])
 
-				// Streaming buffers: one level slab at a time.
-				dpL := ldm.MustAlloc("dpL", npsq)
-				tL := ldm.MustAlloc("tL", npsq)
-				uL := ldm.MustAlloc("uL", npsq)
-				vL := ldm.MustAlloc("vL", npsq)
-				flxU := ldm.MustAlloc("flxU", npsq)
-				flxV := ldm.MustAlloc("flxV", npsq)
-				div := ldm.MustAlloc("div", npsq)
-				s1 := ldm.MustAlloc("s1", npsq)
-				s2 := ldm.MustAlloc("s2", npsq)
+					// Streaming buffers: one level slab at a time.
+					dpL := ldm.MustAlloc("dpL", npsq)
+					tL := ldm.MustAlloc("tL", npsq)
+					uL := ldm.MustAlloc("uL", npsq)
+					vL := ldm.MustAlloc("vL", npsq)
+					flxU := ldm.MustAlloc("flxU", npsq)
+					flxV := ldm.MustAlloc("flxV", npsq)
+					div := ldm.MustAlloc("div", npsq)
+					s1 := ldm.MustAlloc("s1", npsq)
+					s2 := ldm.MustAlloc("s2", npsq)
 
-				pRun := ldm.MustAlloc("pRun", npsq)   // running interface pressure
-				cumDiv := ldm.MustAlloc("cum", npsq)  // running divergence sum
-				pMidK := ldm.MustAlloc("pMidK", npsq) // pressure at my level
-				divK := ldm.MustAlloc("divK", npsq)
-				uK := ldm.MustAlloc("uK", npsq)
-				vK := ldm.MustAlloc("vK", npsq)
-				tK := ldm.MustAlloc("tK", npsq)
-				dpK := ldm.MustAlloc("dpK", npsq)
-				// Buffered hydrostatic increments for the descending sum:
-				// one value per node per level at or below k.
-				dphi := ldm.MustAlloc("dphi", nlev*npsq)
+					pRun := ldm.MustAlloc("pRun", npsq)   // running interface pressure
+					cumDiv := ldm.MustAlloc("cum", npsq)  // running divergence sum
+					pMidK := ldm.MustAlloc("pMidK", npsq) // pressure at my level
+					divK := ldm.MustAlloc("divK", npsq)
+					uK := ldm.MustAlloc("uK", npsq)
+					vK := ldm.MustAlloc("vK", npsq)
+					tK := ldm.MustAlloc("tK", npsq)
+					dpK := ldm.MustAlloc("dpK", npsq)
+					// Buffered hydrostatic increments for the descending sum:
+					// one value per node per level at or below k.
+					dphi := ldm.MustAlloc("dphi", nlev*npsq)
 
-				for n := 0; n < npsq; n++ {
-					pRun[n] = dycore.PTop
-					cumDiv[n] = 0
-				}
-				// Pass 1 (top -> my level): pressure scan, mass-flux
-				// divergence, running omega sum. Every level's data is
-				// re-fetched by every CPE working on this element.
-				for l := 0; l <= k; l++ {
-					o := l * npsq
-					c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
-					c.DMA.Get(uL, cur.U[le][o:o+npsq])
-					c.DMA.Get(vL, cur.V[le][o:o+npsq])
 					for n := 0; n < npsq; n++ {
-						flxU[n] = uL[n] * dpL[n]
-						flxV[n] = vL[n] * dpL[n]
+						pRun[n] = dycore.PTop
+						cumDiv[n] = 0
 					}
-					dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np, flxU, flxV, div, s1, s2)
-					c.CountFlops(int64(2*npsq) + divFlops(np))
-					if l < k {
+					// Pass 1 (top -> my level): pressure scan, mass-flux
+					// divergence, running omega sum. Every level's data is
+					// re-fetched by every CPE working on this element.
+					for l := 0; l <= k; l++ {
+						o := l * npsq
+						c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
+						c.DMA.Get(uL, cur.U[le][o:o+npsq])
+						c.DMA.Get(vL, cur.V[le][o:o+npsq])
 						for n := 0; n < npsq; n++ {
-							cumDiv[n] += div[n]
+							flxU[n] = uL[n] * dpL[n]
+							flxV[n] = vL[n] * dpL[n]
+						}
+						dycore.DivergenceSlab(deriv, dinv, metdet, e.DAlpha, np, flxU, flxV, div, s1, s2)
+						c.CountFlops(int64(2*npsq) + divFlops(np))
+						if l < k {
+							for n := 0; n < npsq; n++ {
+								cumDiv[n] += div[n]
+								pRun[n] += dpL[n]
+							}
+							c.CountFlops(int64(2 * npsq))
+						} else {
+							for n := 0; n < npsq; n++ {
+								pMidK[n] = pRun[n] + dpL[n]/2
+								cumDiv[n] = cumDiv[n] + div[n]/2
+								divK[n] = div[n]
+								uK[n], vK[n], tK[n], dpK[n] = uL[n], vL[n], 0, dpL[n]
+							}
+							c.CountFlops(int64(4 * npsq))
+						}
+					}
+					c.DMA.Get(tK, cur.T[le][k*npsq:(k+1)*npsq])
+
+					// Pass 2 (my level -> surface, then back up): the hydrostatic
+					// geopotential integrates surface-to-top, so each CPE streams
+					// the remaining column downward (re-reading dp and T for every
+					// level at or below its own — the second redundancy), buffers
+					// the increments, and accumulates them in the serial kernel's
+					// descending order.
+					phiK := s1
+					phiInt := s2
+					for l := k; l < nlev; l++ {
+						o := l * npsq
+						c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
+						c.DMA.Get(tL, cur.T[le][o:o+npsq])
+						for n := 0; n < npsq; n++ {
+							pm := pRun[n] + dpL[n]/2
+							dphi[l*npsq+n] = dycore.Rd * tL[n] * dpL[n] / pm
 							pRun[n] += dpL[n]
 						}
-						c.CountFlops(int64(2 * npsq))
-					} else {
+						c.CountFlops(int64(6 * npsq))
+					}
+					for n := 0; n < npsq; n++ {
+						phiInt[n] = phis[n]
+					}
+					for l := nlev - 1; l >= k; l-- {
 						for n := 0; n < npsq; n++ {
-							pMidK[n] = pRun[n] + dpL[n]/2
-							cumDiv[n] = cumDiv[n] + div[n]/2
-							divK[n] = div[n]
-							uK[n], vK[n], tK[n], dpK[n] = uL[n], vL[n], 0, dpL[n]
+							if l == k {
+								phiK[n] = phiInt[n] + dphi[l*npsq+n]/2
+							}
+							phiInt[n] += dphi[l*npsq+n]
 						}
-						c.CountFlops(int64(4 * npsq))
+						c.CountFlops(int64(npsq))
 					}
-				}
-				c.DMA.Get(tK, cur.T[le][k*npsq:(k+1)*npsq])
 
-				// Pass 2 (my level -> surface, then back up): the hydrostatic
-				// geopotential integrates surface-to-top, so each CPE streams
-				// the remaining column downward (re-reading dp and T for every
-				// level at or below its own — the second redundancy), buffers
-				// the increments, and accumulates them in the serial kernel's
-				// descending order.
-				phiK := s1
-				phiInt := s2
-				for l := k; l < nlev; l++ {
-					o := l * npsq
-					c.DMA.Get(dpL, cur.DP[le][o:o+npsq])
-					c.DMA.Get(tL, cur.T[le][o:o+npsq])
+					// Level-k horizontal terms and tendencies.
+					gx := ldm.MustAlloc("gx", npsq)
+					gy := ldm.MustAlloc("gy", npsq)
+					gpx := ldm.MustAlloc("gpx", npsq)
+					gpy := ldm.MustAlloc("gpy", npsq)
+					tx := ldm.MustAlloc("tx", npsq)
+					ty := ldm.MustAlloc("ty", npsq)
+					vort := ldm.MustAlloc("vort", npsq)
+					ke := ldm.MustAlloc("ke", npsq)
+					sa := ldm.MustAlloc("sa", npsq)
+					sb := ldm.MustAlloc("sb", npsq)
 					for n := 0; n < npsq; n++ {
-						pm := pRun[n] + dpL[n]/2
-						dphi[l*npsq+n] = dycore.Rd * tL[n] * dpL[n] / pm
-						pRun[n] += dpL[n]
+						ke[n] = (uK[n]*uK[n]+vK[n]*vK[n])/2 + phiK[n]
 					}
-					c.CountFlops(int64(6 * npsq))
-				}
-				for n := 0; n < npsq; n++ {
-					phiInt[n] = phis[n]
-				}
-				for l := nlev - 1; l >= k; l-- {
+					dycore.GradientSlab(deriv, dinv, e.DAlpha, np, ke, gx, gy, sa, sb)
+					dycore.GradientSlab(deriv, dinv, e.DAlpha, np, pMidK, gpx, gpy, sa, sb)
+					dycore.GradientSlab(deriv, dinv, e.DAlpha, np, tK, tx, ty, sa, sb)
+					dycore.VorticitySlab(deriv, dflat, metdet, e.DAlpha, np, uK, vK, vort, sa, sb)
+					c.CountFlops(int64(4*npsq) + 3*gradFlops(np) + vortFlops(np))
+
+					o := k * npsq
+					outU := ldm.MustAlloc("outU", npsq)
+					outV := ldm.MustAlloc("outV", npsq)
+					outT := ldm.MustAlloc("outT", npsq)
+					outDP := ldm.MustAlloc("outDP", npsq)
+					c.DMA.Get(outU, base.U[le][o:o+npsq])
+					c.DMA.Get(outV, base.V[le][o:o+npsq])
+					c.DMA.Get(outT, base.T[le][o:o+npsq])
+					c.DMA.Get(outDP, base.DP[le][o:o+npsq])
 					for n := 0; n < npsq; n++ {
-						if l == k {
-							phiK[n] = phiInt[n] + dphi[l*npsq+n]/2
-						}
-						phiInt[n] += dphi[l*npsq+n]
+						f := 2 * dycore.Omega * math.Sin(lat[n])
+						absv := vort[n] + f
+						p := pMidK[n]
+						vgradP := uK[n]*gpx[n] + vK[n]*gpy[n]
+						omega := vgradP - cumDiv[n]
+						omegaP := omega / p
+						ut := absv*vK[n] - gx[n] - dycore.Rd*tK[n]/p*gpx[n]
+						vt := -absv*uK[n] - gy[n] - dycore.Rd*tK[n]/p*gpy[n]
+						tt := -(uK[n]*tx[n] + vK[n]*ty[n]) + dycore.Kappa*tK[n]*omegaP
+						dpt := -divK[n]
+						outU[n] += dt * ut
+						outV[n] += dt * vt
+						outT[n] += dt * tt
+						outDP[n] += dt * dpt
 					}
-					c.CountFlops(int64(npsq))
+					c.CountFlops(int64(38 * npsq))
+					c.DMA.Put(out.U[le][o:o+npsq], outU)
+					c.DMA.Put(out.V[le][o:o+npsq], outV)
+					c.DMA.Put(out.T[le][o:o+npsq], outT)
+					c.DMA.Put(out.DP[le][o:o+npsq], outDP)
 				}
-
-				// Level-k horizontal terms and tendencies.
-				gx := ldm.MustAlloc("gx", npsq)
-				gy := ldm.MustAlloc("gy", npsq)
-				gpx := ldm.MustAlloc("gpx", npsq)
-				gpy := ldm.MustAlloc("gpy", npsq)
-				tx := ldm.MustAlloc("tx", npsq)
-				ty := ldm.MustAlloc("ty", npsq)
-				vort := ldm.MustAlloc("vort", npsq)
-				ke := ldm.MustAlloc("ke", npsq)
-				sa := ldm.MustAlloc("sa", npsq)
-				sb := ldm.MustAlloc("sb", npsq)
-				for n := 0; n < npsq; n++ {
-					ke[n] = (uK[n]*uK[n]+vK[n]*vK[n])/2 + phiK[n]
-				}
-				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, ke, gx, gy, sa, sb)
-				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, pMidK, gpx, gpy, sa, sb)
-				dycore.GradientSlab(deriv, dinv, e.DAlpha, np, tK, tx, ty, sa, sb)
-				dycore.VorticitySlab(deriv, dflat, metdet, e.DAlpha, np, uK, vK, vort, sa, sb)
-				c.CountFlops(int64(4*npsq) + 3*gradFlops(np) + vortFlops(np))
-
-				o := k * npsq
-				outU := ldm.MustAlloc("outU", npsq)
-				outV := ldm.MustAlloc("outV", npsq)
-				outT := ldm.MustAlloc("outT", npsq)
-				outDP := ldm.MustAlloc("outDP", npsq)
-				c.DMA.Get(outU, base.U[le][o:o+npsq])
-				c.DMA.Get(outV, base.V[le][o:o+npsq])
-				c.DMA.Get(outT, base.T[le][o:o+npsq])
-				c.DMA.Get(outDP, base.DP[le][o:o+npsq])
-				for n := 0; n < npsq; n++ {
-					f := 2 * dycore.Omega * math.Sin(lat[n])
-					absv := vort[n] + f
-					p := pMidK[n]
-					vgradP := uK[n]*gpx[n] + vK[n]*gpy[n]
-					omega := vgradP - cumDiv[n]
-					omegaP := omega / p
-					ut := absv*vK[n] - gx[n] - dycore.Rd*tK[n]/p*gpx[n]
-					vt := -absv*uK[n] - gy[n] - dycore.Rd*tK[n]/p*gpy[n]
-					tt := -(uK[n]*tx[n] + vK[n]*ty[n]) + dycore.Kappa*tK[n]*omegaP
-					dpt := -divK[n]
-					outU[n] += dt * ut
-					outV[n] += dt * vt
-					outT[n] += dt * tt
-					outDP[n] += dt * dpt
-				}
-				c.CountFlops(int64(38 * npsq))
-				c.DMA.Put(out.U[le][o:o+npsq], outU)
-				c.DMA.Put(out.V[le][o:o+npsq], outV)
-				c.DMA.Put(out.T[le][o:o+npsq], outT)
-				c.DMA.Put(out.DP[le][o:o+npsq], outDP)
 			}
 		})
 	})
-	return en.collect(OpenACC, 1)
+	return en.collectSplit(OpenACC, sub.Phase)
 }
 
 // rhsAthread is the fine-grained redesign: one element per CPE-mesh
@@ -224,11 +232,11 @@ func (en *Engine) rhsOpenACC(cur, base, out *dycore.State, dt float64) Cost {
 // across rows by register communication (§7.4). Inner loops are
 // vectorized. The scan regrouping changes floating-point rounding at the
 // 1e-15 relative level against the serial backends.
-func (en *Engine) rhsAthread(cur, base, out *dycore.State, dt float64) Cost {
+func (en *Engine) rhsAthread(sub Subset, sel *ElemSubset, cur, base, out *dycore.State, dt float64) Cost {
 	np := en.Np
 	npsq := np * np
 	maxVl := en.maxRowLevels()
-	en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
+	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
 		cg.Spawn(func(c *sw.CPE) {
 			ldm := c.LDM
 			s, vl := en.rowLevels(c.Row)
@@ -273,8 +281,14 @@ func (en *Engine) rhsAthread(cur, base, out *dycore.State, dt float64) Cost {
 			oT := ldm.MustAlloc("oT", maxSlab)[:slab]
 			oDP := ldm.MustAlloc("oDP", maxSlab)[:slab]
 
-			for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
-				le := blk + c.Col
+			// Element le belongs to mesh column le % MeshDim; every row
+			// of a column sees the same slot sequence (the filter is
+			// row-independent), so the register-communication column
+			// scans stay paired exactly as in the contiguous block loop.
+			for _, le := range slots {
+				if le%sw.MeshDim != c.Col {
+					continue
+				}
 				e := en.element(le)
 				c.DMA.Get(dinv, e.DinvFlat)
 				c.DMA.Get(dflat, e.DFlat)
@@ -399,5 +413,5 @@ func (en *Engine) rhsAthread(cur, base, out *dycore.State, dt float64) Cost {
 			}
 		})
 	})
-	return en.collect(Athread, 1)
+	return en.collectSplit(Athread, sub.Phase)
 }

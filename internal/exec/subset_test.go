@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"testing"
+
+	"swcam/internal/dycore"
+)
+
+// ---------------------------------------------------------------------------
+// Subset tile geometry
+// ---------------------------------------------------------------------------
+
+func TestComputeSubsetTilesProperties(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 8, 9, 16, 54, 96, 1000} {
+		for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+			tiles := computeSubsetTiles(n, workers)
+			if n == 0 {
+				if len(tiles) != 1 || tiles[0] != (tile{0, 0}) {
+					t.Fatalf("n=0 workers=%d: want one empty tile, got %v", workers, tiles)
+				}
+				continue
+			}
+			want := workers
+			if want > n {
+				want = n
+			}
+			if len(tiles) != want {
+				t.Fatalf("n=%d workers=%d: %d tiles, want %d", n, workers, len(tiles), want)
+			}
+			pos := 0
+			for i, tl := range tiles {
+				if tl.Lo != pos || tl.Hi <= tl.Lo {
+					t.Fatalf("n=%d workers=%d tile %d: %v not contiguous/non-empty", n, workers, i, tl)
+				}
+				pos = tl.Hi
+			}
+			if pos != n {
+				t.Fatalf("n=%d workers=%d: tiles end at %d", n, workers, pos)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Split bit-identity: Open(boundary) + Close(inner) must reproduce the
+// Whole launch exactly — state bits AND every Cost counter — for every
+// backend, worker count, and slot split, including degenerate ones.
+// ---------------------------------------------------------------------------
+
+// splitOf builds complementary slot lists over n elements.
+func splitOf(name string, n int) (open, close []int) {
+	switch name {
+	case "even-odd":
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				open = append(open, i)
+			} else {
+				close = append(close, i)
+			}
+		}
+	case "head-tail":
+		for i := 0; i < n; i++ {
+			if i < n/3 {
+				open = append(open, i)
+			} else {
+				close = append(close, i)
+			}
+		}
+	case "empty-open":
+		for i := 0; i < n; i++ {
+			close = append(close, i)
+		}
+	case "empty-close":
+		for i := 0; i < n; i++ {
+			open = append(open, i)
+		}
+	}
+	return open, close
+}
+
+var splitNames = []string{"even-odd", "head-tail", "empty-open", "empty-close"}
+
+// subsetKernelRun drives the four DSS-preceding kernels through `launch`,
+// which either runs them Whole or as an Open/Close pair, and returns the
+// combined state hash and accumulated Cost.
+func subsetKernelRun(en *Engine, b Backend, st0 *dycore.State, nlev, npsq int,
+	launch func(func(Subset) Cost) Cost) (uint64, Cost) {
+	st := st0.Clone()
+	mk := func() [][]float64 {
+		f := make([][]float64, st.NElem())
+		for i := range f {
+			f[i] = make([]float64, nlev*npsq)
+		}
+		return f
+	}
+	var total Cost
+	total.Add(launch(func(sub Subset) Cost { return en.EulerStepOn(sub, b, st, 90) }))
+	out := st.Clone()
+	total.Add(launch(func(sub Subset) Cost { return en.ComputeAndApplyRHSOn(sub, b, st, st, out, 90) }))
+	lu, lv, lt, lp := mk(), mk(), mk(), mk()
+	total.Add(launch(func(sub Subset) Cost { return en.HypervisDP1On(sub, b, out, lu, lv, lt, lp) }))
+	total.Add(launch(func(sub Subset) Cost { return en.HypervisDP2On(sub, b, lu, lv, lt, lp, out, 90, 1e15, 1e15) }))
+	return hashState(out) ^ hashFields(lu, lv, lt, lp), total
+}
+
+func TestSubsetSplitBitIdenticalAllBackends(t *testing.T) {
+	for _, shape := range []struct{ ne, nlev, qsize int }{
+		{4, 8, 2},  // 96 elements, even levels
+		{3, 10, 1}, // 54 elements, awkward row split
+	} {
+		m, _, st0 := testSetup(t, shape.ne, shape.nlev, shape.qsize)
+		npsq := m.Np * m.Np
+		for _, b := range Backends {
+			ref := tiledEngine(m, shape.nlev, shape.qsize, 1)
+			wantHash, wantCost := subsetKernelRun(ref, b, st0, shape.nlev, npsq,
+				func(f func(Subset) Cost) Cost { return f(Subset{}) })
+			for _, workers := range []int{1, 4} {
+				for _, split := range splitNames {
+					en := tiledEngine(m, shape.nlev, shape.qsize, workers)
+					oSlots, cSlots := splitOf(split, m.NElems())
+					open, inner := en.CompileSubset(oSlots), en.CompileSubset(cSlots)
+					gotHash, gotCost := subsetKernelRun(en, b, st0, shape.nlev, npsq,
+						func(f func(Subset) Cost) Cost {
+							var c Cost
+							c.Add(f(Subset{Sel: open, Phase: Open}))
+							c.Add(f(Subset{Sel: inner, Phase: Close}))
+							return c
+						})
+					if gotHash != wantHash {
+						t.Errorf("ne%d %v workers=%d split=%s: state hash %x != whole %x",
+							shape.ne, b, workers, split, gotHash, wantHash)
+					}
+					if gotCost != wantCost {
+						t.Errorf("ne%d %v workers=%d split=%s: cost diverged\n split: %+v\n whole: %+v",
+							shape.ne, b, workers, split, gotCost, wantCost)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Subsets compiled before SetWorkers must be re-tiled when the pool is
+// reshaped, not left pointing at a stale decomposition.
+func TestSubsetRetiledOnSetWorkers(t *testing.T) {
+	m, _, st0 := testSetup(t, 4, 8, 1)
+	npsq := m.Np * m.Np
+	en := tiledEngine(m, 8, 1, 1)
+	oSlots, cSlots := splitOf("even-odd", m.NElems())
+	open, inner := en.CompileSubset(oSlots), en.CompileSubset(cSlots)
+	en.SetWorkers(4) // reshape AFTER compilation
+
+	ref := tiledEngine(m, 8, 1, 1)
+	wantHash, wantCost := subsetKernelRun(ref, Athread, st0, 8, npsq,
+		func(f func(Subset) Cost) Cost { return f(Subset{}) })
+	gotHash, gotCost := subsetKernelRun(en, Athread, st0, 8, npsq,
+		func(f func(Subset) Cost) Cost {
+			var c Cost
+			c.Add(f(Subset{Sel: open, Phase: Open}))
+			c.Add(f(Subset{Sel: inner, Phase: Close}))
+			return c
+		})
+	if gotHash != wantHash || gotCost != wantCost {
+		t.Errorf("subsets compiled before SetWorkers diverged from whole run")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Split-accounting guards
+// ---------------------------------------------------------------------------
+
+// A Close with no Open on the engine is a sequencing bug, not a
+// recoverable state: it must panic loudly.
+func TestCloseWithoutOpenPanics(t *testing.T) {
+	m, _, st0 := testSetup(t, 2, 8, 1)
+	en := tiledEngine(m, 8, 1, 1)
+	sub := en.CompileSubset([]int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Close without Open did not panic")
+		}
+	}()
+	st := st0.Clone()
+	en.EulerStepOn(Subset{Sel: sub, Phase: Close}, Athread, st, 10)
+}
+
+// An abandoned Open (a transport fault unwound the rank between the
+// split halves) must not poison the next kernel's accounting: the stale
+// parked sums and accumulated CPE counters are discarded at the next
+// non-Close launch.
+func TestStaleOpenDiscarded(t *testing.T) {
+	m, _, st0 := testSetup(t, 4, 8, 1)
+	for _, b := range Backends {
+		clean := tiledEngine(m, 8, 1, 2)
+		st := st0.Clone()
+		clean.EulerStep(b, st, 10)
+		want := clean.EulerStep(b, st, 10)
+
+		en := tiledEngine(m, 8, 1, 2)
+		bnd := en.CompileSubset([]int{0, 1, 2, 3})
+		st2 := st0.Clone()
+		en.EulerStep(b, st2, 10) // warm, matching the clean engine's history
+		en.EulerStepOn(Subset{Sel: bnd, Phase: Open}, b, st2, 10)
+		// No Close: the rank "faulted" here. The next Whole launch must
+		// account exactly like the clean engine's.
+		st3 := st0.Clone()
+		got := en.EulerStep(b, st3, 10)
+		if got != want {
+			t.Errorf("%v: kernel after abandoned Open diverged\n got:  %+v\n want: %+v", b, got, want)
+		}
+	}
+}

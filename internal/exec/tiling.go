@@ -83,8 +83,25 @@ func (en *Engine) SetWorkers(n int) {
 	}
 	en.pool = en.pool[:n]
 	en.tilesC = computeTiles(len(en.Elems), n)
-	en.partials = make([]serialPartial, len(en.tilesC))
-	en.tilePanics = make([]any, len(en.tilesC))
+	// Subset tiles are not MeshDim-aligned, so a subset can split into
+	// more tiles than the aligned Whole decomposition (up to one per
+	// worker); size the shared per-tile state for the pool.
+	en.partials = make([]serialPartial, n)
+	en.tilePanics = make([]any, n)
+	if en.allSub == nil {
+		ids := make([]int, len(en.Elems))
+		for i := range ids {
+			ids[i] = i
+		}
+		en.allSub = &ElemSubset{slots: ids}
+	}
+	// The identity subset reuses the aligned Whole tiles (slot i is
+	// element i), so a Whole run through the subset runners executes
+	// exactly the tile shapes of the legacy runners.
+	en.allSub.tiles = en.tilesC
+	for _, s := range en.subs {
+		s.retile(n)
+	}
 	en.bindObsRegistry()
 }
 

@@ -219,39 +219,38 @@ func (p *Plan) recvLen(nb *Neighbor, nfields, stride int) int {
 // not been scattered into, so the caller sees either a completed DSS or
 // its pre-exchange values — never a partially-averaged mixture.
 func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (Stats, error) {
-	var st Stats
 	nf := len(fields)
 	if nf == 0 {
-		return st, nil
+		return Stats{}, nil
 	}
+	st := &p.exchStats
+	*st = Stats{}
 	timed := p.instrumented()
-	defer p.exchangeProbe("halo.dss_original", &st)()
+	defer p.exchangeProbe("halo.dss_original", st)()
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
+	p.ensureBufs(nf, stride)
 
 	// Pack all, send all, receive all: no overlap anywhere.
-	sendBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		sendBufs[i] = make([]float64, p.sendLen(nb, nf, stride))
-		p.packNeighbor(nb, sendBufs[i], lay, nf, fields...)
-		st.PackBytes += int64(len(sendBufs[i]) * 8)
+		p.packNeighbor(nb, p.sendBufs[i], lay, nf, fields...)
+		st.PackBytes += int64(len(p.sendBufs[i]) * 8)
 	}
 	for i := range p.Neighbors {
-		c.Send(p.Neighbors[i].Rank, tagDSS, sendBufs[i])
+		c.Send(p.Neighbors[i].Rank, tagDSS, p.sendBufs[i])
 		st.Msgs++
-		st.WireBytes += int64(len(sendBufs[i]) * 8)
+		st.WireBytes += int64(len(p.sendBufs[i]) * 8)
 	}
-	recvBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		recv := make([]float64, p.recvLen(nb, nf, stride))
+		recv := p.recvBufs[i]
 		var w0 time.Time
 		if timed {
 			w0 = time.Now()
 		}
 		if err := c.RecvErr(nb.Rank, tagDSS, recv); err != nil {
-			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", nb.Rank, err)
+			return *st, fmt.Errorf("halo: DSS exchange with rank %d: %w", nb.Rank, err)
 		}
 		if timed {
 			st.WaitNs += time.Since(w0).Nanoseconds()
@@ -259,87 +258,101 @@ func (p *Plan) DSSOriginal(c *mpirt.Comm, lay Layout, fields ...[][]float64) (St
 		// The original design forwards receive-buffer data through the
 		// unified pack buffer before it reaches the elements: model that
 		// staging copy explicitly so its cost is measurable.
-		staged := make([]float64, len(recv))
-		copy(staged, recv)
+		copy(p.staged[i], recv)
 		st.StagingBytes += int64(len(recv) * 8)
 		st.UnpackBytes += int64(len(recv) * 8)
-		recvBufs[i] = staged
 	}
 	// All receives verified; only now touch the fields.
 	p.localPartials(scratch, lay, nf, fields...)
 	p.scatterLocal(scratch, lay, nf, fields...)
-	p.assembleRemote(recvBufs, lay, nf, fields...)
-	return st, nil
+	p.assembleRemote(p.staged, lay, nf, fields...)
+	return *st, nil
 }
 
 // DSSOverlap performs the redesigned exchange of §7.6. The caller must
 // already have computed the boundary elements' field values; inner
 // elements are produced by computeInner, which runs while boundary
-// partials are in flight. Received copies are assembled directly from
-// the receive buffers (no staging copy). computeInner may be nil when
-// there is nothing to overlap.
+// partials are in flight. Receives and sends are posted asynchronously
+// into the plan's persistent request slots before the overlap window and
+// drained only after it, so no send serializes the pipeline. Received
+// copies are assembled directly from the receive buffers (no staging
+// copy). computeInner may be nil when there is nothing to overlap; each
+// invocation with a real computeInner bumps the "halo.overlap.windows"
+// registry counter on instrumented plans.
 //
 // A detected transport fault is returned as an error naming the
 // neighbour. Unlike DSSOriginal, local groups may already have been
 // resolved by then (that is the overlap), so on error the fields must be
 // treated as unusable and the step rolled back or the world aborted.
 func (p *Plan) DSSOverlap(c *mpirt.Comm, lay Layout, computeInner func(), fields ...[][]float64) (Stats, error) {
-	var st Stats
 	nf := len(fields)
 	if nf == 0 {
 		if computeInner != nil {
 			computeInner()
 		}
-		return st, nil
+		return Stats{}, nil
 	}
+	st := &p.exchStats
+	*st = Stats{}
 	timed := p.instrumented()
-	defer p.exchangeProbe("halo.dss_overlap", &st)()
+	defer p.exchangeProbe("halo.dss_overlap", st)()
 	stride := lay.Levels
 	scratch := p.ensureScratch(len(p.Groups) * nf * stride)
+	p.ensureBufs(nf, stride)
 
 	// Remote-shared copies live entirely on boundary elements, which are
 	// ready: pack their weighted values and get the messages moving first.
-	recvBufs := make([][]float64, len(p.Neighbors))
-	recvReqs := make([]*mpirt.Request, len(p.Neighbors))
+	// Both receives and sends are posted into the plan's persistent
+	// request slots; nothing blocks until after the overlap window.
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		recvBufs[i] = make([]float64, p.recvLen(nb, nf, stride))
-		recvReqs[i] = c.Irecv(nb.Rank, tagDSS, recvBufs[i])
+		c.IrecvInto(&p.recvReqs[i], nb.Rank, tagDSS, p.recvBufs[i])
 	}
-	sendBufs := make([][]float64, len(p.Neighbors))
 	for i := range p.Neighbors {
 		nb := &p.Neighbors[i]
-		sendBufs[i] = make([]float64, p.sendLen(nb, nf, stride))
-		p.packNeighbor(nb, sendBufs[i], lay, nf, fields...)
-		st.PackBytes += int64(len(sendBufs[i]) * 8)
-		c.Isend(nb.Rank, tagDSS, sendBufs[i]).Wait()
+		p.packNeighbor(nb, p.sendBufs[i], lay, nf, fields...)
+		st.PackBytes += int64(len(p.sendBufs[i]) * 8)
+		c.IsendInto(&p.sendReqs[i], nb.Rank, tagDSS, p.sendBufs[i])
 		st.Msgs++
-		st.WireBytes += int64(len(sendBufs[i]) * 8)
+		st.WireBytes += int64(len(p.sendBufs[i]) * 8)
 	}
 
 	// Overlap window: inner elements compute while messages are in flight.
+	// Only counted as a window when messages actually are in flight — a
+	// neighbourless rank has nothing to hide work behind, and counting it
+	// would let a communication-free run report an overlap ratio.
 	if computeInner != nil {
+		if p.obsReg != nil && len(p.Neighbors) > 0 {
+			p.obsReg.Counter("halo.overlap.windows").Add(1)
+		}
 		computeInner()
 	}
 	// Inner values exist now; resolve the purely local groups.
 	p.localPartials(scratch, lay, nf, fields...)
 	p.scatterLocal(scratch, lay, nf, fields...)
 
-	// Drain receives and assemble shared nodes straight from the receive
-	// buffers — the direct unpack that removes the staging copy.
+	// Drain the tracked sends, then the receives, and assemble shared
+	// nodes straight from the receive buffers — the direct unpack that
+	// removes the staging copy. Time spent blocked here is communication
+	// the overlap window failed to hide.
+	for i := range p.Neighbors {
+		if err := p.sendReqs[i].WaitErr(); err != nil {
+			return *st, fmt.Errorf("halo: DSS exchange with rank %d: %w", p.Neighbors[i].Rank, err)
+		}
+	}
 	for i := range p.Neighbors {
 		var w0 time.Time
 		if timed {
 			w0 = time.Now()
 		}
-		if err := recvReqs[i].WaitErr(); err != nil {
-			return st, fmt.Errorf("halo: DSS exchange with rank %d: %w", p.Neighbors[i].Rank, err)
+		if err := p.recvReqs[i].WaitErr(); err != nil {
+			return *st, fmt.Errorf("halo: DSS exchange with rank %d: %w", p.Neighbors[i].Rank, err)
 		}
 		if timed {
 			st.WaitNs += time.Since(w0).Nanoseconds()
 		}
-		st.UnpackBytes += int64(len(recvBufs[i]) * 8)
+		st.UnpackBytes += int64(len(p.recvBufs[i]) * 8)
 	}
-	p.assembleRemote(recvBufs, lay, nf, fields...)
-	return st, nil
+	p.assembleRemote(p.recvBufs, lay, nf, fields...)
+	return *st, nil
 }

@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"swcam/internal/mesh"
+	"swcam/internal/mpirt"
 	"swcam/internal/obs"
 )
 
@@ -99,6 +100,20 @@ type Plan struct {
 	InnerElems    []int
 
 	scratch []float64 // partial sums, len = len(Groups)*maxStride (grown on demand)
+
+	// Persistent per-neighbour exchange buffers and request slots, grown
+	// on demand like scratch and reused every timestep so the steady-state
+	// exchange performs no heap allocation (HOMME likewise allocates its
+	// edge buffers once per schedule).
+	sendBufs [][]float64
+	recvBufs [][]float64
+	staged   [][]float64 // DSSOriginal's modeled receive->pack staging copy
+	sendReqs []mpirt.Request
+	recvReqs []mpirt.Request
+	// exchStats is the in-progress exchange's stats accumulator. It lives
+	// on the Plan because its address is taken by the obs probe closure,
+	// which would force a per-call heap allocation as a local.
+	exchStats Stats
 
 	// Observability hooks (nil = off; see Instrument in exchange.go).
 	obsTr  *obs.Tracer
@@ -233,4 +248,38 @@ func (p *Plan) ensureScratch(n int) []float64 {
 		p.scratch = make([]float64, n)
 	}
 	return p.scratch[:n]
+}
+
+// ensureBufs sizes the persistent per-neighbour send/receive/staging
+// buffers and request slots for an exchange of nf fields with `stride`
+// values per node. Buffers only ever grow, so after the first exchange
+// of a given shape the hot path is allocation-free.
+func (p *Plan) ensureBufs(nf, stride int) {
+	n := len(p.Neighbors)
+	if len(p.sendBufs) < n {
+		p.sendBufs = make([][]float64, n)
+		p.recvBufs = make([][]float64, n)
+		p.staged = make([][]float64, n)
+		p.sendReqs = make([]mpirt.Request, n)
+		p.recvReqs = make([]mpirt.Request, n)
+	}
+	for i := range p.Neighbors {
+		nb := &p.Neighbors[i]
+		if sl := p.sendLen(nb, nf, stride); cap(p.sendBufs[i]) < sl {
+			p.sendBufs[i] = make([]float64, sl)
+		} else {
+			p.sendBufs[i] = p.sendBufs[i][:sl]
+		}
+		rl := p.recvLen(nb, nf, stride)
+		if cap(p.recvBufs[i]) < rl {
+			p.recvBufs[i] = make([]float64, rl)
+		} else {
+			p.recvBufs[i] = p.recvBufs[i][:rl]
+		}
+		if cap(p.staged[i]) < rl {
+			p.staged[i] = make([]float64, rl)
+		} else {
+			p.staged[i] = p.staged[i][:rl]
+		}
+	}
 }

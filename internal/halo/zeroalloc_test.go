@@ -1,0 +1,76 @@
+package halo
+
+import (
+	"testing"
+
+	"swcam/internal/mesh"
+	"swcam/internal/mpirt"
+)
+
+// TestExchangeSteadyStateZeroAlloc pins the §7.6 hot-path property: once
+// the plan's pooled buffers are warm, a DSS exchange performs ZERO heap
+// allocations per call, in both flavours. Measured marginally — the
+// world setup and rank goroutines cost the same constant in both runs,
+// so (allocs of a many-exchange world - allocs of a few-exchange world)
+// isolates exactly the per-exchange cost. Requires the defaults the
+// steady state runs under: retransmission off (payload buffers recycle
+// through the destination mailbox freelist) and no receive deadline (a
+// deadline arms a timer per blocking receive).
+func TestExchangeSteadyStateZeroAlloc(t *testing.T) {
+	const nranks, stride = 2, 4
+	m := mesh.New(2, 4)
+	rankOf, err := m.Partition(nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]*Plan, nranks)
+	for r := 0; r < nranks; r++ {
+		plans[r] = NewPlan(m, rankOf, r)
+	}
+	global := makeField(m, stride, 7)
+	local := scatterToRanks(global, plans)
+	lay := NodeMajor(stride)
+
+	for _, flavour := range []struct {
+		name string
+		run  func(c *mpirt.Comm, p *Plan, f [][]float64) error
+	}{
+		{"overlap", func(c *mpirt.Comm, p *Plan, f [][]float64) error {
+			_, err := p.DSSOverlap(c, lay, haloNoop, f)
+			return err
+		}},
+		{"original", func(c *mpirt.Comm, p *Plan, f [][]float64) error {
+			_, err := p.DSSOriginal(c, lay, f)
+			return err
+		}},
+	} {
+		worldAllocs := func(exchanges int) float64 {
+			return testing.AllocsPerRun(5, func() {
+				w := mpirt.NewWorld(nranks)
+				err := w.Run(func(c *mpirt.Comm) {
+					p := plans[c.Rank()]
+					f := local[c.Rank()]
+					for i := 0; i < exchanges; i++ {
+						if err := flavour.run(c, p, f); err != nil {
+							mpirt.Fail(err)
+						}
+					}
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		// First call also warms the plan pools (buffers only grow). The
+		// baseline world runs enough exchanges that one-time transients —
+		// mailbox freelist/pending slices growing to their steady
+		// capacity — happen in both worlds and cancel in the difference.
+		base := worldAllocs(52)
+		many := worldAllocs(102)
+		perCall := (many - base) / 50
+		if perCall > 0 {
+			t.Errorf("%s: %.2f heap allocations per steady-state exchange, want 0 (world(2)=%.0f world(102)=%.0f)",
+				flavour.name, perCall, base, many)
+		}
+	}
+}

@@ -23,7 +23,6 @@
 package mpirt
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -59,15 +58,20 @@ type message struct {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // payloadCRC hashes a float64 payload bit-exactly (the checksum a real
-// transport would compute over the wire bytes).
+// transport would compute over the wire bytes). Table-driven over the
+// value bits directly rather than via crc32.Update on a scratch byte
+// slice: the stdlib's accelerated Castagnoli path would force the
+// scratch to the heap, costing an allocation per message on the
+// steady-state exchange path.
 func payloadCRC(data []float64) uint32 {
-	var b [8]byte
-	crc := uint32(0)
+	crc := ^uint32(0)
 	for _, v := range data {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		crc = crc32.Update(crc, crcTable, b[:])
+		bits := math.Float64bits(v)
+		for k := 0; k < 64; k += 8 {
+			crc = crcTable[byte(crc)^byte(bits>>k)] ^ (crc >> 8)
+		}
 	}
-	return crc
+	return ^crc
 }
 
 // World owns the mailboxes and counters of an nranks-rank job.
@@ -111,6 +115,40 @@ type mailbox struct {
 	pending []message
 	retx    []message         // clean copies, send order (retry enabled only)
 	nextSeq map[seqKey]uint64 // next expected seq per (src, tag) stream
+	// free recycles delivered payload buffers back to senders (the
+	// steady-state zero-allocation path). Only used with retransmission
+	// disabled: the retx log holds references to sent payloads, so
+	// recycling them while retries are possible would corrupt the log.
+	free [][]float64
+}
+
+// getBuf takes a recycled payload buffer of length n from the freelist,
+// or allocates one. Called by senders targeting this mailbox.
+func (b *mailbox) getBuf(n int) []float64 {
+	b.mu.Lock()
+	for i := len(b.free) - 1; i >= 0; i-- {
+		if cap(b.free[i]) >= n {
+			buf := b.free[i][:n]
+			b.free[i] = b.free[len(b.free)-1]
+			b.free[len(b.free)-1] = nil
+			b.free = b.free[:len(b.free)-1]
+			b.mu.Unlock()
+			return buf
+		}
+	}
+	b.mu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a delivered payload buffer to the freelist once the
+// receiver has copied it out.
+func (b *mailbox) putBuf(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.free = append(b.free, buf)
+	b.mu.Unlock()
 }
 
 // seqKey identifies one ordered message stream: the peer rank plus the
@@ -340,7 +378,16 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		fail(ErrWorldAborted)
 	}
 	f := c.faultPoint(true)
-	buf := append([]float64(nil), data...)
+	// The payload copy comes from the destination mailbox's freelist
+	// when retransmission is off (the receiver recycles it after the
+	// copy-out), so the steady-state exchange allocates nothing.
+	var buf []float64
+	if c.world.retry.enabled() {
+		buf = make([]float64, len(data))
+	} else {
+		buf = c.world.boxes[dst].getBuf(len(data))
+	}
+	copy(buf, data)
 	sk := seqKey{dst, tag}
 	seq := c.world.sendSeq[c.rank][sk]
 	c.world.sendSeq[c.rank][sk] = seq + 1
@@ -474,17 +521,29 @@ func (c *Comm) recvOnce(src, tag int, buf []float64, d time.Duration) (uint64, e
 		c.world.boxes[c.rank].ackRetx(m.src, m.tag, m.seq)
 	}
 	copy(buf, m.data)
+	if !c.world.retry.enabled() {
+		// Recycle the payload for the next sender targeting this rank
+		// (with retries possible the retx log still references it).
+		c.world.boxes[c.rank].putBuf(m.data)
+	}
 	st := &c.world.stats[c.rank]
 	st.MsgsRecvd++
 	st.BytesRecvd += int64(len(buf) * 8)
 	return m.seq, nil
 }
 
-// Request is the handle of a pending non-blocking operation.
+// Request is the handle of a pending non-blocking operation. The zero
+// value is a completed, successful request; IrecvInto/IsendInto
+// (re)initialize caller-owned Requests so pooled hot paths issue
+// non-blocking operations without allocating.
 type Request struct {
 	done bool
 	err  error
-	wait func(d time.Duration) error
+	// Pending receive, performed by the first Wait: nil comm means no
+	// deferred work (sends complete eagerly).
+	comm     *Comm
+	src, tag int
+	buf      []float64
 }
 
 // WaitErr blocks until the operation completes and returns its outcome.
@@ -501,8 +560,13 @@ func (r *Request) WaitTimeout(d time.Duration) error {
 		return r.err
 	}
 	r.done = true
-	if r.wait != nil {
-		r.err = r.wait(d)
+	if r.comm != nil {
+		c := r.comm
+		if d <= 0 {
+			d = c.world.recvTimeout
+		}
+		r.err = c.RecvTimeout(r.src, r.tag, r.buf, d)
+		r.comm, r.buf = nil, nil
 	}
 	return r.err
 }
@@ -528,8 +592,17 @@ func WaitAll(reqs []*Request) {
 // unbounded mailboxes), so the returned request completes immediately;
 // it exists so callers keep the issue/wait structure of the real code.
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	r := new(Request)
+	c.IsendInto(r, dst, tag, data)
+	return r
+}
+
+// IsendInto is Isend into a caller-owned request — the allocation-free
+// variant for pooled hot paths (the halo exchange reuses its request
+// slots every call).
+func (c *Comm) IsendInto(r *Request, dst, tag int, data []float64) {
 	c.Send(dst, tag, data)
-	return &Request{done: true}
+	*r = Request{done: true}
 }
 
 // Irecv starts a non-blocking receive into buf. The matching and copy
@@ -537,10 +610,13 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 // overlaps with message arrival — the property the redesigned
 // bndry_exchangev (§7.6) exploits.
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
-	return &Request{wait: func(d time.Duration) error {
-		if d <= 0 {
-			d = c.world.recvTimeout
-		}
-		return c.RecvTimeout(src, tag, buf, d)
-	}}
+	r := new(Request)
+	c.IrecvInto(r, src, tag, buf)
+	return r
+}
+
+// IrecvInto is Irecv into a caller-owned request — the allocation-free
+// variant for pooled hot paths.
+func (c *Comm) IrecvInto(r *Request, src, tag int, buf []float64) {
+	*r = Request{comm: c, src: src, tag: tag, buf: buf}
 }

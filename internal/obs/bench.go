@@ -35,11 +35,15 @@ type BenchKernel struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// BenchBackend is one execution strategy's measurement.
+// BenchBackend is one execution strategy's measurement. OverlapRatio is
+// the measured comm/compute overlap of the redesigned exchange (§7.6);
+// it is only present (nonzero encoding) when the run actually overlapped
+// — the field is additive, so older files interoperate unchanged.
 type BenchBackend struct {
-	SYPD        float64                `json:"sypd"`
-	WallSeconds float64                `json:"wall_seconds"`
-	Kernels     map[string]BenchKernel `json:"kernels"`
+	SYPD         float64                `json:"sypd"`
+	WallSeconds  float64                `json:"wall_seconds"`
+	OverlapRatio float64                `json:"overlap_ratio,omitempty"`
+	Kernels      map[string]BenchKernel `json:"kernels"`
 }
 
 // BenchRecovery records the resilience activity behind a benchmarked
@@ -88,6 +92,18 @@ func (f *BenchFile) AddBackend(name string, kt *KernelTable, sypd, wallSeconds f
 	f.Backends[name] = b
 }
 
+// SetBackendOverlap records a backend's measured comm/compute overlap
+// ratio (clamped validation happens in Validate). No-op for backends
+// not yet added.
+func (f *BenchFile) SetBackendOverlap(name string, ratio float64) {
+	b, ok := f.Backends[name]
+	if !ok {
+		return
+	}
+	b.OverlapRatio = ratio
+	f.Backends[name] = b
+}
+
 // Validate checks the schema invariants CI enforces: known schema
 // string, a sane configuration, at least one backend, and for every
 // backend a finite nonzero SYPD and a non-empty kernel set with
@@ -111,6 +127,9 @@ func (f *BenchFile) Validate() error {
 		}
 		if len(b.Kernels) == 0 {
 			return fmt.Errorf("obs: backend %s: no kernels recorded", name)
+		}
+		if b.OverlapRatio < 0 || b.OverlapRatio > 1 || math.IsNaN(b.OverlapRatio) {
+			return fmt.Errorf("obs: backend %s: overlap ratio %v outside [0, 1]", name, b.OverlapRatio)
 		}
 		for kn, k := range b.Kernels {
 			if k.Calls < 1 || k.Ns < 1 {

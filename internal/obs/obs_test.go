@@ -168,11 +168,32 @@ func TestStepReport(t *testing.T) {
 	reg.Counter("halo.ns").Add(100)
 	reg.Counter("halo.wait.ns").Add(25)
 
+	// Without any overlap window the ratio is unmeasured: no pipeline ran,
+	// so there is nothing to quantify (the text report prints "n/a").
 	rep := BuildStepReport(kt, reg, ReportInput{
 		Steps: 10, SimSeconds: 365 * 86400, WallSeconds: 2,
 	})
+	if rep.OverlapMeasured || rep.OverlapRatio != 0 {
+		t.Errorf("unmeasured overlap: measured=%v ratio=%g, want false/0",
+			rep.OverlapMeasured, rep.OverlapRatio)
+	}
+	if !strings.Contains(rep.Text(), "comm overlap n/a") {
+		t.Errorf("text without overlap windows should say n/a:\n%s", rep.Text())
+	}
+
+	// With recorded overlap windows the ratio is 1 - wait/total.
+	reg.Counter("halo.overlap.windows").Add(3)
+	rep = BuildStepReport(kt, reg, ReportInput{
+		Steps: 10, SimSeconds: 365 * 86400, WallSeconds: 2,
+	})
+	if !rep.OverlapMeasured {
+		t.Error("OverlapMeasured = false with halo.overlap.windows > 0")
+	}
 	if math.Abs(rep.OverlapRatio-0.75) > 1e-12 {
 		t.Errorf("OverlapRatio = %g, want 0.75", rep.OverlapRatio)
+	}
+	if !strings.Contains(rep.Text(), "comm overlap 75%") {
+		t.Errorf("text with overlap should print the ratio:\n%s", rep.Text())
 	}
 	// 2e15 counted flops over 2 wall seconds = 1e15 flops/s = 1 PFlops.
 	if math.Abs(rep.PFlops-1) > 1e-12 {

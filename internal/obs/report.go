@@ -125,10 +125,18 @@ type StepReport struct {
 	PFlops      float64 `json:"pflops"`       // counted flops / wall (host rate)
 	// OverlapRatio is the fraction of halo-exchange wall time not spent
 	// blocked waiting for messages: 1 means communication fully hidden
-	// behind computation (the §7.6 goal), 0 means fully exposed.
-	OverlapRatio float64          `json:"overlap_ratio"`
-	Kernels      []KernelShare    `json:"kernels"`
-	Recovery     *RecoverySummary `json:"recovery,omitempty"`
+	// behind computation (the §7.6 goal), 0 means fully exposed. Only
+	// meaningful when OverlapMeasured is true; otherwise it is 0 and the
+	// text report prints "n/a".
+	OverlapRatio float64 `json:"overlap_ratio"`
+	// OverlapMeasured is true when the redesigned exchange actually ran
+	// with a real inner-compute window at least once (the
+	// halo.overlap.windows counter fired). Runs using the original
+	// blocking exchange — where there is no pipeline to quantify — leave
+	// it false.
+	OverlapMeasured bool             `json:"overlap_measured"`
+	Kernels         []KernelShare    `json:"kernels"`
+	Recovery        *RecoverySummary `json:"recovery,omitempty"`
 }
 
 // RecoverySummary is the run's resilience activity, assembled from the
@@ -156,6 +164,10 @@ type ReportInput struct {
 	// halo.wait.ns; zero HaloNs yields OverlapRatio 0.
 	HaloNs     int64
 	HaloWaitNs int64
+	// OverlapWindows comes from the halo.overlap.windows counter: the
+	// number of exchanges that ran a real inner-compute window. Zero
+	// marks the overlap ratio as not measured.
+	OverlapWindows int64
 }
 
 // SYPD converts simulated seconds over wall seconds into simulated
@@ -177,13 +189,16 @@ func BuildStepReport(kt *KernelTable, reg *Registry, in ReportInput) StepReport 
 		WallSeconds: in.WallSeconds,
 		SYPD:        SYPD(in.SimSeconds, in.WallSeconds),
 	}
-	haloNs, waitNs := in.HaloNs, in.HaloWaitNs
+	haloNs, waitNs, windows := in.HaloNs, in.HaloWaitNs, in.OverlapWindows
 	if reg != nil {
 		if v := reg.CounterValue("halo.ns"); v > 0 {
 			haloNs = v
 		}
 		if v := reg.CounterValue("halo.wait.ns"); v > 0 {
 			waitNs = v
+		}
+		if v := reg.CounterValue("halo.overlap.windows"); v > 0 {
+			windows = v
 		}
 		rec := RecoverySummary{
 			Retransmits:    reg.CounterValue("mpirt.retx.attempts"),
@@ -200,7 +215,10 @@ func BuildStepReport(kt *KernelTable, reg *Registry, in ReportInput) StepReport 
 			rep.Recovery = &rec
 		}
 	}
-	if haloNs > 0 {
+	// The ratio only quantifies a pipeline that exists: require at least
+	// one exchange to have run a real inner-compute window.
+	if windows > 0 && haloNs > 0 {
+		rep.OverlapMeasured = true
 		r := 1 - float64(waitNs)/float64(haloNs)
 		if r < 0 {
 			r = 0
@@ -231,8 +249,12 @@ func (r StepReport) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== step report: %d steps, %.1f sim s in %.3f wall s ==\n",
 		r.Steps, r.SimSeconds, r.WallSeconds)
-	fmt.Fprintf(&b, "  SYPD %.3f   counted PFlops %.3e   comm overlap %.0f%%\n",
-		r.SYPD, r.PFlops, 100*r.OverlapRatio)
+	overlap := "n/a"
+	if r.OverlapMeasured {
+		overlap = fmt.Sprintf("%.0f%%", 100*r.OverlapRatio)
+	}
+	fmt.Fprintf(&b, "  SYPD %.3f   counted PFlops %.3e   comm overlap %s\n",
+		r.SYPD, r.PFlops, overlap)
 	if rec := r.Recovery; rec != nil {
 		fmt.Fprintf(&b, "  recovery: %d/%d retransmits recovered, %d ckpt, %d localized, %d respawn, %d shrink, %d rollback, %d steps replayed, %.3f ms\n",
 			rec.Retransmitted, rec.Retransmits, rec.Checkpoints, rec.Localized,
