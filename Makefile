@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap trace figures outputs clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap trace figures outputs serve loadgen clean
 
 all: build vet test
 
@@ -53,6 +53,25 @@ bench-overlap:
 # swcam.trace.json in chrome://tracing or ui.perfetto.dev.
 trace:
 	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 5 -ranks 2 -dir . -trace swcam.trace.json
+
+# The ensemble forecast service under fire: three perturbed members,
+# seeded member kills and a chaos fault plan, so the degradation paths
+# (supervised restart, stale serving, subensemble fallback) are live
+# from the first minute. SIGTERM drains gracefully.
+# members reach the 120-cycle forecast horizon, complete, and keep
+# serving their final snapshot (toy resolutions cannot free-run
+# forever; see DESIGN.md §12).
+serve:
+	$(GO) run ./cmd/swserve -addr 127.0.0.1:8090 -members 3 \
+	    -ranks 2 -cycle-steps 2 -backend athread -horizon-cycles 120 \
+	    -kills '1@4,2@7' -faults 'chaos:2@42'
+
+# Seeded closed-loop load against a running `make serve`: prints the
+# latency percentiles and status histogram, and appends a BENCH file
+# with the `serving` block to bench/.
+loadgen:
+	$(GO) run ./cmd/swload -addr http://127.0.0.1:8090 -duration 15s \
+	    -workers 4 -seed 7 -bench-dir bench
 
 # Print every table and figure of the paper's evaluation.
 figures:

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"swcam/internal/obs"
+)
+
+// The -bench mode prints the repository's performance trajectory: one
+// row per BENCH_<n>.json. Files from different eras omit blocks that
+// did not exist yet (overlap_ratio, recovery, serving) — those print
+// as n/a, never as an error. Files from a *different schema version*
+// are a different matter: mixing them in one table would compare
+// numbers with different meanings, so the set is rejected up front.
+
+type benchEntry struct {
+	Path string
+	File *obs.BenchFile
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// resolveBenchPaths expands the -bench argument: a comma-separated list
+// of files, any element of which may be a directory (expanded to its
+// BENCH_<n>.json files in numeric order).
+func resolveBenchPaths(arg string) ([]string, error) {
+	var paths []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		info, err := os.Stat(part)
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: %w", err)
+		}
+		if !info.IsDir() {
+			paths = append(paths, part)
+			continue
+		}
+		entries, err := os.ReadDir(part)
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: %w", err)
+		}
+		var found []string
+		for _, e := range entries {
+			if benchFileRE.MatchString(e.Name()) {
+				found = append(found, filepath.Join(part, e.Name()))
+			}
+		}
+		sort.Slice(found, func(i, j int) bool {
+			ni, _ := benchFileNum(found[i])
+			nj, _ := benchFileNum(found[j])
+			return ni < nj
+		})
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchtab: no BENCH files found in %q", arg)
+	}
+	return paths, nil
+}
+
+func benchFileNum(path string) (int, bool) {
+	m := benchFileRE.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0, false
+	}
+	var n int
+	fmt.Sscanf(m[1], "%d", &n)
+	return n, true
+}
+
+// loadBenchSet reads the files, rejecting a mix of schema versions
+// before any per-file validation: every file must declare the same
+// schema string, or the table would silently compare incomparable
+// numbers.
+func loadBenchSet(paths []string) ([]benchEntry, error) {
+	type rawSchema struct {
+		Schema string `json:"schema"`
+	}
+	schemas := map[string][]string{} // schema -> files declaring it
+	raw := make([][]byte, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: %w", err)
+		}
+		raw[i] = data
+		var rs rawSchema
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, fmt.Errorf("benchtab: %s: %w", p, err)
+		}
+		schemas[rs.Schema] = append(schemas[rs.Schema], filepath.Base(p))
+	}
+	if len(schemas) > 1 {
+		var parts []string
+		for s, files := range schemas {
+			if s == "" {
+				s = "(missing)"
+			}
+			parts = append(parts, fmt.Sprintf("%s: %s", s, strings.Join(files, ", ")))
+		}
+		sort.Strings(parts)
+		return nil, fmt.Errorf("benchtab: mixed schema versions in one table — %s; compare files of one schema at a time",
+			strings.Join(parts, "; "))
+	}
+	entries := make([]benchEntry, len(paths))
+	for i, p := range paths {
+		f, err := obs.DecodeBench(raw[i])
+		if err != nil {
+			return nil, fmt.Errorf("benchtab: %s: %w", p, err)
+		}
+		entries[i] = benchEntry{Path: p, File: f}
+	}
+	return entries, nil
+}
+
+// writeBenchTable prints the trajectory table. Absent optional blocks
+// print n/a.
+func writeBenchTable(w io.Writer, entries []benchEntry) {
+	fmt.Fprintln(w, "== Performance trajectory (BENCH files) ==")
+	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %s\n",
+		"file", "config", "backends (SYPD)", "overlap", "recovery", "serving")
+	for _, e := range entries {
+		f := e.File
+		cfg := fmt.Sprintf("ne%d L%d r%d", f.Config.Ne, f.Config.Nlev, f.Config.Ranks)
+
+		backends, overlap := "n/a", "n/a"
+		if len(f.Backends) > 0 {
+			names := make([]string, 0, len(f.Backends))
+			for n := range f.Backends {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			var bs []string
+			bestOverlap := 0.0
+			for _, n := range names {
+				b := f.Backends[n]
+				bs = append(bs, fmt.Sprintf("%s %.1f", n, b.SYPD))
+				if b.OverlapRatio > bestOverlap {
+					bestOverlap = b.OverlapRatio
+				}
+			}
+			backends = strings.Join(bs, " ")
+			if bestOverlap > 0 {
+				overlap = fmt.Sprintf("%.0f%%", 100*bestOverlap)
+			}
+		}
+
+		recovery := "n/a"
+		if r := f.Recovery; r != nil {
+			recovery = fmt.Sprintf("%dck %dretx %droll", r.Checkpoints, r.Retransmits, r.Rollbacks)
+		}
+
+		serving := "n/a"
+		if s := f.Serving; s != nil {
+			serving = fmt.Sprintf("%.0f req/s p99 %.1fms (%dm)", s.QPS, s.P99Ms, s.Members)
+		}
+
+		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %s\n",
+			filepath.Base(e.Path), cfg, backends, overlap, recovery, serving)
+	}
+	fmt.Fprintln(w)
+}
+
+// benchTrajectory is the -bench entry point.
+func benchTrajectory(arg string) error {
+	paths, err := resolveBenchPaths(arg)
+	if err != nil {
+		return err
+	}
+	entries, err := loadBenchSet(paths)
+	if err != nil {
+		return err
+	}
+	writeBenchTable(os.Stdout, entries)
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Era-spanning fixtures: a v1 file with only backends (the oldest shape
+// still valid today), one with every optional block, one serving-only,
+// and one declaring a foreign schema version.
+const benchOld = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
+  "backends": {
+    "athread": {"sypd": 12.5, "wall_seconds": 3.1,
+                "kernels": {"euler": {"calls": 10, "ns": 1000, "flops": 5, "bytes": 7}}}
+  }
+}`
+
+const benchFull = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
+  "backends": {
+    "athread": {"sypd": 14.0, "wall_seconds": 2.8, "overlap_ratio": 0.62,
+                "kernels": {"euler": {"calls": 10, "ns": 900, "flops": 5, "bytes": 7}}}
+  },
+  "recovery": {"retransmits": 3, "retransmitted": 2, "checkpoints": 5,
+               "localized": 1, "respawns": 0, "shrinks": 0, "rollbacks": 1,
+               "recovery_wall_ns": 123456}
+}`
+
+const benchServing = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 4, "nlev": 8, "qsize": 1, "steps": 2, "ranks": 2},
+  "serving": {"members": 3, "duration_secs": 20.0, "requests": 4000, "qps": 200.0,
+              "p50_ms": 1.2, "p90_ms": 3.4, "p99_ms": 9.9,
+              "errors_5xx": 0, "shed_429": 12, "stale_serves": 37,
+              "restarts": 2, "quarantines": 0, "torn_snapshots": 1}
+}`
+
+const benchForeignSchema = `{
+  "schema": "swcam-bench/v999",
+  "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
+  "backends": {}
+}`
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchTableOptionalBlocks(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name    string
+		files   map[string]string
+		want    []string // substrings of the rendered table
+		wantErr string   // substring of the load error ("" = success)
+	}{
+		{
+			name:  "old file without recovery or overlap prints n/a",
+			files: map[string]string{"BENCH_1.json": benchOld},
+			want:  []string{"BENCH_1.json", "athread 12.5", "n/a"},
+		},
+		{
+			name:  "full file prints every block",
+			files: map[string]string{"BENCH_1.json": benchFull},
+			want:  []string{"62%", "5ck", "3retx", "1roll"},
+		},
+		{
+			name:  "serving-only file renders qps and p99",
+			files: map[string]string{"BENCH_1.json": benchServing},
+			want:  []string{"200 req/s", "p99 9.9ms", "(3m)"},
+		},
+		{
+			name: "mixed eras of one schema coexist",
+			files: map[string]string{
+				"BENCH_1.json": benchOld,
+				"BENCH_2.json": benchFull,
+				"BENCH_3.json": benchServing,
+			},
+			want: []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json"},
+		},
+		{
+			name: "mixed schema versions are rejected with both versions named",
+			files: map[string]string{
+				"BENCH_1.json": benchOld,
+				"BENCH_2.json": benchForeignSchema,
+			},
+			wantErr: "mixed schema versions",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sub := t.TempDir()
+			for name, content := range tt.files {
+				writeBench(t, sub, name, content)
+			}
+			paths, err := resolveBenchPaths(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries, err := loadBenchSet(paths)
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tt.wantErr, err)
+				}
+				if !strings.Contains(err.Error(), "swcam-bench/v999") {
+					t.Errorf("error should name the offending schema: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			writeBenchTable(&sb, entries)
+			out := sb.String()
+			for _, w := range tt.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("table missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+	_ = dir
+}
+
+func TestResolveBenchPathsOrdersNumerically(t *testing.T) {
+	dir := t.TempDir()
+	// BENCH_10 must sort after BENCH_2, not lexically before it.
+	writeBench(t, dir, "BENCH_10.json", benchOld)
+	writeBench(t, dir, "BENCH_2.json", benchOld)
+	writeBench(t, dir, "notes.txt", "ignored")
+	paths, err := resolveBenchPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 ||
+		filepath.Base(paths[0]) != "BENCH_2.json" ||
+		filepath.Base(paths[1]) != "BENCH_10.json" {
+		t.Fatalf("bad order: %v", paths)
+	}
+}
+
+func TestResolveBenchPathsMissing(t *testing.T) {
+	if _, err := resolveBenchPaths(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

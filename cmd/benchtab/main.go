@@ -35,6 +35,7 @@ func main() {
 	fig := flag.Int("fig", 0, "print figure N (4-9; 10 = extra overlap ablation)")
 	all := flag.Bool("all", false, "print everything")
 	jsonOut := flag.Bool("json", false, "emit the selected sections as JSON (shared obs encoder) instead of text")
+	bench := flag.String("bench", "", "print the performance trajectory from BENCH_<n>.json files (comma-separated paths and/or directories)")
 	flag.Parse()
 
 	if *jsonOut {
@@ -43,6 +44,13 @@ func main() {
 	}
 
 	ran := false
+	if *bench != "" {
+		if err := benchTrajectory(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if *all || *attrs {
 		attributes()
 		ran = true

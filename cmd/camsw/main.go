@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"swcam/internal/core"
@@ -25,6 +27,29 @@ import (
 	"swcam/internal/obs"
 	"swcam/internal/physics"
 )
+
+// watchSignals arms SIGINT/SIGTERM handling and returns a poll: the
+// run loops check it between steps, so a signal finishes the current
+// step, writes the final checkpoint, and flushes -obs/-trace instead
+// of killing the process mid-write.
+func watchSignals() func() bool {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	fired := false
+	return func() bool {
+		if fired {
+			return true
+		}
+		select {
+		case <-ch:
+			fired = true
+			signal.Stop(ch) // a second signal kills immediately
+			fmt.Println("camsw: signal received; finishing the current step and shutting down cleanly")
+		default:
+		}
+		return fired
+	}
+}
 
 func main() {
 	ne := flag.Int("ne", 4, "cubed-sphere resolution (elements per edge)")
@@ -50,6 +75,7 @@ func main() {
 	if *obsOn || *tracePath != "" {
 		probe = obs.NewProbe()
 	}
+	interrupted := watchSignals()
 
 	switch *recovery {
 	case "ladder", "global", "off":
@@ -58,7 +84,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers, interrupted)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -141,8 +167,10 @@ func main() {
 	if report < 1 {
 		report = 1
 	}
+	done := 0
 	for i := 1; i <= steps; i++ {
 		m.Step()
+		done = i
 		if hw != nil && (i%report == 0 || i == steps) {
 			if err := core.WriteHistoryFrameForModel(hw, m); err != nil {
 				fmt.Fprintln(os.Stderr, "camsw: history:", err)
@@ -154,13 +182,19 @@ func main() {
 				i, m.SimHours(), m.Solver.MaxWind(m.State), m.Solver.TotalMass(m.State),
 				m.Solver.MinDP(m.State), m.TotalPrecip)
 		}
+		if interrupted() {
+			break
+		}
 	}
 	wall := time.Since(start).Seconds()
-	simSeconds := float64(steps) * cfg.Dycore.Dt
+	simSeconds := float64(done) * cfg.Dycore.Dt
 	sypd := obs.SYPD(simSeconds, wall)
+	if done < steps {
+		fmt.Printf("camsw: interrupted after step %d/%d\n", done, steps)
+	}
 	fmt.Printf("done: %.1fs wall, local-host simulation rate %.1f SYPD\n", wall, sypd)
 	fmt.Println("(for modeled TaihuLight SYPD at scale, see: benchtab -fig 6)")
-	finishObs(probe, *tracePath, obs.ReportInput{Steps: steps, SimSeconds: simSeconds, WallSeconds: wall})
+	finishObs(probe, *tracePath, obs.ReportInput{Steps: done, SimSeconds: simSeconds, WallSeconds: wall})
 	if *checkpoint != "" {
 		if err := core.SaveCheckpoint(*checkpoint, m.State, m.Solver.StepCount()); err != nil {
 			fmt.Fprintln(os.Stderr, "camsw: checkpoint:", err)
@@ -205,7 +239,7 @@ func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers int) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers int, interrupted func() bool) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -258,8 +292,18 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 	}
 	fmt.Printf("camsw: distributed dynamics, %d ranks, %v backend, %d steps, %d intra-rank workers\n",
 		nranks, backend, steps, job.EngineWorkers())
+	// The run is chunked so the loop can notice SIGINT/SIGTERM between
+	// chunks: a signal finishes the current chunk, then the normal tail
+	// (gather, final checkpoint, obs flush) runs.
+	chunk := ckEvery
+	if chunk < 1 {
+		if chunk = steps / 20; chunk < 1 {
+			chunk = 1
+		}
+	}
 	start := time.Now()
 	var stats core.RunStats
+	done := 0
 	if ckEvery > 0 && recoveryMode != "off" {
 		rj := core.NewResilientJob(job)
 		rj.CheckpointEvery = ckEvery
@@ -276,33 +320,57 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 				fmt.Printf("  recovery: %v\n", e)
 			}
 		}
-		rs, err := rj.Run(local, steps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "camsw:", err)
-			os.Exit(1)
+		var agg core.ResilientStats
+		for done < steps && !interrupted() {
+			n := chunk
+			if steps-done < n {
+				n = steps - done
+			}
+			rs, err := rj.Run(local, n)
+			// A shrink recovery replaces the state slice (the world lost
+			// a rank); the supervisor owns the current one.
+			local = rj.States()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "camsw:", err)
+				os.Exit(1)
+			}
+			addResilientStats(&agg, rs)
+			done += n
 		}
-		stats = rs.Run
-		// A shrink recovery replaces the state slice (the world lost a
-		// rank); the supervisor owns the current one.
-		local = rj.States()
+		stats = agg.Run
 		fmt.Printf("  resilience (%s): %d ckpt, %d/%d retransmits recovered, %d localized, %d respawn, %d shrink, %d rollback, %.1f ms in recovery\n",
-			recoveryMode, rs.Checkpoints, rs.RetxRecovered, rs.RetxAttempts,
-			rs.Localized, rs.Respawns, rs.Shrinks, rs.Rollbacks,
-			float64(rs.RecoveryNs)/1e6)
+			recoveryMode, agg.Checkpoints, agg.RetxRecovered, agg.RetxAttempts,
+			agg.Localized, agg.Respawns, agg.Shrinks, agg.Rollbacks,
+			float64(agg.RecoveryNs)/1e6)
 		if probe != nil {
 			fmt.Printf("  recovery counters: %d steps replayed, %d giveups\n",
 				probe.Reg.CounterValue("core.recovery.replayed_steps"),
 				probe.Reg.CounterValue("core.recovery.giveups"))
 		}
 	} else {
-		stats, err = job.RunChecked(local, steps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "camsw:", err)
-			fmt.Fprintln(os.Stderr, "camsw: (use -checkpoint-every N to recover from faults automatically)")
-			os.Exit(1)
+		for done < steps && !interrupted() {
+			n := chunk
+			if steps-done < n {
+				n = steps - done
+			}
+			st, err := job.RunChecked(local, n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "camsw:", err)
+				fmt.Fprintln(os.Stderr, "camsw: (use -checkpoint-every N to recover from faults automatically)")
+				os.Exit(1)
+			}
+			stats.Halo.Add(st.Halo)
+			stats.Cost.Add(st.Cost)
+			stats.RetxAttempts += st.RetxAttempts
+			stats.RetxRecovered += st.RetxRecovered
+			stats.Steps = st.Steps
+			done += n
 		}
 	}
 	wall := time.Since(start).Seconds()
+	if done < steps {
+		fmt.Printf("camsw: interrupted after step %d/%d\n", done, steps)
+	}
 	got := job.Gather(local)
 	fmt.Printf("  maxwind %.1f m/s, mass %.6e\n", s.MaxWind(got), s.TotalMass(got))
 	fmt.Printf("  halo: %d msgs, %.2f MB wire, %.2f MB staged\n",
@@ -312,7 +380,34 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		100*float64(stats.Cost.FlopsVector)/float64(stats.Cost.Flops()+1),
 		float64(stats.Cost.MemBytes)/1e6, stats.Cost.RegMsgs)
 	fmt.Printf("done in %.1fs wall\n", wall)
+	if ckPath != "" {
+		if err := core.SaveCheckpoint(ckPath, got, job.StepCount()); err != nil {
+			fmt.Fprintln(os.Stderr, "camsw: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written: %s\n", ckPath)
+	}
 	finishObs(probe, tracePath, obs.ReportInput{
-		Steps: steps, SimSeconds: float64(steps) * cfg.Dt, WallSeconds: wall,
+		Steps: done, SimSeconds: float64(done) * cfg.Dt, WallSeconds: wall,
 	})
+}
+
+// addResilientStats folds one chunk's supervision stats into the run
+// aggregate.
+func addResilientStats(agg *core.ResilientStats, rs core.ResilientStats) {
+	agg.Run.Halo.Add(rs.Run.Halo)
+	agg.Run.Cost.Add(rs.Run.Cost)
+	agg.Run.Steps = rs.Run.Steps
+	agg.Run.RetxAttempts += rs.Run.RetxAttempts
+	agg.Run.RetxRecovered += rs.Run.RetxRecovered
+	agg.Checkpoints += rs.Checkpoints
+	agg.Rollbacks += rs.Rollbacks
+	agg.Localized += rs.Localized
+	agg.Respawns += rs.Respawns
+	agg.Shrinks += rs.Shrinks
+	agg.RetxAttempts += rs.RetxAttempts
+	agg.RetxRecovered += rs.RetxRecovered
+	agg.RecoveryNs += rs.RecoveryNs
+	agg.BuddyBytes += rs.BuddyBytes
+	agg.Events = append(agg.Events, rs.Events...)
 }

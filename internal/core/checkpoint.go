@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -135,6 +136,26 @@ func ReadCheckpoint(r io.Reader) (*dycore.State, int, error) {
 		}
 	}
 	return st, int(h.Step), nil
+}
+
+// EncodeStateBytes serializes a state (plus its step) into a v2
+// checkpoint byte payload — fixed header, raw fields, CRC32-C trailer.
+// This is the in-memory flavour of WriteCheckpoint, shared by the buddy
+// replication wire format and the serving layer's snapshot store.
+func EncodeStateBytes(st *dycore.State, step int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, st, step); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeStateBytes restores a state from EncodeStateBytes output,
+// verifying framing, dimensions, and the payload CRC. Arbitrary input
+// yields an error, never a panic (the byte format is the fuzzed
+// checkpoint format).
+func DecodeStateBytes(b []byte) (*dycore.State, int, error) {
+	return ReadCheckpoint(bytes.NewReader(b))
 }
 
 // SaveCheckpoint writes the state to a file, durably: the temp file is

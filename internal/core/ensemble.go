@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math/rand"
+
+	"swcam/internal/dycore"
+)
+
+// Ensemble initial-condition perturbation. Operational ensemble
+// forecasting runs N copies of the model from slightly different
+// analyses; the spread of the members brackets the forecast
+// uncertainty. The miniature version: a seeded, deterministic
+// temperature perturbation on top of a shared base state, so member i
+// is exactly reproducible from (base IC, seed) — the property the
+// serving layer's bit-identity chaos tests lean on: a member restarted
+// from a snapshot must rejoin the very trajectory its seed defines.
+
+// PerturbInitial applies a deterministic temperature perturbation of
+// amplitude amp (K) drawn from the given seed to every node of st.
+// amp <= 0 is a no-op (the unperturbed control member). The same
+// (seed, amp, state shape) always produces the same perturbation.
+func PerturbInitial(st *dycore.State, seed int64, amp float64) {
+	if amp <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for ei := range st.T {
+		row := st.T[ei]
+		for i := range row {
+			row[i] += amp * (2*rng.Float64() - 1)
+		}
+	}
+}

@@ -62,15 +62,38 @@ type BenchRecovery struct {
 	RecoveryWallNs int64 `json:"recovery_wall_ns"` // wall time inside recovery actions
 }
 
+// BenchServing records a load-generator run against the ensemble
+// forecast service: sustained request rate, latency percentiles, and
+// the degradation the run observed (sheds, stale serves, member
+// restarts). Nil for pure-compute benchmarks — the block is additive,
+// so older consumers and older files interoperate unchanged.
+type BenchServing struct {
+	Members       int     `json:"members"`       // ensemble size served
+	DurationSecs  float64 `json:"duration_secs"` // load window
+	Requests      int64   `json:"requests"`      // completed requests
+	QPS           float64 `json:"qps"`           // sustained completed-request rate
+	P50Ms         float64 `json:"p50_ms"`        // median latency
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Errors5xx     int64   `json:"errors_5xx"`     // server-fault responses observed
+	Shed429       int64   `json:"shed_429"`       // load-shed responses (429)
+	StaleServes   int64   `json:"stale_serves"`   // responses carrying a staleness header
+	Restarts      int64   `json:"restarts"`       // member restarts during the window
+	Quarantines   int64   `json:"quarantines"`    // members quarantined during the window
+	TornSnapshots int64   `json:"torn_snapshots"` // detected-and-retried torn reads
+}
+
 // BenchFile is the on-disk schema of BENCH_<n>.json — the perf
 // trajectory's data points: per-kernel nanoseconds and bytes plus SYPD
-// for every backend measured, and (when faults were injected) the
-// recovery activity that the measured wall time absorbed.
+// for every backend measured, (when faults were injected) the recovery
+// activity that the measured wall time absorbed, and (for serving
+// benchmarks) the load-test summary.
 type BenchFile struct {
 	Schema   string                  `json:"schema"`
 	Config   BenchConfig             `json:"config"`
-	Backends map[string]BenchBackend `json:"backends"`
+	Backends map[string]BenchBackend `json:"backends,omitempty"`
 	Recovery *BenchRecovery          `json:"recovery,omitempty"`
+	Serving  *BenchServing           `json:"serving,omitempty"`
 }
 
 // NewBenchFile builds a file from per-backend kernel tables and rates.
@@ -105,9 +128,10 @@ func (f *BenchFile) SetBackendOverlap(name string, ratio float64) {
 }
 
 // Validate checks the schema invariants CI enforces: known schema
-// string, a sane configuration, at least one backend, and for every
-// backend a finite nonzero SYPD and a non-empty kernel set with
-// positive times.
+// string, a sane configuration, at least one backend (or a serving
+// block — a pure serving benchmark measures latency, not kernels), and
+// for every backend a finite nonzero SYPD and a non-empty kernel set
+// with positive times.
 func (f *BenchFile) Validate() error {
 	if f == nil {
 		return fmt.Errorf("obs: nil bench file")
@@ -118,8 +142,8 @@ func (f *BenchFile) Validate() error {
 	if f.Config.Ne < 1 || f.Config.Nlev < 1 || f.Config.Steps < 1 || f.Config.Ranks < 1 {
 		return fmt.Errorf("obs: bench config %+v has a non-positive dimension", f.Config)
 	}
-	if len(f.Backends) == 0 {
-		return fmt.Errorf("obs: bench file has no backends")
+	if len(f.Backends) == 0 && f.Serving == nil {
+		return fmt.Errorf("obs: bench file has neither backends nor a serving block")
 	}
 	for name, b := range f.Backends {
 		if b.SYPD <= 0 || math.IsNaN(b.SYPD) || math.IsInf(b.SYPD, 0) {
@@ -158,6 +182,44 @@ func (f *BenchFile) Validate() error {
 		if rec.Retransmitted > rec.Retransmits {
 			return fmt.Errorf("obs: bench recovery retransmitted %d exceeds retransmits %d",
 				rec.Retransmitted, rec.Retransmits)
+		}
+	}
+	if sv := f.Serving; sv != nil {
+		if sv.Members < 1 {
+			return fmt.Errorf("obs: bench serving members %d < 1", sv.Members)
+		}
+		if sv.DurationSecs <= 0 || math.IsNaN(sv.DurationSecs) || math.IsInf(sv.DurationSecs, 0) {
+			return fmt.Errorf("obs: bench serving duration %v not positive-finite", sv.DurationSecs)
+		}
+		if sv.Requests < 1 {
+			return fmt.Errorf("obs: bench serving has no completed requests")
+		}
+		if sv.QPS <= 0 || math.IsNaN(sv.QPS) || math.IsInf(sv.QPS, 0) {
+			return fmt.Errorf("obs: bench serving qps %v not positive-finite", sv.QPS)
+		}
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{{"p50_ms", sv.P50Ms}, {"p90_ms", sv.P90Ms}, {"p99_ms", sv.P99Ms}} {
+			if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+				return fmt.Errorf("obs: bench serving %s %v not positive-finite", c.name, c.v)
+			}
+		}
+		if sv.P50Ms > sv.P90Ms || sv.P90Ms > sv.P99Ms {
+			return fmt.Errorf("obs: bench serving percentiles not monotone: p50 %v p90 %v p99 %v",
+				sv.P50Ms, sv.P90Ms, sv.P99Ms)
+		}
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"errors_5xx", sv.Errors5xx}, {"shed_429", sv.Shed429},
+			{"stale_serves", sv.StaleServes}, {"restarts", sv.Restarts},
+			{"quarantines", sv.Quarantines}, {"torn_snapshots", sv.TornSnapshots},
+		} {
+			if c.v < 0 {
+				return fmt.Errorf("obs: bench serving %s is negative: %d", c.name, c.v)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+func decodeBody(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// Load generation against a running forecast service. The generator is
+// a library (cmd/swload wraps it; the chaos soak drives it in-process
+// against an httptest server) so the "sustained QPS under faults"
+// acceptance test and the CLI measure with the same code.
+
+// LoadConfig describes one load run.
+type LoadConfig struct {
+	BaseURL    string        // e.g. http://127.0.0.1:8090
+	Duration   time.Duration // load window (default 10s)
+	Workers    int           // concurrent closed-loop clients (default 4)
+	DeadlineMs int           // per-request deadline sent to the server (0 = server default)
+	Seed       int64         // request-mix seed
+	Client     *http.Client  // optional; defaults to a fresh client
+}
+
+// LoadResult is what the window observed, counted from the client side
+// — the service's contract is judged by what clients actually receive.
+type LoadResult struct {
+	Duration  time.Duration
+	Requests  int64         // responses received (any status)
+	ByStatus  map[int]int64 // response count per HTTP status
+	Errors5xx int64         // status >= 500
+	Shed429   int64         // load-shed responses
+	Stale     int64         // responses carrying X-Swcam-Stale
+	Transport int64         // requests that failed below HTTP (conn refused, ...)
+	LatMs     []float64     // latency of every response, ms
+}
+
+// Percentile returns the exact p-th latency percentile (nearest-rank)
+// in ms, 0 if no samples.
+func (r *LoadResult) Percentile(p float64) float64 {
+	n := len(r.LatMs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, r.LatMs)
+	sort.Float64s(s)
+	idx := int(p/100*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx]
+}
+
+// QPS returns the sustained completed-request rate.
+func (r *LoadResult) QPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Duration.Seconds()
+}
+
+// loadMix is the rotation of query shapes one worker cycles through: a
+// representative read mix (slices, points, statistics, tracks, status).
+func loadMix(members int, rng *rand.Rand) []string {
+	m := func() int { return rng.Intn(members) }
+	return []string{
+		fmt.Sprintf("/v1/field?member=%d&field=PS&nlon=36&nlat=18", m()),
+		fmt.Sprintf("/v1/point?member=%d&field=T&lon=-75.1&lat=23.1", m()),
+		"/v1/ensemble?field=PS&nlon=24&nlat=12",
+		fmt.Sprintf("/v1/track?member=%d", m()),
+		"/v1/members",
+	}
+}
+
+// RunLoad drives the service at cfg.BaseURL with closed-loop workers
+// for cfg.Duration and returns what the clients saw.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("serve: loadgen needs a base URL")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	res := &LoadResult{ByStatus: map[int]int64{}}
+	var mu sync.Mutex
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wkr)))
+			// Members count discovered lazily from /v1/config would add a
+			// failure mode; the mix just spreads across 8 and lets the
+			// server 404 extra indices — those are client errors, counted,
+			// never 5xx. Callers that know the ensemble size can rely on
+			// the modulo below being exact.
+			members := 8
+			if n := fetchMemberCount(ctx, client, cfg.BaseURL); n > 0 {
+				members = n
+			}
+			queries := loadMix(members, rng)
+			for i := 0; ctx.Err() == nil; i++ {
+				q := queries[i%len(queries)]
+				if cfg.DeadlineMs > 0 {
+					sep := "?"
+					for _, c := range q {
+						if c == '?' {
+							sep = "&"
+							break
+						}
+					}
+					q = fmt.Sprintf("%s%sdeadline_ms=%d", q, sep, cfg.DeadlineMs)
+				}
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+q, nil)
+				if err != nil {
+					continue
+				}
+				resp, err := client.Do(req)
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil {
+					if ctx.Err() == nil {
+						res.Transport++
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Requests++
+				res.ByStatus[resp.StatusCode]++
+				res.LatMs = append(res.LatMs, lat)
+				switch {
+				case resp.StatusCode >= 500:
+					res.Errors5xx++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.Shed429++
+				}
+				if resp.Header.Get(headerStale) != "" {
+					res.Stale++
+				}
+				mu.Unlock()
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// fetchMemberCount asks /v1/config for the ensemble size (0 on any
+// failure; the caller falls back to a guess).
+func fetchMemberCount(ctx context.Context, client *http.Client, base string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/config", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var cfg struct {
+		Members int `json:"members"`
+	}
+	if err := decodeBody(resp.Body, &cfg); err != nil {
+		return 0
+	}
+	return cfg.Members
+}

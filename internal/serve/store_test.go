@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"swcam/internal/dycore"
+	"swcam/internal/obs"
+)
+
+func testState(t *testing.T, fill float64) (*dycore.Solver, *dycore.State) {
+	t.Helper()
+	cfg := dycore.DefaultConfig(2)
+	cfg.Nlev = 4
+	cfg.Qsize = 1
+	s, err := dycore.NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.NewState()
+	s.InitRest(st, 288+fill)
+	return s, st
+}
+
+func TestStorePublishReadRoundtrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore(2, reg)
+
+	if _, _, err := store.Read(0); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty slot: want ErrNoSnapshot, got %v", err)
+	}
+	if _, ok := store.Latest(0); ok {
+		t.Fatal("empty slot reported a Latest")
+	}
+
+	_, st := testState(t, 0)
+	if err := store.Publish(0, 7, 1.5, st); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := store.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 7 || meta.Version != 1 || meta.SimHours != 1.5 || meta.Member != 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	for ei := range st.T {
+		for i := range st.T[ei] {
+			if got.T[ei][i] != st.T[ei][i] {
+				t.Fatalf("decoded T[%d][%d] = %v, want %v", ei, i, got.T[ei][i], st.T[ei][i])
+			}
+		}
+	}
+	// Other slots are untouched.
+	if _, _, err := store.Read(1); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("slot 1: want ErrNoSnapshot, got %v", err)
+	}
+}
+
+func TestStoreVersionsAdvanceAndCacheIsReused(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore(1, reg)
+	_, st := testState(t, 0)
+
+	for i := 1; i <= 3; i++ {
+		if err := store.Publish(0, i, float64(i), st); err != nil {
+			t.Fatal(err)
+		}
+		meta, ok := store.Latest(0)
+		if !ok || meta.Version != int64(i) || meta.Step != i {
+			t.Fatalf("publish %d: meta %+v", i, meta)
+		}
+	}
+	a, _, err := store.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := store.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two reads of one version decoded twice (cache not reused)")
+	}
+	if n := reg.CounterValue("serve.snapshots.published"); n != 3 {
+		t.Fatalf("published counter = %d, want 3", n)
+	}
+}
+
+func TestStoreTornSnapshotDetectedNotServed(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := NewStore(1, reg)
+	_, st := testState(t, 0)
+	if err := store.Publish(0, 1, 0.5, st); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the writer lapping a slow reader: the published buffer's
+	// bytes change under the unchanged snapshot pointer. Every read
+	// attempt sees the same corrupt view, so the store must fail with
+	// ErrTornSnapshot — never return a state decoded from those bytes.
+	snap := store.slots[0].cur.Load()
+	snap.data[len(snap.data)/2] ^= 0xFF
+	if _, _, err := store.Read(0); !errors.Is(err, ErrTornSnapshot) {
+		t.Fatalf("want ErrTornSnapshot, got %v", err)
+	}
+	if n := reg.CounterValue("serve.snapshots.torn"); n < 1 {
+		t.Fatal("torn reads were not counted")
+	}
+	// A fresh publish repairs service.
+	if err := store.Publish(0, 2, 1.0, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Read(0); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+}
+
+func TestStoreDoubleBufferSurvivesAlternatingPublishes(t *testing.T) {
+	store := NewStore(1, nil) // nil registry: counters are inert
+	_, st := testState(t, 0)
+	for i := 1; i <= 10; i++ {
+		if err := store.Publish(0, i, 0, st); err != nil {
+			t.Fatal(err)
+		}
+		if _, meta, err := store.Read(0); err != nil || meta.Step != i {
+			t.Fatalf("publish %d: meta %+v err %v", i, meta, err)
+		}
+	}
+}
+
+func TestParseKillPlan(t *testing.T) {
+	tests := []struct {
+		spec    string
+		want    map[int][]int
+		wantErr bool
+	}{
+		{spec: "", want: nil},
+		{spec: "1@3", want: map[int][]int{1: {3}}},
+		{spec: "1@3,1@9,0@2", want: map[int][]int{0: {2}, 1: {3, 9}}},
+		{spec: "1@9,1@3", want: map[int][]int{1: {3, 9}}}, // sorted
+		{spec: "nope", wantErr: true},
+		{spec: "1@", wantErr: true},
+		{spec: "-1@2", wantErr: true},
+		{spec: "1@-2", wantErr: true},
+		{spec: "a@b", wantErr: true},
+	}
+	for _, tt := range tests {
+		plan, err := ParseKillPlan(tt.spec)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseKillPlan(%q): want error", tt.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseKillPlan(%q): %v", tt.spec, err)
+			continue
+		}
+		if len(plan) != len(tt.want) {
+			t.Errorf("ParseKillPlan(%q) = %v, want %v", tt.spec, plan, tt.want)
+			continue
+		}
+		for m, cycles := range tt.want {
+			got := plan[m]
+			if len(got) != len(cycles) {
+				t.Errorf("ParseKillPlan(%q)[%d] = %v, want %v", tt.spec, m, got, cycles)
+				continue
+			}
+			for i := range cycles {
+				if got[i] != cycles[i] {
+					t.Errorf("ParseKillPlan(%q)[%d] = %v, want %v", tt.spec, m, got, cycles)
+				}
+			}
+		}
+	}
+}

@@ -8,13 +8,14 @@ import (
 )
 
 // Fix is one tracker position: the storm centre and intensity at one
-// time.
+// time. The JSON tags are the wire shape of the forecast service's
+// TC-track endpoint (internal/serve), so field renames are API changes.
 type Fix struct {
-	Hours float64 // since initialization
-	Lon   float64 // radians
-	Lat   float64 // radians
-	MSWms float64 // maximum sustained wind within the search radius, m/s
-	MinPs float64 // minimum surface pressure, Pa
+	Hours float64 `json:"hours"`   // since initialization
+	Lon   float64 `json:"lon_rad"` // radians
+	Lat   float64 `json:"lat_rad"` // radians
+	MSWms float64 `json:"msw_ms"`  // maximum sustained wind within the search radius, m/s
+	MinPs float64 `json:"min_ps"`  // minimum surface pressure, Pa
 }
 
 // MSWkt returns the maximum sustained wind in knots, Figure 9d's unit.
