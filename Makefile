@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap trace figures outputs serve loadgen clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap scaling trace figures outputs serve loadgen clean
 
 all: build vet test
 
@@ -48,6 +48,14 @@ bench-tiled:
 bench-overlap:
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -overlap=false -dir bench
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -require-overlap -dir bench
+
+# The measured scaling campaign (internal/scale): real weak+strong
+# goroutine-rank sweeps on this box up to 256 ranks, the calibrated
+# cost-model fit, and the full-machine SYPD-vs-resolution
+# extrapolation table, appended to bench/ as a BENCH `scaling` block.
+scaling:
+	$(GO) run ./cmd/scaling -mode calibrate -ne 8 -min-np 16 -max-np 256 \
+	    -backend athread -dir bench
 
 # A Chrome trace of all four backends on a small configuration; load
 # swcam.trace.json in chrome://tracing or ui.perfetto.dev.

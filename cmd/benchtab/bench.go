@@ -127,8 +127,8 @@ func loadBenchSet(paths []string) ([]benchEntry, error) {
 // print n/a.
 func writeBenchTable(w io.Writer, entries []benchEntry) {
 	fmt.Fprintln(w, "== Performance trajectory (BENCH files) ==")
-	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %s\n",
-		"file", "config", "backends (SYPD)", "overlap", "recovery", "serving")
+	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-28s %s\n",
+		"file", "config", "backends (SYPD)", "overlap", "recovery", "serving", "scaling")
 	for _, e := range entries {
 		f := e.File
 		cfg := fmt.Sprintf("ne%d L%d r%d", f.Config.Ne, f.Config.Nlev, f.Config.Ranks)
@@ -165,8 +165,17 @@ func writeBenchTable(w io.Writer, entries []benchEntry) {
 			serving = fmt.Sprintf("%.0f req/s p99 %.1fms (%dm)", s.QPS, s.P99Ms, s.Members)
 		}
 
-		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %s\n",
-			filepath.Base(e.Path), cfg, backends, overlap, recovery, serving)
+		scaling := "n/a"
+		if sc := f.Scaling; sc != nil {
+			scaling = fmt.Sprintf("%s %dpt", sc.Mode, len(sc.Strong)+len(sc.Weak))
+			if n := len(sc.Projection); n > 0 {
+				last := sc.Projection[n-1]
+				scaling += fmt.Sprintf(" ne%d %.3g SYPD", last.Ne, last.SYPD)
+			}
+		}
+
+		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-28s %s\n",
+			filepath.Base(e.Path), cfg, backends, overlap, recovery, serving, scaling)
 	}
 	fmt.Fprintln(w)
 }

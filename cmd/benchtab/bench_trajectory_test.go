@@ -40,6 +40,24 @@ const benchServing = `{
               "restarts": 2, "quarantines": 0, "torn_snapshots": 1}
 }`
 
+const benchScaling = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 4, "nlev": 4, "qsize": 1, "steps": 2, "ranks": 4},
+  "scaling": {
+    "mode": "calibrated", "backend": "intel", "budget_bytes_per_rank": 536870912,
+    "strong": [{"ne": 4, "ranks": 4, "elems_per_rank": 24, "steps": 2,
+                "wall_ns": 15000000, "per_step_ns": 7500000, "dyn_ns": 8000000,
+                "halo_ns": 40000000, "coll_ns": 9000000, "wire_bytes": 400000,
+                "msgs": 3000, "rank_bytes": 200000, "sypd": 270.0,
+                "flops": 90000000, "mem_bytes": 260000000}],
+    "fit": {"ns_per_flop": 0.7, "ns_per_byte": 0, "ns_per_msg": 0,
+            "ns_per_wire_byte": 14.0, "fixed_ns": 0, "points": 8,
+            "residual_rms": 0.1},
+    "projection": [{"ne": 256, "res_km": 11.7, "ranks": 163840, "sypd": 87.3,
+                    "model_sypd": 146.8}]
+  }
+}`
+
 const benchForeignSchema = `{
   "schema": "swcam-bench/v999",
   "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
@@ -79,13 +97,19 @@ func TestBenchTableOptionalBlocks(t *testing.T) {
 			want:  []string{"200 req/s", "p99 9.9ms", "(3m)"},
 		},
 		{
+			name:  "scaling-only file renders mode and projection",
+			files: map[string]string{"BENCH_1.json": benchScaling},
+			want:  []string{"calibrated 1pt", "ne256 87.3 SYPD"},
+		},
+		{
 			name: "mixed eras of one schema coexist",
 			files: map[string]string{
 				"BENCH_1.json": benchOld,
 				"BENCH_2.json": benchFull,
 				"BENCH_3.json": benchServing,
+				"BENCH_4.json": benchScaling,
 			},
-			want: []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json"},
+			want: []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json", "BENCH_4.json"},
 		},
 		{
 			name: "mixed schema versions are rejected with both versions named",

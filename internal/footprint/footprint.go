@@ -185,3 +185,53 @@ func OpenACCWholeElementKernel(np, nlev, nfields int) Kernel {
 		},
 	}
 }
+
+// RankFootprint is the host-memory bill for one rank of the distributed
+// driver, the number the scaling campaign's per-rank memory budget is
+// enforced against. Unlike the LDM analysis above (which is about one
+// kernel's 64 KB scratchpad working set), this accounts the resident
+// per-rank state: the prognostic fields plus the driver's pooled step
+// scratch.
+type RankFootprint struct {
+	Elems        int // local elements on the rank
+	StateBytes   int // prognostic dycore.State (U,V,T,DP,Qdp,Phis)
+	ScratchBytes int // pooled stepScratch: 2 state copies + 4 laplacians + tracer scratch
+}
+
+// Total is the rank's resident float64 bytes.
+func (f RankFootprint) Total() int { return f.StateBytes + f.ScratchBytes }
+
+// stateFloatsPerElem counts one element's prognostic float64s: four
+// level fields (U,V,T,DP), qsize tracer-mass fields, and the surface
+// geopotential.
+func stateFloatsPerElem(np, nlev, qsize int) int {
+	npsq := np * np
+	return (4+qsize)*nlev*npsq + npsq
+}
+
+// RankState bills elems local elements at the given dims. The scratch
+// term mirrors core's stepScratch pool exactly: two full state copies
+// (time-level staging), four per-level laplacian fields
+// (hyperviscosity), and one tracer-shaped field (limiter staging).
+func RankState(np, nlev, qsize, elems int) RankFootprint {
+	npsq := np * np
+	perState := stateFloatsPerElem(np, nlev, qsize)
+	scratch := 2*perState + (4*nlev+qsize*nlev)*npsq
+	return RankFootprint{
+		Elems:        elems,
+		StateBytes:   elems * perState * 8,
+		ScratchBytes: elems * scratch * 8,
+	}
+}
+
+// MaxElemsWithin returns the largest local element count whose rank
+// footprint stays within budgetBytes (zero when even one element does
+// not fit) — the knob the sweep harness uses to refuse configurations
+// that would overcommit the box.
+func MaxElemsWithin(np, nlev, qsize, budgetBytes int) int {
+	one := RankState(np, nlev, qsize, 1).Total()
+	if one <= 0 || budgetBytes < one {
+		return 0
+	}
+	return budgetBytes / one
+}

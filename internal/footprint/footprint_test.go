@@ -122,3 +122,52 @@ func TestCopiesMultiply(t *testing.T) {
 		t.Errorf("copies accounting wrong: %d vs %d", double.FullBytes, single.FullBytes)
 	}
 }
+
+// TestRankStateMatchesAllocatedState cross-checks the accounting
+// formula against the real thing: summing len() over every field of an
+// actual dycore.State must equal StateBytes/8, for a grid of dims.
+func TestRankStateMatchesAllocatedState(t *testing.T) {
+	for _, tc := range []struct{ np, nlev, qsize, elems int }{
+		{4, 30, 4, 1},
+		{4, 30, 4, 24},
+		{4, 8, 2, 6},
+		{4, 128, 27, 3}, // CAM production dims
+		{3, 4, 0, 5},    // tracer-free
+	} {
+		st := dycore.NewState(tc.elems, tc.np, tc.nlev, tc.qsize)
+		floats := 0
+		for e := 0; e < tc.elems; e++ {
+			floats += len(st.U[e]) + len(st.V[e]) + len(st.T[e]) +
+				len(st.DP[e]) + len(st.Qdp[e]) + len(st.Phis[e])
+		}
+		f := RankState(tc.np, tc.nlev, tc.qsize, tc.elems)
+		if got := f.StateBytes; got != floats*8 {
+			t.Errorf("%+v: StateBytes = %d, allocated state holds %d bytes", tc, got, floats*8)
+		}
+		// Scratch is 2 state copies + 4 laplacian fields + 1 tracer field.
+		npsq := tc.np * tc.np
+		scratchFloats := 2*floats + tc.elems*(4*tc.nlev*npsq+tc.qsize*tc.nlev*npsq)
+		if got := f.ScratchBytes; got != scratchFloats*8 {
+			t.Errorf("%+v: ScratchBytes = %d, want %d", tc, got, scratchFloats*8)
+		}
+		if f.Total() != f.StateBytes+f.ScratchBytes {
+			t.Errorf("%+v: Total %d != state %d + scratch %d", tc, f.Total(), f.StateBytes, f.ScratchBytes)
+		}
+	}
+}
+
+// TestMaxElemsWithin: the budget knob is exact — MaxElemsWithin fits,
+// one more element does not.
+func TestMaxElemsWithin(t *testing.T) {
+	const np, nlev, qsize = 4, 30, 4
+	one := RankState(np, nlev, qsize, 1).Total()
+	for _, budget := range []int{0, one - 1, one, 10 * one, 10*one + one/2} {
+		k := MaxElemsWithin(np, nlev, qsize, budget)
+		if k > 0 && RankState(np, nlev, qsize, k).Total() > budget {
+			t.Errorf("budget %d: %d elements overshoot", budget, k)
+		}
+		if RankState(np, nlev, qsize, k+1).Total() <= budget {
+			t.Errorf("budget %d: could have fit %d elements, said %d", budget, k+1, k)
+		}
+	}
+}

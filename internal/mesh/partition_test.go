@@ -171,3 +171,107 @@ func TestShrinkPartition(t *testing.T) {
 		t.Fatal("shrinking a 1-rank partition accepted")
 	}
 }
+
+// TestHilbertOrderIsPermutation: every element appears exactly once.
+func TestHilbertOrderIsPermutation(t *testing.T) {
+	for _, ne := range []int{2, 3, 4, 5, 8} {
+		m := New(ne, 4)
+		order := m.HilbertOrder()
+		seen := make([]bool, m.NElems())
+		for _, id := range order {
+			if id < 0 || id >= m.NElems() || seen[id] {
+				t.Fatalf("ne=%d: bad or repeated id %d", ne, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestHilbertOrderAdjacency pins the property Morton lacks: for
+// power-of-two face grids, consecutive elements along the Hilbert curve
+// within a face are edge-adjacent — no diagonal quadrant jumps.
+func TestHilbertOrderAdjacency(t *testing.T) {
+	for _, ne := range []int{2, 4, 8} {
+		m := New(ne, 4)
+		order := m.HilbertOrder()
+		for i := 1; i < len(order); i++ {
+			a, b := m.Elements[order[i-1]], m.Elements[order[i]]
+			if a.Face != b.Face {
+				continue // face seams are allowed to jump
+			}
+			di, dj := a.FI-b.FI, a.FJ-b.FJ
+			if di*di+dj*dj != 1 {
+				t.Fatalf("ne=%d: Hilbert jump within face %d: (%d,%d)->(%d,%d)",
+					ne, a.Face, a.FI, a.FJ, b.FI, b.FJ)
+			}
+		}
+	}
+}
+
+// TestPartitionNeverWorseThanMorton is the partition-locality property:
+// because Partition chops both candidate curves and keeps the smaller
+// edge cut, its cut can never exceed the historical Morton-only chop,
+// at any mesh size or rank count.
+func TestPartitionNeverWorseThanMorton(t *testing.T) {
+	for _, ne := range []int{2, 3, 4, 5, 6, 8} {
+		m := New(ne, 4)
+		for _, nranks := range []int{2, 3, 4, 5, 7, 8, 12, 16} {
+			if nranks > m.NElems() {
+				continue
+			}
+			rankOf, err := m.Partition(nranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			morton := chopOrder(m.SFCOrder(), nranks)
+			if got, ref := m.CutEdges(rankOf), m.CutEdges(morton); got > ref {
+				t.Errorf("ne=%d nranks=%d: Partition cut %d > Morton chop cut %d",
+					ne, nranks, got, ref)
+			}
+		}
+	}
+}
+
+// TestHilbertUsuallyBeatsMorton documents that the upgrade is real, not
+// vacuous: summed over a representative sweep, the Hilbert chop's edge
+// cut is strictly below Morton's.
+func TestHilbertUsuallyBeatsMorton(t *testing.T) {
+	totalH, totalM := 0, 0
+	for _, ne := range []int{4, 6, 8} {
+		m := New(ne, 4)
+		for _, nranks := range []int{4, 6, 8, 12} {
+			totalH += m.CutEdges(chopOrder(m.HilbertOrder(), nranks))
+			totalM += m.CutEdges(chopOrder(m.SFCOrder(), nranks))
+		}
+	}
+	if totalH >= totalM {
+		t.Errorf("Hilbert total cut %d not below Morton total cut %d over the sweep", totalH, totalM)
+	}
+}
+
+// TestShrinkPartitionFollowsOwningCurve: shrinking a Hilbert-chopped
+// partition must keep it contiguous along the Hilbert curve (one run of
+// curve positions per rank), and likewise for a Morton chop.
+func TestShrinkPartitionFollowsOwningCurve(t *testing.T) {
+	m := New(4, 4)
+	const nranks = 6
+	for _, tc := range []struct {
+		name  string
+		order []int
+	}{
+		{"hilbert", m.HilbertOrder()},
+		{"morton", m.SFCOrder()},
+	} {
+		rankOf := chopOrder(tc.order, nranks)
+		for dead := 0; dead < nranks; dead++ {
+			out, err := m.ShrinkPartition(rankOf, dead, nranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := orderBreaks(tc.order, out); b != nranks-2 {
+				t.Errorf("%s dead=%d: %d breaks along owning curve, want %d (contiguous)",
+					tc.name, dead, b, nranks-2)
+			}
+		}
+	}
+}

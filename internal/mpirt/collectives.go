@@ -1,6 +1,9 @@
 package mpirt
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // barrier is a reusable counting barrier.
 type barrier struct {
@@ -47,6 +50,7 @@ func (b *barrier) wait(w *World) error {
 // unwinds the rank with ErrWorldAborted instead of waiting forever.
 func (c *Comm) Barrier() {
 	sp := c.span("mpirt.barrier")
+	defer c.collEnd(time.Now())
 	c.faultPoint(false)
 	if err := c.world.barrier.wait(c.world); err != nil {
 		fail(err)
@@ -81,13 +85,24 @@ const (
 	tagBcast
 	tagGather
 	tagAlltoall
+	tagAllreduce
 )
+
+// collEnd accumulates one finished collective into this rank's stats —
+// the per-phase timing signal the scaling campaign (internal/scale)
+// reads back out through DumpStats as mpirt.coll.*.
+func (c *Comm) collEnd(t0 time.Time) {
+	st := &c.world.stats[c.rank]
+	st.CollOps++
+	st.CollNs += time.Since(t0).Nanoseconds()
+}
 
 // Reduce combines in[] element-wise across ranks with op; the result
 // lands in out[] on root only. Implemented as a fan-in tree on rank ids.
 func (c *Comm) Reduce(root int, op ReduceOp, in, out []float64) {
 	sp := c.span("mpirt.reduce")
 	defer sp.End()
+	defer c.collEnd(time.Now())
 	// Rotate ranks so the tree roots at 'root'.
 	me := (c.rank - root + c.world.n) % c.world.n
 	n := c.world.n
@@ -117,6 +132,7 @@ func (c *Comm) Reduce(root int, op ReduceOp, in, out []float64) {
 func (c *Comm) Bcast(root int, buf []float64) {
 	sp := c.span("mpirt.bcast")
 	defer sp.End()
+	defer c.collEnd(time.Now())
 	me := (c.rank - root + c.world.n) % c.world.n
 	n := c.world.n
 	// Find the highest power-of-two step at which this rank receives.
@@ -142,10 +158,85 @@ func (c *Comm) Bcast(root int, buf []float64) {
 	}
 }
 
-// Allreduce combines in[] across all ranks into out[] on every rank.
+// Allreduce combines in[] across all ranks into out[] on every rank,
+// by recursive doubling: log2(n) butterfly stages in which every rank
+// exchanges its accumulated block value with a partner, instead of the
+// old Reduce-to-0-then-Bcast (which traverses the tree twice and
+// serializes on rank 0). The floating-point association is EXACTLY the
+// binomial-tree fold of the old path — at every stage the combined
+// value is op(lower-half fold, upper-half fold), which is the grouping
+// the fan-in tree computes — so the result is bit-identical to
+// Reduce(0)+Bcast(0) for every op, vector length, and rank count,
+// including non-powers of two.
+//
+// Non-power-of-2 rank counts keep one invariant: whenever the upper
+// half-block of a stage is non-empty, the lower half-block is full
+// (its top rank is below the upper block's base, which is below n).
+// Upper-half ranks therefore always have a live partner; lower-half
+// ranks whose partner would be >= n instead receive the upper block's
+// fold from a designated substitute sender inside the upper block.
+// Every rank of every (possibly partial) block holds that block's fold
+// after each stage, by induction.
+//
+// The receive scratch and the accumulator live on the Comm and the
+// caller's out[], so a warm steady-state call performs no heap
+// allocation (bounded in TestAllreduceZeroAlloc).
 func (c *Comm) Allreduce(op ReduceOp, in, out []float64) {
 	sp := c.span("mpirt.allreduce")
 	defer sp.End()
+	defer c.collEnd(time.Now())
+	n := c.world.n
+	copy(out, in)
+	if n == 1 {
+		return
+	}
+	if cap(c.arScratch) < len(out) {
+		c.arScratch = make([]float64, len(out))
+	}
+	scr := c.arScratch[:len(out)]
+	me := c.rank
+	for s := 1; s < n; s *= 2 {
+		base := me &^ (2*s - 1) // this stage's 2s-aligned block base
+		if me&s != 0 {
+			// Upper half-block: partner always exists. Ship our fold,
+			// take the lower fold, combine as op(lower, upper).
+			partner := me - s
+			c.Send(partner, tagAllreduce, out)
+			// Substitute duty: lower-half ranks >= n-s have no partner;
+			// cover those congruent to our block index.
+			m := c.world.n - base - s // upper block population
+			for i := me - base - s; i < s-m; i += m {
+				c.Send(base+m+i, tagAllreduce, out)
+			}
+			c.Recv(partner, tagAllreduce, scr)
+			for k := range out {
+				out[k] = op(scr[k], out[k])
+			}
+			continue
+		}
+		// Lower half-block.
+		switch partner := me + s; {
+		case partner < n:
+			c.Send(partner, tagAllreduce, out)
+			c.Recv(partner, tagAllreduce, scr)
+		case base+s < n:
+			// Partner missing but the upper block exists: its fold
+			// arrives from the substitute sender chosen above.
+			m := n - base - s
+			c.Recv(base+s+(me-base-m)%m, tagAllreduce, scr)
+		default:
+			continue // upper block empty: our fold already covers it
+		}
+		for k := range out {
+			out[k] = op(out[k], scr[k])
+		}
+	}
+}
+
+// allreduceReduceBcast is the pre-recursive-doubling implementation,
+// retained as the reference for the collective differential tests: the
+// new butterfly must reproduce its floating-point result bit for bit.
+func (c *Comm) allreduceReduceBcast(op ReduceOp, in, out []float64) {
 	tmp := make([]float64, len(in))
 	c.Reduce(0, op, in, tmp)
 	if c.rank == 0 {
@@ -154,12 +245,17 @@ func (c *Comm) Allreduce(op ReduceOp, in, out []float64) {
 	c.Bcast(0, out)
 }
 
-// AllreduceScalar is Allreduce for a single value.
+// AllreduceScalar is Allreduce for a single value — the hot-path form
+// the blowup watchdog calls every checked step. The length-1 buffers
+// are pooled on the Comm, so a warm call allocates nothing.
 func (c *Comm) AllreduceScalar(op ReduceOp, x float64) float64 {
-	in := []float64{x}
-	out := make([]float64, 1)
-	c.Allreduce(op, in, out)
-	return out[0]
+	if c.arIn == nil {
+		c.arIn = make([]float64, 1)
+		c.arOut = make([]float64, 1)
+	}
+	c.arIn[0] = x
+	c.Allreduce(op, c.arIn, c.arOut)
+	return c.arOut[0]
 }
 
 // Gather collects equal-length contributions from every rank into out on
@@ -168,6 +264,7 @@ func (c *Comm) AllreduceScalar(op ReduceOp, x float64) float64 {
 func (c *Comm) Gather(root int, in, out []float64) {
 	sp := c.span("mpirt.gather")
 	defer sp.End()
+	defer c.collEnd(time.Now())
 	if c.rank == root {
 		copy(out[root*len(in):(root+1)*len(in)], in)
 		for r := 0; r < c.world.n; r++ {

@@ -46,6 +46,11 @@ type Stats struct {
 	// retransmit log instead of being escalated.
 	RetxAttempts  int64
 	RetxRecovered int64
+	// Collective activity: operations entered and wall time inside them
+	// (barrier, reduce, bcast, allreduce, gather). The scaling campaign
+	// reads these back as the per-phase "collective" bucket.
+	CollOps int64
+	CollNs  int64
 }
 
 type message struct {
@@ -343,6 +348,12 @@ func (w *World) Run(fn func(c *Comm)) error {
 type Comm struct {
 	world *World
 	rank  int
+
+	// Pooled collective scratch (grown on demand, reused every call) so
+	// the steady-state Allreduce/AllreduceScalar hot paths — the blowup
+	// watchdog runs one per checked step — allocate nothing.
+	arScratch   []float64
+	arIn, arOut []float64
 }
 
 // Rank returns this rank's id.

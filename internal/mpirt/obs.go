@@ -22,7 +22,7 @@ func (w *World) DumpStats(reg *obs.Registry) {
 		return
 	}
 	var msgsSent, bytesSent, msgsRecvd, bytesRecvd int64
-	var retxAtt, retxRec int64
+	var retxAtt, retxRec, collOps, collNs int64
 	for r := 0; r < w.n; r++ {
 		s := w.stats[r]
 		msgsSent += s.MsgsSent
@@ -31,6 +31,8 @@ func (w *World) DumpStats(reg *obs.Registry) {
 		bytesRecvd += s.BytesRecvd
 		retxAtt += s.RetxAttempts
 		retxRec += s.RetxRecovered
+		collOps += s.CollOps
+		collNs += s.CollNs
 		reg.Histogram("mpirt.rank.send.bytes").Observe(float64(s.BytesSent))
 	}
 	reg.Counter("mpirt.send.msgs").Add(msgsSent)
@@ -39,5 +41,7 @@ func (w *World) DumpStats(reg *obs.Registry) {
 	reg.Counter("mpirt.recv.bytes").Add(bytesRecvd)
 	reg.Counter("mpirt.retx.attempts").Add(retxAtt)
 	reg.Counter("mpirt.retx.recovered").Add(retxRec)
+	reg.Counter("mpirt.coll.ops").Add(collOps)
+	reg.Counter("mpirt.coll.ns").Add(collNs)
 	reg.Gauge("mpirt.ranks").Set(float64(w.n))
 }

@@ -83,17 +83,80 @@ type BenchServing struct {
 	TornSnapshots int64   `json:"torn_snapshots"` // detected-and-retried torn reads
 }
 
+// BenchScalingPoint is one measured configuration of a scaling sweep: a
+// real goroutine-rank run at (ne, ranks) with its per-phase wall-time
+// attribution and memory accounting.
+type BenchScalingPoint struct {
+	Ne           int     `json:"ne"`
+	Ranks        int     `json:"ranks"`
+	ElemsPerRank int     `json:"elems_per_rank"` // max local elements on any rank
+	Steps        int     `json:"steps"`
+	WallNs       int64   `json:"wall_ns"`     // whole-run wall time
+	DynNs        int64   `json:"dyn_ns"`      // kernel time, summed over ranks
+	HaloNs       int64   `json:"halo_ns"`     // DSS exchange time, summed over ranks
+	CollNs       int64   `json:"coll_ns"`     // collective time, summed over ranks
+	WireBytes    int64   `json:"wire_bytes"`  // halo bytes crossing rank boundaries
+	Msgs         int64   `json:"msgs"`        // point-to-point messages sent
+	RankBytes    int64   `json:"rank_bytes"`  // per-rank resident state footprint
+	SYPD         float64 `json:"sypd"`        // simulated years per day at this point
+	Flops        int64   `json:"flops"`       // accounted kernel flops, whole run
+	MemBytes     int64   `json:"mem_bytes"`   // accounted kernel bytes, whole run
+	PerStepNs    int64   `json:"per_step_ns"` // WallNs / Steps, the curve's y-axis
+}
+
+// BenchScalingFit is the calibrated cost model: per-step rank time
+// fitted as a·flops + b·membytes + c·msgs + d·wirebytes + e over the
+// measured points (least squares; see scale.Fit).
+type BenchScalingFit struct {
+	NsPerFlop     float64 `json:"ns_per_flop"`
+	NsPerByte     float64 `json:"ns_per_byte"`
+	NsPerMsg      float64 `json:"ns_per_msg"`
+	NsPerWireByte float64 `json:"ns_per_wire_byte"`
+	FixedNs       float64 `json:"fixed_ns"`
+	Points        int     `json:"points"`       // measurements fitted
+	ResidualRMS   float64 `json:"residual_rms"` // RMS relative residual over the fit
+}
+
+// BenchScalingProjection is one row of the NGGPS-style extrapolation
+// table: a resolution, the rank count it would run at, and the SYPD the
+// calibrated model (this box's coefficients scaled out) and the
+// TaihuLight machine model predict.
+type BenchScalingProjection struct {
+	Ne        int     `json:"ne"`
+	ResKm     float64 `json:"res_km"`
+	Ranks     int     `json:"ranks"`
+	SYPD      float64 `json:"sypd"`                 // calibrated-coefficients projection
+	ModelSYPD float64 `json:"model_sypd,omitempty"` // analytic TaihuLight model, when computed
+}
+
+// BenchScaling records a measured scaling campaign: weak/strong curves
+// of real rank sweeps, the per-rank memory budget they ran under, and
+// (in calibrate mode) the fitted cost model plus the full-machine
+// extrapolation table. Nil for non-campaign benchmarks — the block is
+// additive, so older consumers and older files interoperate unchanged.
+type BenchScaling struct {
+	Mode        string                   `json:"mode"`    // "measured" or "calibrated"
+	Backend     string                   `json:"backend"` // backend the sweep ran
+	BudgetBytes int64                    `json:"budget_bytes_per_rank"`
+	Weak        []BenchScalingPoint      `json:"weak,omitempty"`
+	Strong      []BenchScalingPoint      `json:"strong,omitempty"`
+	Fit         *BenchScalingFit         `json:"fit,omitempty"`
+	Projection  []BenchScalingProjection `json:"projection,omitempty"`
+}
+
 // BenchFile is the on-disk schema of BENCH_<n>.json — the perf
 // trajectory's data points: per-kernel nanoseconds and bytes plus SYPD
 // for every backend measured, (when faults were injected) the recovery
-// activity that the measured wall time absorbed, and (for serving
-// benchmarks) the load-test summary.
+// activity that the measured wall time absorbed, (for serving
+// benchmarks) the load-test summary, and (for scaling campaigns) the
+// measured curves and calibrated extrapolation.
 type BenchFile struct {
 	Schema   string                  `json:"schema"`
 	Config   BenchConfig             `json:"config"`
 	Backends map[string]BenchBackend `json:"backends,omitempty"`
 	Recovery *BenchRecovery          `json:"recovery,omitempty"`
 	Serving  *BenchServing           `json:"serving,omitempty"`
+	Scaling  *BenchScaling           `json:"scaling,omitempty"`
 }
 
 // NewBenchFile builds a file from per-backend kernel tables and rates.
@@ -128,10 +191,10 @@ func (f *BenchFile) SetBackendOverlap(name string, ratio float64) {
 }
 
 // Validate checks the schema invariants CI enforces: known schema
-// string, a sane configuration, at least one backend (or a serving
-// block — a pure serving benchmark measures latency, not kernels), and
-// for every backend a finite nonzero SYPD and a non-empty kernel set
-// with positive times.
+// string, a sane configuration, at least one backend (or a serving or
+// scaling block — those benchmarks measure latency or sweep curves, not
+// kernels), and for every backend a finite nonzero SYPD and a non-empty
+// kernel set with positive times.
 func (f *BenchFile) Validate() error {
 	if f == nil {
 		return fmt.Errorf("obs: nil bench file")
@@ -142,8 +205,8 @@ func (f *BenchFile) Validate() error {
 	if f.Config.Ne < 1 || f.Config.Nlev < 1 || f.Config.Steps < 1 || f.Config.Ranks < 1 {
 		return fmt.Errorf("obs: bench config %+v has a non-positive dimension", f.Config)
 	}
-	if len(f.Backends) == 0 && f.Serving == nil {
-		return fmt.Errorf("obs: bench file has neither backends nor a serving block")
+	if len(f.Backends) == 0 && f.Serving == nil && f.Scaling == nil {
+		return fmt.Errorf("obs: bench file has neither backends nor a serving or scaling block")
 	}
 	for name, b := range f.Backends {
 		if b.SYPD <= 0 || math.IsNaN(b.SYPD) || math.IsInf(b.SYPD, 0) {
@@ -219,6 +282,78 @@ func (f *BenchFile) Validate() error {
 		} {
 			if c.v < 0 {
 				return fmt.Errorf("obs: bench serving %s is negative: %d", c.name, c.v)
+			}
+		}
+	}
+	if sc := f.Scaling; sc != nil {
+		if sc.Mode != "measured" && sc.Mode != "calibrated" {
+			return fmt.Errorf("obs: bench scaling mode %q, want measured or calibrated", sc.Mode)
+		}
+		if sc.Backend == "" {
+			return fmt.Errorf("obs: bench scaling has no backend")
+		}
+		if sc.BudgetBytes < 0 {
+			return fmt.Errorf("obs: bench scaling budget %d is negative", sc.BudgetBytes)
+		}
+		if len(sc.Weak)+len(sc.Strong) == 0 {
+			return fmt.Errorf("obs: bench scaling block has no measured points")
+		}
+		checkCurve := func(curve string, pts []BenchScalingPoint) error {
+			for i, p := range pts {
+				if p.Ne < 1 || p.Ranks < 1 || p.Steps < 1 || p.ElemsPerRank < 1 {
+					return fmt.Errorf("obs: bench scaling %s[%d] has a non-positive dimension: %+v", curve, i, p)
+				}
+				if p.WallNs < 1 || p.PerStepNs < 1 {
+					return fmt.Errorf("obs: bench scaling %s[%d] has no wall time", curve, i)
+				}
+				if p.SYPD <= 0 || math.IsNaN(p.SYPD) || math.IsInf(p.SYPD, 0) {
+					return fmt.Errorf("obs: bench scaling %s[%d]: SYPD %v is zero/NaN/Inf", curve, i, p.SYPD)
+				}
+				if p.DynNs < 0 || p.HaloNs < 0 || p.CollNs < 0 ||
+					p.WireBytes < 0 || p.Msgs < 0 || p.RankBytes < 0 {
+					return fmt.Errorf("obs: bench scaling %s[%d] has a negative phase counter: %+v", curve, i, p)
+				}
+			}
+			return nil
+		}
+		if err := checkCurve("weak", sc.Weak); err != nil {
+			return err
+		}
+		if err := checkCurve("strong", sc.Strong); err != nil {
+			return err
+		}
+		if sc.Mode == "calibrated" && sc.Fit == nil {
+			return fmt.Errorf("obs: bench scaling mode calibrated but no fit block")
+		}
+		if fit := sc.Fit; fit != nil {
+			if fit.Points < 1 {
+				return fmt.Errorf("obs: bench scaling fit over %d points", fit.Points)
+			}
+			for _, c := range []struct {
+				name string
+				v    float64
+			}{
+				{"ns_per_flop", fit.NsPerFlop}, {"ns_per_byte", fit.NsPerByte},
+				{"ns_per_msg", fit.NsPerMsg}, {"ns_per_wire_byte", fit.NsPerWireByte},
+				{"fixed_ns", fit.FixedNs}, {"residual_rms", fit.ResidualRMS},
+			} {
+				if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+					return fmt.Errorf("obs: bench scaling fit %s %v is NaN/Inf", c.name, c.v)
+				}
+			}
+		}
+		for i, p := range sc.Projection {
+			if p.Ne < 1 || p.Ranks < 1 {
+				return fmt.Errorf("obs: bench scaling projection[%d] has a non-positive dimension: %+v", i, p)
+			}
+			if p.ResKm <= 0 || math.IsNaN(p.ResKm) || math.IsInf(p.ResKm, 0) {
+				return fmt.Errorf("obs: bench scaling projection[%d]: res %v km", i, p.ResKm)
+			}
+			if p.SYPD <= 0 || math.IsNaN(p.SYPD) || math.IsInf(p.SYPD, 0) {
+				return fmt.Errorf("obs: bench scaling projection[%d]: SYPD %v is zero/NaN/Inf", i, p.SYPD)
+			}
+			if p.ModelSYPD < 0 || math.IsNaN(p.ModelSYPD) || math.IsInf(p.ModelSYPD, 0) {
+				return fmt.Errorf("obs: bench scaling projection[%d]: model SYPD %v is negative/NaN/Inf", i, p.ModelSYPD)
 			}
 		}
 	}

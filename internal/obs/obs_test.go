@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -398,5 +399,101 @@ func TestStepReportRecoverySummary(t *testing.T) {
 	}
 	if txt := rep.Text(); !strings.Contains(txt, "recovery: 4/5 retransmits recovered") {
 		t.Errorf("report text missing recovery line:\n%s", txt)
+	}
+}
+
+// goodScaling builds a valid scaling block for mutation tests.
+func goodScaling() *BenchScaling {
+	pt := BenchScalingPoint{
+		Ne: 4, Ranks: 16, ElemsPerRank: 6, Steps: 3,
+		WallNs: 5e8, PerStepNs: 17e7, DynNs: 3e8, HaloNs: 1e8, CollNs: 2e7,
+		WireBytes: 1 << 20, Msgs: 4096, RankBytes: 8 << 20,
+		SYPD: 0.8, Flops: 1e9, MemBytes: 4e9,
+	}
+	pt2 := pt
+	pt2.Ranks, pt2.ElemsPerRank = 32, 3
+	return &BenchScaling{
+		Mode: "calibrated", Backend: "athread", BudgetBytes: 512 << 20,
+		Weak:   []BenchScalingPoint{pt},
+		Strong: []BenchScalingPoint{pt, pt2},
+		Fit: &BenchScalingFit{
+			NsPerFlop: 0.4, NsPerByte: 0.1, NsPerMsg: 1200,
+			NsPerWireByte: 0.05, FixedNs: 3e5, Points: 3, ResidualRMS: 0.07,
+		},
+		Projection: []BenchScalingProjection{
+			{Ne: 256, ResKm: 11.7, Ranks: 38400, SYPD: 2.1, ModelSYPD: 3.4},
+			{Ne: 4000, ResKm: 0.75, Ranks: 163840, SYPD: 0.02, ModelSYPD: 0.09},
+		},
+	}
+}
+
+// TestBenchScalingValidate: the scaling block's invariants, and that a
+// scaling-only file (no backends) is a legal benchmark.
+func TestBenchScalingValidate(t *testing.T) {
+	good := func() *BenchFile {
+		f := NewBenchFile(BenchConfig{Ne: 4, Nlev: 8, Qsize: 2, Steps: 3, Ranks: 16})
+		f.Backends = nil
+		f.Scaling = goodScaling()
+		return f
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good scaling-only file invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+	}{
+		{"bad mode", func(f *BenchFile) { f.Scaling.Mode = "guessed" }},
+		{"no backend", func(f *BenchFile) { f.Scaling.Backend = "" }},
+		{"negative budget", func(f *BenchFile) { f.Scaling.BudgetBytes = -1 }},
+		{"no points", func(f *BenchFile) { f.Scaling.Weak, f.Scaling.Strong = nil, nil }},
+		{"zero-rank point", func(f *BenchFile) { f.Scaling.Weak[0].Ranks = 0 }},
+		{"zero-wall point", func(f *BenchFile) { f.Scaling.Strong[1].WallNs = 0 }},
+		{"nan sypd point", func(f *BenchFile) { f.Scaling.Weak[0].SYPD = math.NaN() }},
+		{"negative phase ns", func(f *BenchFile) { f.Scaling.Strong[0].CollNs = -5 }},
+		{"calibrated without fit", func(f *BenchFile) { f.Scaling.Fit = nil }},
+		{"nan fit coefficient", func(f *BenchFile) { f.Scaling.Fit.NsPerMsg = math.Inf(1) }},
+		{"zero-point fit", func(f *BenchFile) { f.Scaling.Fit.Points = 0 }},
+		{"zero-res projection", func(f *BenchFile) { f.Scaling.Projection[0].ResKm = 0 }},
+		{"inf projection sypd", func(f *BenchFile) { f.Scaling.Projection[1].SYPD = math.Inf(1) }},
+		{"negative model sypd", func(f *BenchFile) { f.Scaling.Projection[0].ModelSYPD = -1 }},
+	}
+	for _, tc := range cases {
+		f := good()
+		tc.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad scaling block", tc.name)
+		}
+	}
+	// measured mode needs no fit.
+	f := good()
+	f.Scaling.Mode = "measured"
+	f.Scaling.Fit = nil
+	f.Scaling.Projection = nil
+	if err := f.Validate(); err != nil {
+		t.Errorf("measured-mode block without fit rejected: %v", err)
+	}
+}
+
+// TestBenchScalingRoundTrip: the block survives the disk round trip
+// bit-for-bit at the field level.
+func TestBenchScalingRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := NewBenchFile(BenchConfig{Ne: 4, Nlev: 8, Qsize: 2, Steps: 3, Ranks: 16})
+	f.Backends = nil
+	f.Scaling = goodScaling()
+	p, err := WriteBenchFile(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scaling == nil {
+		t.Fatal("scaling block lost in round trip")
+	}
+	if !reflect.DeepEqual(got.Scaling, f.Scaling) {
+		t.Errorf("round trip changed the block:\n got %+v\nwant %+v", got.Scaling, f.Scaling)
 	}
 }
