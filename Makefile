@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap scaling trace figures outputs serve loadgen clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap bench-phys scaling trace figures outputs serve loadgen clean
 
 all: build vet test
 
@@ -48,6 +48,14 @@ bench-tiled:
 bench-overlap:
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -overlap=false -dir bench
 	$(GO) run ./cmd/swprof -ne 4 -nlev 8 -steps 5 -ranks 4 -require-overlap -dir bench
+
+# The parallel-physics BENCH point: moist physics on the work-stealing
+# column pool, recording the steal ledger, per-worker utilization, and
+# a paired serial-vs-parallel physics SYPD measurement in the phys
+# block (results are bit-identical for any -phys-workers value).
+bench-phys:
+	$(GO) run ./cmd/swprof -ne 3 -nlev 8 -steps 6 -ranks 2 \
+	    -physics moist -phys-every 2 -phys-workers 4 -dir bench
 
 # The measured scaling campaign (internal/scale): real weak+strong
 # goroutine-rank sweeps on this box up to 256 ranks, the calibrated

@@ -127,8 +127,8 @@ func loadBenchSet(paths []string) ([]benchEntry, error) {
 // print n/a.
 func writeBenchTable(w io.Writer, entries []benchEntry) {
 	fmt.Fprintln(w, "== Performance trajectory (BENCH files) ==")
-	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-28s %s\n",
-		"file", "config", "backends (SYPD)", "overlap", "recovery", "serving", "scaling")
+	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-28s %s\n",
+		"file", "config", "backends (SYPD)", "overlap", "recovery", "physics", "serving", "scaling")
 	for _, e := range entries {
 		f := e.File
 		cfg := fmt.Sprintf("ne%d L%d r%d", f.Config.Ne, f.Config.Nlev, f.Config.Ranks)
@@ -160,6 +160,32 @@ func writeBenchTable(w io.Writer, entries []benchEntry) {
 			recovery = fmt.Sprintf("%dck %dretx %droll", r.Checkpoints, r.Retransmits, r.Rollbacks)
 		}
 
+		// Physics column: pool size, steal rate, and — when the file
+		// carries the paired measurement — the serial-to-parallel physics
+		// speedup. Worker utilization balance comes from the per-worker
+		// busy ledger: min busy time over max, 100% = perfectly even.
+		phys := "n/a"
+		if p := f.Phys; p != nil {
+			phys = fmt.Sprintf("%dw %dst", p.Workers, p.Steals)
+			if n := len(p.WorkerBusyNs); n > 0 {
+				minB, maxB := p.WorkerBusyNs[0], p.WorkerBusyNs[0]
+				for _, b := range p.WorkerBusyNs[1:] {
+					if b < minB {
+						minB = b
+					}
+					if b > maxB {
+						maxB = b
+					}
+				}
+				if maxB > 0 {
+					phys += fmt.Sprintf(" %.0f%%util", 100*float64(minB)/float64(maxB))
+				}
+			}
+			if p.SerialSYPD > 0 && p.ParallelSYPD > 0 {
+				phys += fmt.Sprintf(" %.2fx", p.ParallelSYPD/p.SerialSYPD)
+			}
+		}
+
 		serving := "n/a"
 		if s := f.Serving; s != nil {
 			serving = fmt.Sprintf("%.0f req/s p99 %.1fms (%dm)", s.QPS, s.P99Ms, s.Members)
@@ -174,8 +200,8 @@ func writeBenchTable(w io.Writer, entries []benchEntry) {
 			}
 		}
 
-		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-28s %s\n",
-			filepath.Base(e.Path), cfg, backends, overlap, recovery, serving, scaling)
+		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-28s %s\n",
+			filepath.Base(e.Path), cfg, backends, overlap, recovery, phys, serving, scaling)
 	}
 	fmt.Fprintln(w)
 }

@@ -58,6 +58,20 @@ const benchScaling = `{
   }
 }`
 
+const benchPhys = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 3, "nlev": 8, "qsize": 3, "steps": 6, "ranks": 2,
+             "physics": "moist", "phys_workers": 4},
+  "backends": {
+    "intel": {"sypd": 300.0, "wall_seconds": 0.05,
+              "kernels": {"euler": {"calls": 10, "ns": 1000, "flops": 5, "bytes": 7}}}
+  },
+  "phys": {"workers": 4, "columns": 10368, "chunks": 648, "steals": 216,
+           "steal_attempts": 1008, "worker_chunks": [200, 160, 150, 138],
+           "worker_busy_ns": [4000000, 3600000, 3400000, 3000000],
+           "serial_sypd": 275.0, "parallel_sypd": 330.0}
+}`
+
 const benchForeignSchema = `{
   "schema": "swcam-bench/v999",
   "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
@@ -102,14 +116,20 @@ func TestBenchTableOptionalBlocks(t *testing.T) {
 			want:  []string{"calibrated 1pt", "ne256 87.3 SYPD"},
 		},
 		{
+			name:  "physics file renders pool + utilization + pair speedup",
+			files: map[string]string{"BENCH_1.json": benchPhys},
+			want:  []string{"4w 216st", "75%util", "1.20x"},
+		},
+		{
 			name: "mixed eras of one schema coexist",
 			files: map[string]string{
 				"BENCH_1.json": benchOld,
 				"BENCH_2.json": benchFull,
 				"BENCH_3.json": benchServing,
 				"BENCH_4.json": benchScaling,
+				"BENCH_5.json": benchPhys,
 			},
-			want: []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json", "BENCH_4.json"},
+			want: []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"},
 		},
 		{
 			name: "mixed schema versions are rejected with both versions named",

@@ -5,11 +5,17 @@
 //	camsw -ne 8 -nlev 16 -hours 6 -physics moist
 //	camsw -ne 4 -nlev 8 -hours 24 -physics heldsuarez
 //	camsw -ne 4 -nlev 8 -hours 2 -parallel 4 -backend athread
+//	camsw -ne 4 -nlev 8 -hours 2 -parallel 2 -phys-workers 0
 //	camsw -ne 2 -nlev 8 -hours 1 -parallel 3 -faults chaos:6@42 -checkpoint-every 2 -recovery ladder -spares 1
 //
-// With -parallel N the dynamics run through the distributed driver (N
-// simulated core groups, halo exchanges, chosen execution backend)
-// instead of the serial solver.
+// With -parallel N the full model — dynamics and the physics suite —
+// runs through the distributed driver (N simulated core groups, halo
+// exchanges, chosen execution backend) instead of the serial solver.
+//
+// -phys-workers sizes the work-stealing column-physics pool (per rank
+// under -parallel): 0 auto-sizes to the machine and downshifts to
+// serial on grids too small to amortize the fan-out; results are
+// bit-identical for every value.
 package main
 
 import (
@@ -68,8 +74,16 @@ func main() {
 	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks available to replace permanently dead ranks (0 = shrink onto the survivors instead)")
 	obsOn := flag.Bool("obs", false, "collect and print the unified observability report (spans, counters, step report)")
 	tracePath := flag.String("trace", "", "write a Chrome about://tracing JSON trace to this file (implies -obs)")
-	dynWorkers := flag.Int("dyn-workers", 0, "with -parallel: intra-rank dynamics workers per rank (0 = one per CPU up to 8, 1 = serial; results are bit-identical for any value)")
+	dynWorkers := flag.Int("dyn-workers", 0, "with -parallel: intra-rank dynamics workers per rank (0 = adaptive: sized per rank from its element count, downshifting to serial on small ranks; 1 = serial; results are bit-identical for any value)")
+	physWorkers := flag.Int("phys-workers", 1, "work-stealing column-physics workers, serial model and per -parallel rank (0 = auto-size to the machine, downshifting to serial on small grids; 1 = serial; results are bit-identical for any value)")
 	flag.Parse()
+
+	// Flag 0 = auto maps to the config convention's negative sentinel
+	// (0 is the legacy "serial" encoding there).
+	physReq := *physWorkers
+	if physReq == 0 {
+		physReq = -1
+	}
 
 	var probe *obs.Probe
 	if *obsOn || *tracePath != "" {
@@ -84,7 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers, interrupted)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *phys, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers, physReq, interrupted)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -95,6 +109,7 @@ func main() {
 	cfg := core.DefaultConfig(*ne)
 	cfg.Dycore.Nlev = *nlev
 	cfg.Dycore.Qsize = *qsize
+	cfg.PhysWorkers = physReq
 	switch *phys {
 	case "moist":
 		cfg.Physics = physics.Moist
@@ -204,16 +219,19 @@ func main() {
 	}
 }
 
-func moisten(m *core.Model) {
-	npsq := m.Solver.Cfg.Np * m.Solver.Cfg.Np
-	nlev := m.Solver.Cfg.Nlev
-	for ei := range m.State.Qdp {
-		qdp := m.State.QdpAt(ei, 0)
-		for k := 0; k < nlev; k++ {
-			sig := float64(k+1) / float64(nlev)
+func moisten(m *core.Model) { moistenState(m.State, m.Solver.Cfg) }
+
+// moistenState seeds a sigma-shaped water-vapor load into tracer 0 so
+// the moist suite's convection and microphysics have work to do.
+func moistenState(st *dycore.State, cfg dycore.Config) {
+	npsq := cfg.Np * cfg.Np
+	for ei := range st.Qdp {
+		qdp := st.QdpAt(ei, 0)
+		for k := 0; k < cfg.Nlev; k++ {
+			sig := float64(k+1) / float64(cfg.Nlev)
 			for n := 0; n < npsq; n++ {
 				i := k*npsq + n
-				qdp[i] = 0.016 * sig * sig * sig * m.State.DP[ei][i]
+				qdp[i] = 0.016 * sig * sig * sig * st.DP[ei][i]
 			}
 		}
 	}
@@ -239,7 +257,7 @@ func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers int, interrupted func() bool) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, physMode, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers, physReq int, interrupted func() bool) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -263,6 +281,29 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		os.Exit(1)
 	}
 	job.SetDynWorkers(dynWorkers)
+	def := core.DefaultConfig(ne) // physics cadence and SST profile defaults
+	switch physMode {
+	case "moist":
+		if qsize < 1 {
+			fmt.Fprintln(os.Stderr, "camsw: -physics moist needs -qsize >= 1")
+			os.Exit(2)
+		}
+		if err := job.EnablePhysics(physics.Moist, def.PhysEvery, def.SST, def.SSTDelta); err != nil {
+			fmt.Fprintln(os.Stderr, "camsw:", err)
+			os.Exit(1)
+		}
+		job.SetPhysWorkers(physReq)
+	case "heldsuarez":
+		if err := job.EnablePhysics(physics.HeldSuarezMode, def.PhysEvery, def.SST, def.SSTDelta); err != nil {
+			fmt.Fprintln(os.Stderr, "camsw:", err)
+			os.Exit(1)
+		}
+		job.SetPhysWorkers(physReq)
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "camsw: unknown physics %q\n", physMode)
+		os.Exit(2)
+	}
 	if probe != nil {
 		job.Instrument(probe)
 		for r := 0; r < nranks; r++ {
@@ -272,6 +313,9 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 	s, _ := dycore.NewSolver(cfg)
 	g := s.NewState()
 	s.InitBaroclinicWave(g)
+	if physMode == "moist" && qsize > 0 {
+		moistenState(g, cfg)
+	}
 	local := job.Scatter(g)
 
 	steps := int(hours * 3600 / cfg.Dt)
@@ -290,8 +334,12 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 		job.RecvTimeout = 2 * time.Second // so dropped messages are detected
 		job.CheckEvery = 1                // blowup watchdog every step
 	}
-	fmt.Printf("camsw: distributed dynamics, %d ranks, %v backend, %d steps, %d intra-rank workers\n",
-		nranks, backend, steps, job.EngineWorkers())
+	physStr := "off"
+	if physMode != "none" {
+		physStr = fmt.Sprintf("%s on %d workers", physMode, job.PhysWorkers())
+	}
+	fmt.Printf("camsw: distributed model, %d ranks, %v backend, %d steps, %d intra-rank workers, physics %s\n",
+		nranks, backend, steps, job.EngineWorkers(), physStr)
 	// The run is chunked so the loop can notice SIGINT/SIGTERM between
 	// chunks: a signal finishes the current chunk, then the normal tail
 	// (gather, final checkpoint, obs flush) runs.
@@ -373,6 +421,11 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, fa
 	}
 	got := job.Gather(local)
 	fmt.Printf("  maxwind %.1f m/s, mass %.6e\n", s.MaxWind(got), s.TotalMass(got))
+	if physMode != "none" {
+		ps := job.PhysStats()
+		fmt.Printf("  physics: %d workers, %d chunks, %d steals / %d attempts, precip %.3f kg/m2\n",
+			job.PhysWorkers(), ps.Chunks, ps.Steals, ps.StealAttempts, job.TotalPrecip)
+	}
 	fmt.Printf("  halo: %d msgs, %.2f MB wire, %.2f MB staged\n",
 		stats.Halo.Msgs, float64(stats.Halo.WireBytes)/1e6, float64(stats.Halo.StagingBytes)/1e6)
 	fmt.Printf("  kernels: %.2e flops (%.0f%% vector), %.2f MB DMA, %d reg msgs\n",

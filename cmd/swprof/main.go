@@ -9,12 +9,23 @@
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 4 -trace prof.trace.json
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 2 -dyn-workers 4 -dir bench/
 //	swprof -ne 2 -nlev 4 -steps 6 -ranks 3 -faults chaos:4@42 -recovery ladder -dir bench/
+//	swprof -ne 3 -nlev 8 -steps 6 -ranks 2 -physics moist -phys-workers 0 -dir bench/
 //	swprof -validate bench/BENCH_1.json
 //
 // -dyn-workers sets the intra-rank tiling pool (see internal/exec):
 // recording one run with -dyn-workers 1 and one with -dyn-workers 4 on
 // the same configuration yields a serial-vs-tiled pair of BENCH files
-// whose SYPD ratio is the intra-rank speedup.
+// whose SYPD ratio is the intra-rank speedup. 0 selects adaptive
+// sizing: every rank picks its own pool from its element count and
+// downshifts to the serial fast path when tiles are too small to
+// amortize (exec.AdaptiveWorkers).
+//
+// -physics steps a column-physics suite inside the run and records the
+// work-stealing pool's activity (chunks, steals, per-worker
+// utilization) in the bench file's phys block, along with a paired
+// serial-vs-parallel physics measurement on the Intel backend — the
+// SYPD ratio is the physics-parallelism speedup. Physics results are
+// bit-identical for every -phys-workers value.
 //
 // With -trace the four backend runs land in one Chrome trace
 // (pid = rank; runs follow each other on the time axis, spans carry the
@@ -34,6 +45,7 @@ import (
 	"swcam/internal/exec"
 	"swcam/internal/mpirt"
 	"swcam/internal/obs"
+	"swcam/internal/physics"
 )
 
 func main() {
@@ -42,7 +54,10 @@ func main() {
 	qsize := flag.Int("qsize", 3, "tracers")
 	steps := flag.Int("steps", 5, "dynamics steps per backend")
 	ranks := flag.Int("ranks", 2, "simulated core groups")
-	dynWorkers := flag.Int("dyn-workers", 1, "intra-rank dynamics workers per rank (0 = one per CPU up to 8, 1 = serial; results are bit-identical for any value)")
+	dynWorkers := flag.Int("dyn-workers", 1, "intra-rank dynamics workers per rank (0 = adaptive: sized per rank from its element count, downshifting to serial on small ranks; 1 = serial; results are bit-identical for any value)")
+	physMode := flag.String("physics", "", "column-physics suite stepped during the run: moist|held-suarez (default: adiabatic dynamics only)")
+	physEvery := flag.Int("phys-every", 1, "with -physics: apply physics every N dynamics steps")
+	physWorkers := flag.Int("phys-workers", 1, "with -physics: work-stealing physics workers per rank (0 = auto-size to the machine, downshifting to serial on small ranks; 1 = serial; results are bit-identical for any value)")
 	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
 	tracePath := flag.String("trace", "", "also write a combined Chrome trace to this file")
 	validate := flag.String("validate", "", "validate an existing BENCH_<n>.json and exit")
@@ -71,16 +86,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	var suiteMode physics.SuiteMode
+	switch *physMode {
+	case "":
+	case "moist":
+		suiteMode = physics.Moist
+		if *qsize < 1 {
+			fmt.Fprintln(os.Stderr, "swprof: -physics moist needs -qsize >= 1")
+			os.Exit(2)
+		}
+	case "held-suarez":
+		suiteMode = physics.HeldSuarezMode
+	default:
+		fmt.Fprintf(os.Stderr, "swprof: unknown -physics %q (moist|held-suarez)\n", *physMode)
+		os.Exit(2)
+	}
+	if *physEvery < 1 {
+		fmt.Fprintln(os.Stderr, "swprof: -phys-every must be positive")
+		os.Exit(2)
+	}
+
 	cfg := dycore.DefaultConfig(*ne)
 	cfg.Nlev = *nlev
 	cfg.Qsize = *qsize
 
-	if *dynWorkers <= 0 {
-		*dynWorkers = exec.DefaultDynWorkers()
+	// dyn-workers 0 stays 0: SetDynWorkers passes it through as per-rank
+	// adaptive sizing. phys-workers 0 maps to the negative auto sentinel
+	// of the core config convention (0 is the legacy "serial" encoding).
+	physReq := *physWorkers
+	if physReq == 0 {
+		physReq = -1
 	}
 	bench := obs.NewBenchFile(obs.BenchConfig{
 		Ne: *ne, Nlev: *nlev, Qsize: *qsize, Steps: *steps, Ranks: *ranks,
-		DynWorkers: *dynWorkers,
+		DynWorkers: *dynWorkers, Physics: *physMode, PhysWorkers: *physWorkers,
 	})
 	tracer := obs.NewTracer()
 	for r := 0; r < *ranks; r++ {
@@ -88,12 +127,28 @@ func main() {
 	}
 
 	backends := []exec.Backend{exec.Intel, exec.MPE, exec.OpenACC, exec.Athread}
-	fmt.Printf("swprof: ne%d nlev=%d qsize=%d, %d steps x %d ranks, %d intra-rank workers, %d backends\n",
-		*ne, *nlev, *qsize, *steps, *ranks, *dynWorkers, len(backends))
+	dw := "adaptive"
+	if *dynWorkers > 0 {
+		dw = fmt.Sprintf("%d", *dynWorkers)
+	}
+	phys := "off"
+	if *physMode != "" {
+		pw := "auto"
+		if *physWorkers > 0 {
+			pw = fmt.Sprintf("%d", *physWorkers)
+		}
+		phys = fmt.Sprintf("%s every %d on %s workers", *physMode, *physEvery, pw)
+	}
+	fmt.Printf("swprof: ne%d nlev=%d qsize=%d, %d steps x %d ranks, %s intra-rank workers, physics %s, %d backends\n",
+		*ne, *nlev, *qsize, *steps, *ranks, dw, phys, len(backends))
+	run := runSpec{
+		cfg: cfg, ranks: *ranks, steps: *steps, dynWorkers: *dynWorkers,
+		overlap: *overlap, faults: *faults, recovery: *recovery, spares: *spares,
+		physMode: *physMode, suiteMode: suiteMode, physEvery: *physEvery, physReq: physReq,
+	}
 	for _, b := range backends {
 		name := strings.ToLower(b.String())
-		sypd, wall, ratio, measured, err := runBackend(cfg, b, *ranks, *steps, *dynWorkers,
-			*overlap, *faults, *recovery, *spares, tracer, bench)
+		sypd, wall, ratio, measured, err := runBackend(run, b, tracer, bench)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swprof: %s: %v\n", name, err)
 			os.Exit(1)
@@ -115,6 +170,27 @@ func main() {
 			rec.Localized, rec.Respawns, rec.Shrinks, rec.Rollbacks,
 			float64(rec.RecoveryWallNs)/1e6)
 	}
+	if ph := bench.Phys; ph != nil {
+		// The paired serial-vs-parallel physics measurement: the same
+		// configuration on the Intel backend with a 1-worker pool and with
+		// the requested pool, fault-free. Their SYPD ratio is the physics
+		// speedup this box delivers (expect ~1x on few-core machines — the
+		// CI bench-smoke job asserts > 1x only on >= 4-core runners).
+		serial, err := pairSYPD(run, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swprof: phys pair (serial):", err)
+			os.Exit(1)
+		}
+		par, err := pairSYPD(run, run.physReq)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swprof: phys pair (parallel):", err)
+			os.Exit(1)
+		}
+		ph.SerialSYPD, ph.ParallelSYPD = serial, par
+		fmt.Printf("  physics (%d workers, all backends): %d columns, %d chunks, %d steals / %d attempts; pair SYPD serial %.3f vs parallel %.3f (%.2fx)\n",
+			ph.Workers, ph.Columns, ph.Chunks, ph.Steals, ph.StealAttempts,
+			serial, par, par/serial)
+	}
 
 	path, err := obs.WriteBenchFile(*dir, bench)
 	if err != nil {
@@ -133,42 +209,100 @@ func main() {
 	}
 }
 
+// runSpec is one benchmark configuration, shared by every backend run
+// and the physics pair measurement.
+type runSpec struct {
+	cfg        dycore.Config
+	ranks      int
+	steps      int
+	dynWorkers int
+	overlap    bool
+	faults     string
+	recovery   string
+	spares     int
+	physMode   string
+	suiteMode  physics.SuiteMode
+	physEvery  int
+	physReq    int // core convention: negative = auto, 1 = serial
+}
+
+// newJob builds a configured job for one run: backend, tiling pool,
+// and (when requested) the physics phase with its steal pool.
+func (rs runSpec) newJob(b exec.Backend, physWorkers int) (*core.ParallelJob, error) {
+	job, err := core.NewParallelJob(rs.cfg, b, rs.overlap, rs.ranks)
+	if err != nil {
+		return nil, err
+	}
+	job.SetDynWorkers(rs.dynWorkers)
+	if rs.physMode != "" {
+		// Aquaplanet surface: the core model's default SST profile.
+		if err := job.EnablePhysics(rs.suiteMode, rs.physEvery, 302, 30); err != nil {
+			return nil, err
+		}
+		job.SetPhysWorkers(physWorkers)
+	}
+	return job, nil
+}
+
+// initialState builds the benchmark initial condition: a baroclinic
+// wave, with a moisture load in tracer 0 when moist physics runs (a dry
+// column would make the convection and microphysics branches free).
+func (rs runSpec) initialState() (*dycore.State, error) {
+	s, err := dycore.NewSolver(rs.cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := s.NewState()
+	s.InitBaroclinicWave(g)
+	if rs.physMode == "moist" && rs.cfg.Qsize >= 1 {
+		npsq := rs.cfg.Np * rs.cfg.Np
+		for ei := range g.Qdp {
+			qdp := g.QdpAt(ei, 0)
+			for k := 0; k < rs.cfg.Nlev; k++ {
+				sig := float64(k+1) / float64(rs.cfg.Nlev)
+				for n := 0; n < npsq; n++ {
+					qdp[k*npsq+n] = 0.014 * sig * sig * g.DP[ei][k*npsq+n]
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // runBackend measures one backend: a fresh job and probe (sharing the
 // combined tracer), one timed run, one bench entry. With a fault spec
 // the run executes under the recovery supervisor (fresh fault plan per
 // backend, so every backend faces the same schedule) and the recovery
-// activity accumulates into the bench file's recovery block. The
-// returned ratio is the measured comm/compute overlap (valid only when
-// measured is true — i.e. the redesigned exchange ran real inner work).
-func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
-	overlap bool, faultSpec, recoveryMode string, spares int,
+// activity accumulates into the bench file's recovery block; with
+// physics enabled the steal pool's activity accumulates into the phys
+// block. The returned ratio is the measured comm/compute overlap (valid
+// only when measured is true — i.e. the redesigned exchange ran real
+// inner work).
+func runBackend(rs runSpec, b exec.Backend,
 	tracer *obs.Tracer, bench *obs.BenchFile) (sypd, wall, ratio float64, measured bool, err error) {
-	job, err := core.NewParallelJob(cfg, b, overlap, ranks)
+	job, err := rs.newJob(b, rs.physReq)
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
-	job.SetDynWorkers(dynWorkers)
 	probe := &obs.Probe{Tracer: tracer, Reg: obs.NewRegistry(), Kernels: obs.NewKernelTable()}
 	job.Instrument(probe)
 
-	s, err := dycore.NewSolver(cfg)
+	g, err := rs.initialState()
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
-	g := s.NewState()
-	s.InitBaroclinicWave(g)
 	local := job.Scatter(g)
 
-	if faultSpec == "" {
+	if rs.faults == "" {
 		start := time.Now()
-		if _, err := job.RunChecked(local, steps); err != nil {
+		if _, err := job.RunChecked(local, rs.steps); err != nil {
 			return 0, 0, 0, false, err
 		}
 		wall = time.Since(start).Seconds()
 	} else {
 		// A rank performs on the order of 40 communication ops per step;
 		// chaos:N@SEED events are spread over that estimated span.
-		plan, err := mpirt.ParseFaultPlan(faultSpec, ranks, int64(steps)*40)
+		plan, err := mpirt.ParseFaultPlan(rs.faults, rs.ranks, int64(rs.steps)*40)
 		if err != nil {
 			return 0, 0, 0, false, err
 		}
@@ -177,14 +311,14 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 		job.CheckEvery = 1
 		rj := core.NewResilientJob(job)
 		rj.Mode = core.ModeGlobal
-		if recoveryMode == "ladder" {
+		if rs.recovery == "ladder" {
 			rj.Mode = core.ModeLadder
 		}
 		rj.CheckpointEvery = 1
 		rj.MaxRetries = 10
-		rj.Spares = spares
+		rj.Spares = rs.spares
 		start := time.Now()
-		rs, err := rj.Run(local, steps)
+		rst, err := rj.Run(local, rs.steps)
 		if err != nil {
 			return 0, 0, 0, false, err
 		}
@@ -194,18 +328,21 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 			rec = &obs.BenchRecovery{}
 			bench.Recovery = rec
 		}
-		rec.Retransmits += rs.RetxAttempts
-		rec.Retransmitted += rs.RetxRecovered
-		rec.Checkpoints += int64(rs.Checkpoints)
-		rec.Localized += int64(rs.Localized)
-		rec.Respawns += int64(rs.Respawns)
-		rec.Shrinks += int64(rs.Shrinks)
-		rec.Rollbacks += int64(rs.Rollbacks)
-		rec.RecoveryWallNs += rs.RecoveryNs
+		rec.Retransmits += rst.RetxAttempts
+		rec.Retransmitted += rst.RetxRecovered
+		rec.Checkpoints += int64(rst.Checkpoints)
+		rec.Localized += int64(rst.Localized)
+		rec.Respawns += int64(rst.Respawns)
+		rec.Shrinks += int64(rst.Shrinks)
+		rec.Rollbacks += int64(rst.Rollbacks)
+		rec.RecoveryWallNs += rst.RecoveryNs
 	}
-	sypd = obs.SYPD(float64(steps)*cfg.Dt, wall)
+	sypd = obs.SYPD(float64(rs.steps)*rs.cfg.Dt, wall)
 	name := strings.ToLower(b.String())
 	bench.AddBackend(name, probe.Kernels, sypd, wall)
+	if rs.physMode != "" {
+		accumulatePhys(bench, job, probe)
+	}
 	// Overlap ratio from the run's registry counters: only recorded when
 	// the redesigned exchange actually ran inner work in its window.
 	windows := probe.Reg.CounterValue("halo.overlap.windows")
@@ -219,4 +356,51 @@ func runBackend(cfg dycore.Config, b exec.Backend, ranks, steps, dynWorkers int,
 		bench.SetBackendOverlap(name, ratio)
 	}
 	return sypd, wall, ratio, measured, nil
+}
+
+// accumulatePhys folds one backend run's steal-pool activity into the
+// bench file's phys block. Column throughput comes from the run's
+// registry (the suite's physics.columns counter); chunk and steal
+// ledgers come from the job's pool snapshots. Worker slices accumulate
+// slot-wise — every backend resolves the same pool size, so the slots
+// line up.
+func accumulatePhys(bench *obs.BenchFile, job *core.ParallelJob, probe *obs.Probe) {
+	st := job.PhysStats()
+	ph := bench.Phys
+	if ph == nil {
+		ph = &obs.BenchPhys{Workers: job.PhysWorkers()}
+		bench.Phys = ph
+	}
+	ph.Columns += probe.Reg.CounterValue("physics.columns")
+	ph.Chunks += st.Chunks
+	ph.Steals += st.Steals
+	ph.StealAttempts += st.StealAttempts
+	if len(ph.WorkerChunks) == 0 {
+		ph.WorkerChunks = make([]int64, ph.Workers)
+		ph.WorkerBusyNs = make([]int64, ph.Workers)
+	}
+	for w := 0; w < ph.Workers && w < len(st.WorkerChunks); w++ {
+		ph.WorkerChunks[w] += st.WorkerChunks[w]
+		ph.WorkerBusyNs[w] += st.WorkerBusyNs[w]
+	}
+}
+
+// pairSYPD runs the benchmark configuration once on the Intel backend,
+// fault-free, with an n-worker physics pool — one half of the
+// serial-vs-parallel physics pair recorded in the phys block.
+func pairSYPD(rs runSpec, n int) (float64, error) {
+	job, err := rs.newJob(exec.Intel, n)
+	if err != nil {
+		return 0, err
+	}
+	g, err := rs.initialState()
+	if err != nil {
+		return 0, err
+	}
+	local := job.Scatter(g)
+	start := time.Now()
+	if _, err := job.RunChecked(local, rs.steps); err != nil {
+		return 0, err
+	}
+	return obs.SYPD(float64(rs.steps)*rs.cfg.Dt, time.Since(start).Seconds()), nil
 }

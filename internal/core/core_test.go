@@ -298,8 +298,9 @@ func TestSFCPartitionReducesHaloTraffic(t *testing.T) {
 }
 
 // Column physics is embarrassingly parallel: any worker count must give
-// identical results (CAM's chunk decomposition), except the order of the
-// global precipitation reduction.
+// bit-identical results (CAM's chunk decomposition), INCLUDING the
+// global precipitation reduction — per-element partials merge in fixed
+// element order, so not even the last ULP may move.
 func TestPhysicsWorkersEquivalent(t *testing.T) {
 	mk := func(workers int) *Model {
 		cfg := DefaultConfig(4)
@@ -331,8 +332,11 @@ func TestPhysicsWorkersEquivalent(t *testing.T) {
 	if d := serial.State.MaxAbsDiff(parallel.State); d != 0 {
 		t.Errorf("physics workers changed the answer by %g", d)
 	}
-	if math.Abs(serial.TotalPrecip-parallel.TotalPrecip) > 1e-12*(1+serial.TotalPrecip) {
+	if serial.TotalPrecip != parallel.TotalPrecip {
 		t.Errorf("precip accumulation differs: %v vs %v", serial.TotalPrecip, parallel.TotalPrecip)
+	}
+	if serial.TotalPrecip <= 0 {
+		t.Errorf("run produced no precipitation — the comparison is vacuous")
 	}
 }
 

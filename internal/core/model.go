@@ -9,8 +9,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
 	"swcam/internal/dycore"
 	"swcam/internal/obs"
@@ -28,11 +26,26 @@ type Config struct {
 	// the surface cools poleward with cos^2(lat).
 	SST      float64
 	SSTDelta float64
-	// PhysWorkers runs the column-physics loop on N goroutines (CAM
-	// parallelizes physics over "chunks" of columns the same way).
-	// 0 or 1 means serial. Columns are independent, so results are
-	// identical for any worker count.
+	// PhysWorkers runs the column-physics loop on a work-stealing pool
+	// of N goroutines (CAM parallelizes physics over "chunks" of columns
+	// the same way). 0 or 1 means serial; a negative value auto-sizes to
+	// the machine (physics.DefaultStealWorkers, downshifted on tiny
+	// grids). Results are bit-identical for every value — partials merge
+	// in fixed element order.
 	PhysWorkers int
+}
+
+// physWorkersRequest maps the Config/flag convention (negative = auto,
+// 0 or 1 = serial) onto the runner's request convention (<= 0 = auto).
+func physWorkersRequest(n int) int {
+	switch {
+	case n < 0:
+		return 0 // auto-size
+	case n == 0:
+		return 1 // legacy default: serial
+	default:
+		return n
+	}
 }
 
 // DefaultConfig returns a runnable whole-model setup at resolution ne.
@@ -48,7 +61,7 @@ type Model struct {
 	Suite  *physics.Suite
 	State  *dycore.State
 
-	col   *physics.Column
+	phys  *physRunner
 	steps int
 	obs   *obs.Probe // nil = unobserved (see Attach in obs.go)
 
@@ -82,132 +95,68 @@ func NewModel(cfg Config) (*Model, error) {
 		Solver: s,
 		Suite:  suite,
 		State:  s.NewState(),
-		col:    physics.NewColumn(cfg.Dycore.Nlev),
 	}
+	m.phys = newPhysRunner(physWorkersRequest(cfg.PhysWorkers), 0,
+		s.Mesh.NElems(), s.Cfg.Np*s.Cfg.Np, s.Cfg.Nlev, m.stepColumn)
 	return m, nil
 }
 
+// SetPhysWorkers rebuilds the physics pool with n workers (negative =
+// auto-size to the machine, 0 or 1 = serial). Results are bit-identical
+// for every value — only the schedule changes. The optional seed knob on
+// the Config is not exposed here; tests that need distinct steal
+// schedules use SetPhysPoolForTest.
+func (m *Model) SetPhysWorkers(n int) {
+	m.setPhysPool(n, m.phys.pool.Seed())
+}
+
+// SetPhysPoolForTest rebuilds the physics pool with an explicit worker
+// count and victim-scan seed — the determinism sweep's schedule knob.
+func (m *Model) SetPhysPoolForTest(n int, seed uint64) { m.setPhysPool(n, seed) }
+
+func (m *Model) setPhysPool(n int, seed uint64) {
+	m.Cfg.PhysWorkers = n
+	s := m.Solver
+	m.phys = newPhysRunner(physWorkersRequest(n), seed,
+		s.Mesh.NElems(), s.Cfg.Np*s.Cfg.Np, s.Cfg.Nlev, m.stepColumn)
+	if m.obs != nil {
+		m.phys.pool.Instrument(m.obs.R())
+	}
+}
+
+// PhysWorkers reports the resolved physics pool size.
+func (m *Model) PhysWorkers() int { return m.phys.workers() }
+
+// PhysStats snapshots the physics pool's cumulative scheduling activity.
+func (m *Model) PhysStats() physics.StealStats { return m.phys.pool.Stats() }
+
 // stepColumn runs the physics suite on the column at (element ei, node
 // n) of the state, using the caller-owned column buffer, and returns
-// the accumulated precipitation weighted by the node's quadrature weight.
+// the accumulated precipitation weighted by the node's quadrature
+// weight. The actual column step is stepOneColumn in physdriver.go,
+// shared with the per-rank path of ParallelJob.
 func (m *Model) stepColumn(col *physics.Column, ei, n int, dt float64) (precipW, area float64) {
-	st := m.State
 	s := m.Solver
-	e := s.Mesh.Elements[ei]
-	npsq := s.Cfg.Np * s.Cfg.Np
-	nlev := s.Cfg.Nlev
-
-	ps := dycore.PTop
-	for k := 0; k < nlev; k++ {
-		col.DP[k] = st.DP[ei][k*npsq+n]
-		ps += col.DP[k]
-	}
-	p := dycore.PTop
-	for k := 0; k < nlev; k++ {
-		i := k*npsq + n
-		col.P[k] = p + col.DP[k]/2
-		p += col.DP[k]
-		col.T[k] = st.T[ei][i]
-		col.U[k] = st.U[ei][i]
-		col.V[k] = st.V[ei][i]
-		col.Qv[k], col.Qc[k], col.Qr[k] = 0, 0, 0
-		if s.Cfg.Qsize > 0 {
-			col.Qv[k] = st.QdpAt(ei, 0)[i] / col.DP[k]
-		}
-		if s.Cfg.Qsize > 1 {
-			col.Qc[k] = st.QdpAt(ei, 1)[i] / col.DP[k]
-		}
-		if s.Cfg.Qsize > 2 {
-			col.Qr[k] = st.QdpAt(ei, 2)[i] / col.DP[k]
-		}
-	}
-	col.Ps = ps
-	col.Lat = e.Lat[n]
-	col.Ts = m.SurfaceT(e.Lat[n])
-	col.Precip = 0
-
-	m.Suite.Step(col, dt)
-
-	for k := 0; k < nlev; k++ {
-		i := k*npsq + n
-		st.T[ei][i] = col.T[k]
-		st.U[ei][i] = col.U[k]
-		st.V[ei][i] = col.V[k]
-		if s.Cfg.Qsize > 0 {
-			st.QdpAt(ei, 0)[i] = col.Qv[k] * col.DP[k]
-		}
-		if s.Cfg.Qsize > 1 {
-			st.QdpAt(ei, 1)[i] = col.Qc[k] * col.DP[k]
-		}
-		if s.Cfg.Qsize > 2 {
-			st.QdpAt(ei, 2)[i] = col.Qr[k] * col.DP[k]
-		}
-	}
-	return col.Precip * e.SphereMP[n], e.SphereMP[n]
+	return stepOneColumn(m.Suite, m.State, s.Mesh.Elements[ei],
+		s.Cfg.Np, s.Cfg.Nlev, s.Cfg.Qsize, col, ei, n, dt, m.Cfg.SST, m.Cfg.SSTDelta)
 }
 
 // SurfaceT returns the prescribed SST at a latitude.
 func (m *Model) SurfaceT(lat float64) float64 {
-	c := math.Cos(lat)
-	return m.Cfg.SST - m.Cfg.SSTDelta*(1-c*c)
+	return surfaceT(lat, m.Cfg.SST, m.Cfg.SSTDelta)
 }
 
 // applyPhysics runs the suite over every column of the state, advancing
-// it by dtPhys = PhysEvery dynamics steps of simulated time. Columns are
-// independent; with PhysWorkers > 1 they run on a goroutine pool (CAM's
-// chunk parallelism), with identical results.
+// it by dtPhys = PhysEvery dynamics steps of simulated time, on the
+// work-stealing element pool. Serial and parallel share one code path
+// (a 1-worker pool runs inline), and the per-element partials merge in
+// fixed element order, so the state and TotalPrecip are bit-identical
+// for every worker count.
 func (m *Model) applyPhysics() {
-	s := m.Solver
-	npsq := s.Cfg.Np * s.Cfg.Np
-	dt := s.Cfg.Dt * float64(m.Cfg.PhysEvery)
-	ncols := s.Mesh.NElems() * npsq
-
-	workers := m.Cfg.PhysWorkers
-	if workers <= 1 {
-		var precipSum, areaSum float64
-		for c := 0; c < ncols; c++ {
-			pw, a := m.stepColumn(m.col, c/npsq, c%npsq, dt)
-			precipSum += pw
-			areaSum += a
-		}
-		if areaSum > 0 {
-			m.TotalPrecip += precipSum / areaSum
-		}
-		return
-	}
-
-	type partial struct{ precip, area float64 }
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	chunk := (ncols + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > ncols {
-			hi = ncols
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			col := physics.NewColumn(s.Cfg.Nlev)
-			for c := lo; c < hi; c++ {
-				pw, a := m.stepColumn(col, c/npsq, c%npsq, dt)
-				parts[w].precip += pw
-				parts[w].area += a
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var precipSum, areaSum float64
-	for _, p := range parts {
-		precipSum += p.precip
-		areaSum += p.area
-	}
-	if areaSum > 0 {
-		m.TotalPrecip += precipSum / areaSum
+	dt := m.Solver.Cfg.Dt * float64(m.Cfg.PhysEvery)
+	precip, area := m.phys.run(dt)
+	if area > 0 {
+		m.TotalPrecip += precip / area
 	}
 }
 

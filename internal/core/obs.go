@@ -12,6 +12,7 @@ import (
 func (m *Model) Attach(p *obs.Probe) {
 	m.obs = p
 	m.Suite.Instrument(p.R())
+	m.phys.pool.Instrument(p.R())
 }
 
 // Instrument wires the probe into every rank of the distributed driver:
@@ -24,6 +25,12 @@ func (j *ParallelJob) Instrument(p *obs.Probe) {
 	for r := range j.engs {
 		j.engs[r].Instrument(p.T(), p.K(), p.R(), r)
 		j.Plans[r].Instrument(p.T(), p.R())
+	}
+	// Physics pools and suites share counter names across ranks (all
+	// sinks are atomic), so physics.steals etc. aggregate the whole job.
+	for _, rp := range j.rankPhys {
+		rp.suite.Instrument(p.R())
+		rp.runner.pool.Instrument(p.R())
 	}
 }
 

@@ -57,6 +57,20 @@ type ParallelJob struct {
 	DynWorkers int
 	dynSet     bool // SetDynWorkers was called (0 then means "auto", not "default")
 
+	// Physics phase (nil = dynamics-only; see EnablePhysics).
+	phys     *jobPhysics
+	rankPhys []*rankPhys
+
+	// TotalPrecip is the global-mean accumulated precipitation, kg/m^2,
+	// advanced by rank 0 after each canonical reduction. ResilientJob
+	// rewinds it with the step counter on rollback.
+	TotalPrecip float64
+
+	// PhysPanicHook, when set BEFORE EnablePhysics, is called at the
+	// start of every physics chunk — the chaos tests' fault injector for
+	// the work-stealing scheduler.
+	PhysPanicHook func(rank, worker, elem int)
+
 	steps   int
 	scratch []*stepScratch // per-rank pooled step workspaces (lazy)
 }
@@ -100,13 +114,20 @@ func (j *ParallelJob) stepScratchFor(r int, st *dycore.State) *stepScratch {
 
 // SetDynWorkers sizes every rank engine's intra-rank worker pool: each
 // kernel call tiles the rank's elements across n concurrent workers
-// with private workspaces. n <= 0 selects the CPU-count-aware default
-// (exec.DefaultDynWorkers). Results are bit-identical for every n.
+// with private workspaces. n <= 0 selects per-rank ADAPTIVE sizing
+// (exec.SetWorkersAuto): the machine default capped so each worker
+// keeps enough element blocks to amortize tiling overhead, down to the
+// inline serial path on tiny ranks. Results are bit-identical for
+// every n.
 func (j *ParallelJob) SetDynWorkers(n int) {
 	j.DynWorkers = n
 	j.dynSet = true
 	for _, en := range j.engs {
-		en.SetWorkers(n)
+		if n <= 0 {
+			en.SetWorkersAuto()
+		} else {
+			en.SetWorkers(n)
+		}
 	}
 }
 
@@ -429,6 +450,14 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 		rs.Cost.Add(en.VerticalRemap(j.Backend, j.Hybrid, st))
 	}
 
+	// --- Column physics every phys.every steps (opt-in), before the
+	// watchdog so a physics-driven blowup is caught the same step. ---
+	if j.phys != nil && stepNo%j.phys.every == 0 {
+		sp := j.Obs.T().Begin(r, "core.physics", "model")
+		j.applyPhysicsRank(c, r, st)
+		sp.End()
+	}
+
 	// --- Blowup watchdog at the configured cadence. ---
 	if j.CheckEvery > 0 && stepNo%j.CheckEvery == 0 {
 		j.checkState(c, st)
@@ -523,10 +552,17 @@ func (j *ParallelJob) Shrink(dead int) error {
 		j.Plans[r] = halo.NewPlan(j.Mesh, j.RankOf, r)
 		j.engs[r] = exec.NewEngine(j.Mesh, j.Plans[r].Elems, j.Cfg.Nlev, j.Cfg.Qsize)
 		if j.dynSet {
-			j.engs[r].SetWorkers(j.DynWorkers)
+			// Re-apply the worker policy on the new, larger per-rank
+			// element counts — adaptive mode may now choose differently.
+			if j.DynWorkers <= 0 {
+				j.engs[r].SetWorkersAuto()
+			} else {
+				j.engs[r].SetWorkers(j.DynWorkers)
+			}
 		}
 	}
 	j.compileSubsets()
+	j.buildRankPhys()
 	if j.Faults != nil {
 		j.Faults = j.Faults.Shrink(dead)
 	}

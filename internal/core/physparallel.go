@@ -1,0 +1,222 @@
+// The distributed physics phase: every rank runs the column suite over
+// its local elements on a work-stealing pool (physdriver.go), then the
+// global precipitation diagnostic is reduced canonically — per-element
+// partials gathered to rank 0 by global element id and summed in
+// ascending order, exactly like the mass fixer's canonicalMass — so the
+// result is partition-invariant AND bit-identical to the serial Model
+// for every rank count, worker count, and steal schedule.
+package core
+
+import (
+	"fmt"
+
+	"swcam/internal/dycore"
+	"swcam/internal/mpirt"
+	"swcam/internal/physics"
+)
+
+// tagPhys is the point-to-point tag of the canonical precipitation
+// reduction (next to tagMass, outside the halo and collective ranges).
+const tagPhys = 203
+
+// jobPhysics is the opt-in physics configuration of a ParallelJob.
+type jobPhysics struct {
+	mode       physics.SuiteMode
+	every      int     // apply the suite every N dynamics steps
+	sst        float64 // equatorial SST of the prescribed surface
+	sstDelta   float64 // pole-equator SST contrast
+	workersReq int     // requested pool size (Config convention)
+	seed       uint64  // victim-scan seed, rotated by tests
+}
+
+// rankPhys is one rank's physics machinery: its own suite (atomic
+// counters — safe under the pool), its runner, and the pooled buffers
+// of the canonical reduction. st points at the rank's state only for
+// the duration of one applyPhysicsRank call.
+type rankPhys struct {
+	suite  *physics.Suite
+	runner *physRunner
+	st     *dycore.State
+
+	send []float64 // flattened (precip, area) per local element
+	out  []float64 // 1-slot Bcast buffer for the reduced increment
+
+	// Rank 0 only: the gather workspace of the canonical reduction.
+	global []float64
+	recv   [][]float64
+}
+
+// EnablePhysics turns on the column-physics phase: the suite runs every
+// `every` dynamics steps on each rank's local columns, with the surface
+// prescribed as SST(lat) = sst - sstDelta*(1-cos^2 lat). Must be called
+// after construction and before Run; the worker pool defaults to serial
+// until SetPhysWorkers. The trajectory matches the serial Model with
+// the same Config bit-for-bit.
+func (j *ParallelJob) EnablePhysics(mode physics.SuiteMode, every int, sst, sstDelta float64) error {
+	if every < 1 {
+		return fmt.Errorf("core: EnablePhysics every = %d", every)
+	}
+	switch mode {
+	case physics.Moist:
+		if j.Cfg.Qsize < 1 {
+			return fmt.Errorf("core: moist physics needs at least 1 tracer (qv)")
+		}
+	case physics.HeldSuarezMode:
+	default:
+		return fmt.Errorf("core: unknown physics mode %d", mode)
+	}
+	j.phys = &jobPhysics{mode: mode, every: every, sst: sst, sstDelta: sstDelta}
+	j.buildRankPhys()
+	return nil
+}
+
+// SetPhysWorkers sizes every rank's physics pool (negative = auto-size
+// to the machine, 0 or 1 = serial — the Config.PhysWorkers convention).
+// Results are bit-identical for every value. No-op before EnablePhysics.
+func (j *ParallelJob) SetPhysWorkers(n int) {
+	if j.phys == nil {
+		return
+	}
+	j.phys.workersReq = n
+	j.buildRankPhys()
+}
+
+// SetPhysPoolForTest rebuilds the physics pools with an explicit worker
+// count and victim-scan seed — the determinism sweep's schedule knob.
+func (j *ParallelJob) SetPhysPoolForTest(n int, seed uint64) {
+	if j.phys == nil {
+		return
+	}
+	j.phys.workersReq = n
+	j.phys.seed = seed
+	j.buildRankPhys()
+}
+
+// PhysWorkers reports the resolved per-rank physics pool size (0 when
+// physics is off).
+func (j *ParallelJob) PhysWorkers() int {
+	if j.phys == nil || len(j.rankPhys) == 0 {
+		return 0
+	}
+	return j.rankPhys[0].runner.workers()
+}
+
+// PhysStats sums the physics pools' cumulative scheduling activity over
+// all ranks (per-worker slices are aligned by worker index).
+func (j *ParallelJob) PhysStats() physics.StealStats {
+	var tot physics.StealStats
+	for _, rp := range j.rankPhys {
+		s := rp.runner.pool.Stats()
+		tot.Runs += s.Runs
+		tot.Chunks += s.Chunks
+		tot.Steals += s.Steals
+		tot.StealAttempts += s.StealAttempts
+		if tot.WorkerChunks == nil {
+			tot.WorkerChunks = make([]int64, len(s.WorkerChunks))
+			tot.WorkerBusyNs = make([]int64, len(s.WorkerBusyNs))
+		}
+		for w := range s.WorkerChunks {
+			tot.WorkerChunks[w] += s.WorkerChunks[w]
+			tot.WorkerBusyNs[w] += s.WorkerBusyNs[w]
+		}
+	}
+	return tot
+}
+
+// buildRankPhys (re)builds the per-rank suites, runners, and reduction
+// buffers for the current partition. Called by EnablePhysics,
+// SetPhysWorkers, and Shrink; Instrument re-wires observability after.
+func (j *ParallelJob) buildRankPhys() {
+	pc := j.phys
+	if pc == nil {
+		return
+	}
+	np, nlev, qsize := j.Cfg.Np, j.Cfg.Nlev, j.Cfg.Qsize
+	npsq := np * np
+	j.rankPhys = make([]*rankPhys, j.NRanks)
+	for r := 0; r < j.NRanks; r++ {
+		r := r
+		rp := &rankPhys{}
+		switch pc.mode {
+		case physics.Moist:
+			rp.suite = physics.NewMoistSuite()
+		case physics.HeldSuarezMode:
+			rp.suite = physics.NewHeldSuarezSuite()
+		}
+		elems := j.Plans[r].Elems
+		rp.runner = newPhysRunner(physWorkersRequest(pc.workersReq), pc.seed,
+			len(elems), npsq, nlev,
+			func(col *physics.Column, le, n int, dt float64) (float64, float64) {
+				return stepOneColumn(rp.suite, rp.st, j.Mesh.Elements[elems[le]],
+					np, nlev, qsize, col, le, n, dt, pc.sst, pc.sstDelta)
+			})
+		if j.PhysPanicHook != nil {
+			rp.runner.hook = func(w, le int) { j.PhysPanicHook(r, w, le) }
+		}
+		rp.send = make([]float64, 2*len(elems))
+		rp.out = make([]float64, 1)
+		j.rankPhys[r] = rp
+	}
+	rp0 := j.rankPhys[0]
+	rp0.global = make([]float64, 2*j.Mesh.NElems())
+	rp0.recv = make([][]float64, j.NRanks)
+	for src := 1; src < j.NRanks; src++ {
+		rp0.recv[src] = make([]float64, 2*len(j.Plans[src].Elems))
+	}
+}
+
+// applyPhysicsRank runs one physics step on rank r's columns and folds
+// the canonical global-mean precipitation increment into TotalPrecip
+// (written by rank 0 only — the field is read after the world joins).
+func (j *ParallelJob) applyPhysicsRank(c *mpirt.Comm, r int, st *dycore.State) {
+	rp := j.rankPhys[r]
+	rp.st = st
+	dt := j.Cfg.Dt * float64(j.phys.every)
+	rp.runner.run(dt)
+	rp.st = nil
+	inc := j.canonicalPrecip(c, r)
+	if r == 0 {
+		j.TotalPrecip += inc
+	}
+}
+
+// canonicalPrecip reduces the per-element (precip, area) partials to
+// the global area-weighted mean increment with a partition-invariant
+// grouping: gather by global element id to rank 0, sum ascending,
+// broadcast. The ascending-id sum is the exact association the serial
+// Model uses, so serial and every partition agree bit-for-bit (compare
+// canonicalMass, which earned the same property for the mass fixer).
+func (j *ParallelJob) canonicalPrecip(c *mpirt.Comm, r int) float64 {
+	rp := j.rankPhys[r]
+	parts := rp.runner.parts
+	for i := range parts {
+		rp.send[2*i] = parts[i].precip
+		rp.send[2*i+1] = parts[i].area
+	}
+	if r == 0 {
+		g := rp.global
+		for le, ge := range j.Plans[0].Elems {
+			g[2*ge], g[2*ge+1] = rp.send[2*le], rp.send[2*le+1]
+		}
+		for src := 1; src < j.NRanks; src++ {
+			buf := rp.recv[src]
+			c.Recv(src, tagPhys, buf)
+			for le, ge := range j.Plans[src].Elems {
+				g[2*ge], g[2*ge+1] = buf[2*le], buf[2*le+1]
+			}
+		}
+		var ps, as float64
+		for ge := 0; ge < j.Mesh.NElems(); ge++ {
+			ps += g[2*ge]
+			as += g[2*ge+1]
+		}
+		rp.out[0] = 0
+		if as > 0 {
+			rp.out[0] = ps / as
+		}
+	} else {
+		c.Send(0, tagPhys, rp.send)
+	}
+	c.Bcast(0, rp.out)
+	return rp.out[0]
+}

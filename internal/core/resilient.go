@@ -102,6 +102,21 @@ type ResilientJob struct {
 	buddyEnc    [][]float64     // buddyEnc[r] = encoded snapshot of rank r, held by rank (r+1)%n
 	suspectRank int             // rank of the most recent attributed failure
 	suspectRun  int             // consecutive failures attributed to suspectRank
+	snapPrecip  float64         // TotalPrecip at the active checkpoint (see rewind)
+}
+
+// markCheckpoint records the diagnostics that ride along with a
+// checkpoint but live outside the rank states — currently the
+// accumulated precipitation.
+func (rj *ResilientJob) markCheckpoint() { rj.snapPrecip = rj.Job.TotalPrecip }
+
+// rewind resets the job's step counter and its accumulated diagnostics
+// to the checkpoint. Replayed physics steps re-accumulate precipitation,
+// so restoring the states without rewinding TotalPrecip would
+// double-count every burned chunk's rain.
+func (rj *ResilientJob) rewind(snapStep int) {
+	rj.Job.SetStepCount(snapStep)
+	rj.Job.TotalPrecip = rj.snapPrecip
 }
 
 // Supervision modes.
@@ -215,6 +230,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 
 	snap := snapshot(local)
 	snapStep := rj.Job.StepCount()
+	rj.markCheckpoint()
 	if err := rj.persist(local, snapStep); err != nil {
 		return rs, err
 	}
@@ -240,6 +256,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 			snap = snapshot(local)
 			sp.End()
 			snapStep = rj.Job.StepCount()
+			rj.markCheckpoint()
 			rs.Checkpoints++
 			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep, Rank: -1})
 			rj.event(rs.Events[len(rs.Events)-1])
@@ -255,7 +272,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 			// and the full diagnosis instead of a corrupt field set.
 			t0 := time.Now()
 			restore(local, snap)
-			rj.Job.SetStepCount(snapStep)
+			rj.rewind(snapStep)
 			rj.addRecoveryNs(&rs, t0)
 			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
 			rs.Events = append(rs.Events, ev)
@@ -279,7 +296,7 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
 		restore(local, snap)
 		sp.End()
-		rj.Job.SetStepCount(snapStep)
+		rj.rewind(snapStep)
 		rj.addRecoveryNs(&rs, t0)
 	}
 	rs.Run.Steps = rj.Job.StepCount()
@@ -318,6 +335,7 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 	rs.Run.Cost.Backend = rj.Job.Backend
 
 	snapStep := rj.Job.StepCount()
+	rj.markCheckpoint()
 	if err := rj.replicate(&rs, snapStep); err != nil {
 		return rs, err
 	}
@@ -344,6 +362,7 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 			backoff = rj.Backoff
 			rj.suspectRank, rj.suspectRun = -1, 0
 			snapStep = rj.Job.StepCount()
+			rj.markCheckpoint()
 			if err := rj.replicate(&rs, snapStep); err != nil {
 				return rs, err
 			}
@@ -360,7 +379,7 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 		if retries >= rj.MaxRetries {
 			t0 := time.Now()
 			restore(rj.local, rj.own)
-			rj.Job.SetStepCount(snapStep)
+			rj.rewind(snapStep)
 			rj.addRecoveryNs(&rs, t0)
 			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
 			rs.Events = append(rs.Events, ev)
@@ -429,7 +448,7 @@ func (rj *ResilientJob) rollbackOwn(rs *ResilientStats, snapStep, attempt int, c
 	sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
 	restore(rj.local, rj.own)
 	sp.End()
-	rj.Job.SetStepCount(snapStep)
+	rj.rewind(snapStep)
 	rs.Rollbacks++
 	ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
 	rs.Events = append(rs.Events, ev)
@@ -461,7 +480,7 @@ func (rj *ResilientJob) localizedRestore(rs *ResilientStats, kind string, faulty
 	// The rebuilt rank holds the checkpoint in memory again.
 	rj.own[faulty] = st
 	sp.End()
-	rj.Job.SetStepCount(snapStep)
+	rj.rewind(snapStep)
 	if kind == "respawn" {
 		rs.Respawns++
 	} else {
@@ -502,7 +521,7 @@ func (rj *ResilientJob) shrinkRestore(rs *ResilientStats, dead, snapStep, attemp
 	}
 	rj.local = rj.Job.Scatter(g)
 	sp.End()
-	rj.Job.SetStepCount(snapStep)
+	rj.rewind(snapStep)
 	// A fresh replication round on the reduced world: new own snapshots,
 	// new buddy assignment.
 	if err := rj.replicate(rs, snapStep); err != nil {
@@ -529,7 +548,7 @@ func (rj *ResilientJob) globalFallback(rs *ResilientStats, snapStep, attempt int
 			for r := range rj.local {
 				rj.local[r].CopyFrom(locals[r])
 			}
-			rj.Job.SetStepCount(snapStep)
+			rj.rewind(snapStep)
 			if rerr := rj.replicate(rs, snapStep); rerr != nil {
 				return rerr
 			}
@@ -548,7 +567,7 @@ func (rj *ResilientJob) globalFallback(rs *ResilientStats, snapStep, attempt int
 			rj.local[r].CopyFrom(rj.own[r])
 		}
 	}
-	rj.Job.SetStepCount(snapStep)
+	rj.rewind(snapStep)
 	ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
 	rs.Events = append(rs.Events, ev)
 	rj.event(ev)

@@ -62,6 +62,43 @@ func DefaultDynWorkers() int {
 	return n
 }
 
+// minBlocksPerWorker is the adaptive-sizing floor: a worker must own at
+// least this many MeshDim-aligned element blocks before the goroutine
+// launch and tile barrier pay for themselves. Below it, the measured
+// BENCH history shows parallel tiling *losing* to serial (BENCH_1 ->
+// BENCH_2: dyn_workers=4 cost ~10% SYPD on a small grid), so auto mode
+// downshifts — to serial in the limit — instead of splitting for show.
+const minBlocksPerWorker = 4
+
+// AdaptiveWorkers returns the worker-pool size for a rank that owns
+// nelems elements: at most max (<= 0 selects DefaultDynWorkers), then
+// downshifted so every worker keeps >= minBlocksPerWorker aligned
+// blocks. Results are bit-identical for every outcome; this knob trades
+// only overhead against parallelism.
+func AdaptiveWorkers(nelems, max int) int {
+	if max <= 0 {
+		max = DefaultDynWorkers()
+	}
+	blocks := (nelems + sw.MeshDim - 1) / sw.MeshDim
+	w := blocks / minBlocksPerWorker
+	if w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetWorkersAuto sizes the pool adaptively for this engine's local
+// element count (AdaptiveWorkers with the machine default as the cap) —
+// the per-rank resolution of "dyn_workers auto": big ranks fan out,
+// small ranks run the inline serial fast path with coarser (whole-rank)
+// tiles.
+func (en *Engine) SetWorkersAuto() {
+	en.SetWorkers(AdaptiveWorkers(len(en.Elems), 0))
+}
+
 // SetWorkers sizes the intra-rank worker pool to n (n <= 0 selects
 // DefaultDynWorkers). Worker workspaces are allocated here, once;
 // steady-state kernel calls then run without heap allocation. Not safe

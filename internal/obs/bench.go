@@ -18,13 +18,19 @@ const BenchSchema = "swcam-bench/v1"
 // BenchConfig records the model configuration a benchmark file measured.
 // DynWorkers is the intra-rank worker-pool size the run used (0 in files
 // written before tiling existed; treated as 1, the serial path).
+// Physics names the column-physics suite stepped during the run
+// ("moist", "held-suarez"; empty = adiabatic) and PhysWorkers the
+// work-stealing pool size it ran on (0 in pre-physics files and in
+// adiabatic runs; treated as 1, the serial path).
 type BenchConfig struct {
-	Ne         int `json:"ne"`
-	Nlev       int `json:"nlev"`
-	Qsize      int `json:"qsize"`
-	Steps      int `json:"steps"`
-	Ranks      int `json:"ranks"`
-	DynWorkers int `json:"dyn_workers,omitempty"`
+	Ne          int    `json:"ne"`
+	Nlev        int    `json:"nlev"`
+	Qsize       int    `json:"qsize"`
+	Steps       int    `json:"steps"`
+	Ranks       int    `json:"ranks"`
+	DynWorkers  int    `json:"dyn_workers,omitempty"`
+	Physics     string `json:"physics,omitempty"`
+	PhysWorkers int    `json:"phys_workers,omitempty"`
 }
 
 // BenchKernel is one kernel's accumulated record within one backend.
@@ -81,6 +87,24 @@ type BenchServing struct {
 	Restarts      int64   `json:"restarts"`       // member restarts during the window
 	Quarantines   int64   `json:"quarantines"`    // members quarantined during the window
 	TornSnapshots int64   `json:"torn_snapshots"` // detected-and-retried torn reads
+}
+
+// BenchPhys records the work-stealing physics pool's activity behind a
+// benchmarked run: column throughput, steal traffic, and the per-worker
+// utilization split that the steal scheduler produced. Nil for
+// adiabatic runs and files written before parallel physics existed —
+// the block is additive, so older consumers and files interoperate
+// unchanged.
+type BenchPhys struct {
+	Workers       int     `json:"workers"`                  // steal-pool size
+	Columns       int64   `json:"columns"`                  // columns stepped, whole run
+	Chunks        int64   `json:"chunks"`                   // element chunks executed
+	Steals        int64   `json:"steals"`                   // successful steals
+	StealAttempts int64   `json:"steal_attempts"`           // steal probes, successful or not
+	WorkerChunks  []int64 `json:"worker_chunks,omitempty"`  // chunks per worker slot
+	WorkerBusyNs  []int64 `json:"worker_busy_ns,omitempty"` // busy wall time per worker slot
+	SerialSYPD    float64 `json:"serial_sypd,omitempty"`    // paired 1-worker run, when measured
+	ParallelSYPD  float64 `json:"parallel_sypd,omitempty"`  // paired N-worker run, when measured
 }
 
 // BenchScalingPoint is one measured configuration of a scaling sweep: a
@@ -157,6 +181,7 @@ type BenchFile struct {
 	Recovery *BenchRecovery          `json:"recovery,omitempty"`
 	Serving  *BenchServing           `json:"serving,omitempty"`
 	Scaling  *BenchScaling           `json:"scaling,omitempty"`
+	Phys     *BenchPhys              `json:"phys,omitempty"`
 }
 
 // NewBenchFile builds a file from per-backend kernel tables and rates.
@@ -282,6 +307,58 @@ func (f *BenchFile) Validate() error {
 		} {
 			if c.v < 0 {
 				return fmt.Errorf("obs: bench serving %s is negative: %d", c.name, c.v)
+			}
+		}
+	}
+	if ph := f.Phys; ph != nil {
+		if ph.Workers < 1 {
+			return fmt.Errorf("obs: bench phys workers %d < 1", ph.Workers)
+		}
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"columns", ph.Columns}, {"chunks", ph.Chunks},
+			{"steals", ph.Steals}, {"steal_attempts", ph.StealAttempts},
+		} {
+			if c.v < 0 {
+				return fmt.Errorf("obs: bench phys %s is negative: %d", c.name, c.v)
+			}
+		}
+		if ph.Steals > ph.StealAttempts {
+			return fmt.Errorf("obs: bench phys steals %d exceed attempts %d", ph.Steals, ph.StealAttempts)
+		}
+		if len(ph.WorkerChunks) > 0 {
+			if len(ph.WorkerChunks) != ph.Workers {
+				return fmt.Errorf("obs: bench phys worker_chunks has %d slots for %d workers",
+					len(ph.WorkerChunks), ph.Workers)
+			}
+			var sum int64
+			for w, v := range ph.WorkerChunks {
+				if v < 0 {
+					return fmt.Errorf("obs: bench phys worker_chunks[%d] is negative: %d", w, v)
+				}
+				sum += v
+			}
+			if sum != ph.Chunks {
+				return fmt.Errorf("obs: bench phys worker_chunks sum %d != chunks %d", sum, ph.Chunks)
+			}
+		}
+		if len(ph.WorkerBusyNs) > 0 && len(ph.WorkerBusyNs) != ph.Workers {
+			return fmt.Errorf("obs: bench phys worker_busy_ns has %d slots for %d workers",
+				len(ph.WorkerBusyNs), ph.Workers)
+		}
+		for w, v := range ph.WorkerBusyNs {
+			if v < 0 {
+				return fmt.Errorf("obs: bench phys worker_busy_ns[%d] is negative: %d", w, v)
+			}
+		}
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{{"serial_sypd", ph.SerialSYPD}, {"parallel_sypd", ph.ParallelSYPD}} {
+			if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+				return fmt.Errorf("obs: bench phys %s %v is negative/NaN/Inf", c.name, c.v)
 			}
 		}
 	}

@@ -43,6 +43,14 @@ func FuzzDecodeBench(f *testing.F) {
 		`"backends":{"Intel":{"sypd":0,"wall_seconds":1,"kernels":{"k":{"calls":1,"ns":1}}}}}`))
 	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},` +
 		`"backends":{"Intel":{"sypd":1,"wall_seconds":1,"kernels":{}}}}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1,` +
+		`"physics":"moist","phys_workers":4},` +
+		`"backends":{"Intel":{"sypd":1,"wall_seconds":1,"kernels":{"k":{"calls":1,"ns":1}}}},` +
+		`"phys":{"workers":4,"columns":64,"chunks":4,"steals":1,"steal_attempts":3,` +
+		`"worker_chunks":[1,1,1,1],"worker_busy_ns":[5,5,5,5],"serial_sypd":1,"parallel_sypd":2}}`))
+	f.Add([]byte(`{"schema":"swcam-bench/v1","config":{"ne":4,"nlev":8,"steps":1,"ranks":1},` +
+		`"backends":{"Intel":{"sypd":1,"wall_seconds":1,"kernels":{"k":{"calls":1,"ns":1}}}},` +
+		`"phys":{"workers":2,"chunks":6,"worker_chunks":[1,2]}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		bf, err := DecodeBench(data)

@@ -316,6 +316,24 @@ func TestBenchFileValidate(t *testing.T) {
 		{"retransmitted exceeds retransmits", func(f *BenchFile) {
 			f.Recovery = &BenchRecovery{Retransmits: 1, Retransmitted: 2}
 		}},
+		{"zero phys workers", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 0, Columns: 10}
+		}},
+		{"negative phys counter", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 2, Chunks: -1}
+		}},
+		{"phys steals exceed attempts", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 2, Steals: 3, StealAttempts: 1}
+		}},
+		{"phys worker slot mismatch", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 4, Chunks: 6, WorkerChunks: []int64{6}}
+		}},
+		{"phys worker chunks don't sum", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 2, Chunks: 6, WorkerChunks: []int64{1, 2}}
+		}},
+		{"nan phys sypd", func(f *BenchFile) {
+			f.Phys = &BenchPhys{Workers: 2, SerialSYPD: math.NaN()}
+		}},
 	}
 	for _, tc := range cases {
 		f := good()
@@ -359,6 +377,36 @@ func TestBenchFileValidate(t *testing.T) {
 	}
 	if got2.Recovery != nil {
 		t.Errorf("fault-free file grew a recovery block: %+v", got2.Recovery)
+	}
+	if got2.Phys != nil {
+		t.Errorf("adiabatic file grew a phys block: %+v", got2.Phys)
+	}
+
+	// A well-formed phys block round-trips, worker slices included.
+	pf := good()
+	pf.Config.Physics = "moist"
+	pf.Config.PhysWorkers = 4
+	pf.Phys = &BenchPhys{
+		Workers: 4, Columns: 1536, Chunks: 96, Steals: 11, StealAttempts: 40,
+		WorkerChunks: []int64{30, 24, 22, 20},
+		WorkerBusyNs: []int64{5e6, 4e6, 4e6, 3e6},
+		SerialSYPD:   1.5, ParallelSYPD: 2.25,
+	}
+	if err := pf.Validate(); err != nil {
+		t.Fatalf("phys block rejected: %v", err)
+	}
+	pp, err := WriteBenchFile(dir, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgot, err := LoadBenchFile(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pgot.Phys == nil || pgot.Phys.Workers != 4 || pgot.Phys.Steals != 11 ||
+		len(pgot.Phys.WorkerChunks) != 4 || pgot.Phys.WorkerChunks[0] != 30 ||
+		pgot.Config.Physics != "moist" || pgot.Config.PhysWorkers != 4 {
+		t.Errorf("phys round trip: got %+v / config %+v", pgot.Phys, pgot.Config)
 	}
 }
 

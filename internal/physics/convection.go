@@ -50,7 +50,7 @@ func moistAdiabatFrom(c *Column, k0 int, tRef []float64) {
 // lifted from the lowest model level, using virtual temperature excess.
 func CAPE(c *Column) float64 {
 	n := c.Nlev
-	tRef := make([]float64, n)
+	tRef := c.scratch().tRef
 	moistAdiabatFrom(c, n-1, tRef)
 	cape := 0.0
 	for k := n - 2; k >= 0; k-- {
@@ -69,7 +69,8 @@ func BettsMiller(c *Column, cp ConvParams, dt float64) float64 {
 	if CAPE(c) < cp.MinCAPE {
 		return 0
 	}
-	tRef := make([]float64, n)
+	scr := c.scratch()
+	tRef := scr.tRef
 	moistAdiabatFrom(c, n-1, tRef)
 
 	// Find the cloud top: highest level where the parcel is buoyant.
@@ -90,8 +91,8 @@ func BettsMiller(c *Column, cp ConvParams, dt float64) float64 {
 		frac = 1
 	}
 	dTsum, dQsum := 0.0, 0.0 // mass-weighted changes
-	dT := make([]float64, n)
-	dQ := make([]float64, n)
+	dT := scr.dT
+	dQ := scr.dQ
 	for k := top; k < n; k++ {
 		qRef := cp.RHRef * QSat(tRef[k], c.P[k])
 		dT[k] = frac * (tRef[k] - c.T[k])

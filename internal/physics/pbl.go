@@ -23,8 +23,13 @@ func DefaultPBLParams() PBLParams {
 // x = d in place using the Thomas algorithm; a[0] and c[n-1] are ignored.
 // d is overwritten with the solution.
 func SolveTridiag(a, b, c, d []float64) {
+	solveTridiagCP(a, b, c, d, make([]float64, len(b)))
+}
+
+// solveTridiagCP is SolveTridiag with a caller-supplied c' scratch
+// column — the allocation-free path the column schemes use.
+func solveTridiagCP(a, b, c, d, cp []float64) {
 	n := len(b)
-	cp := make([]float64, n)
 	cp[0] = c[0] / b[0]
 	d[0] = d[0] / b[0]
 	for i := 1; i < n; i++ {
@@ -57,16 +62,17 @@ func PBLDiffusion(c *Column, pp PBLParams, dt float64) (shf, lhf float64) {
 	if n < 2 {
 		return 0, 0
 	}
+	scr := c.scratch()
 	// Geometry: layer thickness in meters and interface spacing.
-	dz := make([]float64, n)
-	rho := make([]float64, n)
+	dz := scr.dz
+	rho := scr.rho
 	for k := 0; k < n; k++ {
 		rho[k] = c.P[k] / (Rd * c.T[k])
 		dz[k] = c.DP[k] / (Gravit * rho[k])
 	}
 	// Interface diffusive conductance g[k] couples layers k-1 and k:
 	// g = rho_int * K / dz_int (kg/m^2/s after dividing by dz later).
-	g := make([]float64, n) // g[0] unused
+	g := scr.g // g[0] unused
 	for k := 1; k < n; k++ {
 		rhoInt := (rho[k-1] + rho[k]) / 2
 		dzInt := (dz[k-1] + dz[k]) / 2
@@ -81,17 +87,15 @@ func PBLDiffusion(c *Column, pp PBLParams, dt float64) (shf, lhf float64) {
 	gSfc := rho[n-1] * pp.Cd * wind // kg/m^2/s
 
 	// Mass per layer (kg/m^2).
-	mass := make([]float64, n)
+	mass := scr.mass
 	for k := 0; k < n; k++ {
 		mass[k] = c.DP[k] / Gravit
 	}
 
 	solve := func(x []float64, sfcValue float64, sfcCoupled bool) {
-		a := make([]float64, n)
-		b := make([]float64, n)
-		cc := make([]float64, n)
-		d := make([]float64, n)
+		a, b, cc, d := scr.ta, scr.tb, scr.tc, scr.td
 		for k := 0; k < n; k++ {
+			a[k], cc[k] = 0, 0
 			b[k] = mass[k] / dt
 			d[k] = mass[k] / dt * x[k]
 			if k > 0 {
@@ -107,7 +111,7 @@ func PBLDiffusion(c *Column, pp PBLParams, dt float64) (shf, lhf float64) {
 			b[n-1] += gSfc
 			d[n-1] += gSfc * sfcValue
 		}
-		SolveTridiag(a, b, cc, d)
+		solveTridiagCP(a, b, cc, d, scr.tcp)
 		copy(x, d)
 	}
 
@@ -116,14 +120,14 @@ func PBLDiffusion(c *Column, pp PBLParams, dt float64) (shf, lhf float64) {
 	// itself downward. Heights come from the hydrostatic integral of
 	// the current profile and are held fixed across the implicit solve
 	// (the standard approximation).
-	z := make([]float64, n)
+	z := scr.z
 	zInt := 0.0
 	for k := n - 1; k >= 0; k-- {
 		half := c.DP[k] / (2 * Gravit * rho[k])
 		z[k] = zInt + half
 		zInt += 2 * half
 	}
-	s := make([]float64, n)
+	s := scr.s
 	for k := 0; k < n; k++ {
 		s[k] = Cp*c.T[k] + Gravit*z[k]
 	}

@@ -50,6 +50,50 @@ type Column struct {
 	Ps   float64   // surface pressure
 
 	Precip float64 // accumulated surface precipitation, kg/m^2 (diagnostic)
+
+	// scr holds the pooled per-column work arrays the schemes reuse
+	// across steps, so a warm column steps without heap allocation.
+	// Columns are owned by one worker at a time, so the scratch needs
+	// no locking.
+	scr *colScratch
+}
+
+// colScratch is the per-column scheme workspace: every slice a scheme
+// previously allocated per call lives here instead, sized once for the
+// column's Nlev. Fields are grouped by the scheme that overwrites them
+// fully before reading (so sharing a buffer between schemes of one Step
+// would be safe — they get distinct fields anyway for clarity).
+type colScratch struct {
+	// Radiation: interface optical depths/fluxes (nlev+1) and the
+	// per-layer Planck source.
+	tau, down, up []float64
+	planck        []float64
+	// PBL: geometry, conductances, masses, heights, dry static energy,
+	// and the tridiagonal bands (+ the Thomas algorithm's c' column).
+	dz, rho, g, mass, z, s []float64
+	ta, tb, tc, td, tcp    []float64
+	// Convection: the moist-adiabat reference profile and the
+	// first-guess adjustment tendencies.
+	tRef, dT, dQ []float64
+}
+
+// scratch returns the column's pooled workspace, building it on first
+// use (or after a level-count change — columns are normally fixed-size,
+// but a reused struct with swapped slices stays correct).
+func (c *Column) scratch() *colScratch {
+	if c.scr == nil || len(c.scr.planck) != c.Nlev {
+		n := c.Nlev
+		c.scr = &colScratch{
+			tau: make([]float64, n+1), down: make([]float64, n+1), up: make([]float64, n+1),
+			planck: make([]float64, n),
+			dz:     make([]float64, n), rho: make([]float64, n), g: make([]float64, n),
+			mass: make([]float64, n), z: make([]float64, n), s: make([]float64, n),
+			ta: make([]float64, n), tb: make([]float64, n), tc: make([]float64, n),
+			td: make([]float64, n), tcp: make([]float64, n),
+			tRef: make([]float64, n), dT: make([]float64, n), dQ: make([]float64, n),
+		}
+	}
+	return c.scr
 }
 
 // NewColumn allocates a column with nlev levels.

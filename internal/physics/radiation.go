@@ -42,27 +42,30 @@ func (rp RadParams) Insolation(lat float64) float64 {
 // flux (diagnostic).
 func GrayRadiation(c *Column, rp RadParams, dt float64) (olr float64) {
 	n := c.Nlev
+	scr := c.scratch()
 	// Interface optical depths.
-	tau := make([]float64, n+1)
+	tau := scr.tau
+	tau[0] = 0
 	pInt := 0.0
 	for k := 0; k < n; k++ {
 		pInt += c.DP[k]
 		tau[k+1] = rp.lwTau(c.Lat, pInt/c.Ps)
 	}
 	// Planck source per layer.
-	b := make([]float64, n)
+	b := scr.planck
 	for k := 0; k < n; k++ {
 		b[k] = sbSigma * c.T[k] * c.T[k] * c.T[k] * c.T[k]
 	}
 	// Downward beam: D(0) = 0; dD/dtau = B - D.
-	down := make([]float64, n+1)
+	down := scr.down
+	down[0] = 0
 	for k := 0; k < n; k++ {
 		dtau := tau[k+1] - tau[k]
 		e := math.Exp(-dtau)
 		down[k+1] = down[k]*e + b[k]*(1-e)
 	}
 	// Upward beam from the surface: U(ns) = sigma Ts^4.
-	up := make([]float64, n+1)
+	up := scr.up
 	up[n] = sbSigma * c.Ts * c.Ts * c.Ts * c.Ts
 	for k := n - 1; k >= 0; k-- {
 		dtau := tau[k+1] - tau[k]

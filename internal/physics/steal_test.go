@@ -1,0 +1,186 @@
+package physics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Every chunk must run exactly once, for every (workers, chunks, seed)
+// shape — including more workers than chunks, one chunk, and ranges
+// that force remainder-carrying splits.
+func TestStealPoolCoversAllChunks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for _, chunks := range []int{0, 1, 2, 7, 16, 33, 100} {
+			for _, seed := range []uint64{0, 1, 42} {
+				p := NewStealPool(workers, seed)
+				ran := make([]int32, chunks+1)
+				p.Run(chunks, func(w, c int) {
+					if w < 0 || w >= workers {
+						t.Errorf("worker index %d outside [0,%d)", w, workers)
+					}
+					atomic.AddInt32(&ran[c], 1)
+				})
+				for c := 0; c < chunks; c++ {
+					if n := atomic.LoadInt32(&ran[c]); n != 1 {
+						t.Fatalf("w=%d n=%d seed=%d: chunk %d ran %d times", workers, chunks, seed, c, n)
+					}
+				}
+				st := p.Stats()
+				if st.Chunks != int64(chunks) {
+					t.Fatalf("w=%d n=%d: stats counted %d chunks, want %d", workers, chunks, st.Chunks, chunks)
+				}
+				var sum int64
+				for _, wc := range st.WorkerChunks {
+					sum += wc
+				}
+				if sum != int64(chunks) {
+					t.Fatalf("w=%d n=%d: per-worker chunks sum %d, want %d", workers, chunks, sum, chunks)
+				}
+			}
+		}
+	}
+}
+
+// A pool is reused across steps; cumulative stats must keep adding up.
+func TestStealPoolReuse(t *testing.T) {
+	p := NewStealPool(4, 7)
+	total := 0
+	for run := 0; run < 5; run++ {
+		n := 10 + run
+		var count int32
+		p.Run(n, func(w, c int) { atomic.AddInt32(&count, 1) })
+		total += n
+		if int(count) != n {
+			t.Fatalf("run %d: %d chunks ran, want %d", run, count, n)
+		}
+	}
+	st := p.Stats()
+	if st.Chunks != int64(total) {
+		t.Fatalf("cumulative chunks %d, want %d", st.Chunks, total)
+	}
+	if st.Runs != 5 {
+		t.Fatalf("runs %d, want 5", st.Runs)
+	}
+}
+
+// With one worker stuck on a long chunk, idle workers must actually
+// steal the rest of its range — the load-balancing claim, observed
+// through the pool's own counters rather than assumed.
+func TestStealPoolStealsHappen(t *testing.T) {
+	const workers, chunks = 4, 64
+	p := NewStealPool(workers, 1)
+	var count int32
+	p.Run(chunks, func(w, c int) {
+		// Worker 0 owns [0,16); make its first chunk expensive so the
+		// rest of its range is up for grabs.
+		if c == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		atomic.AddInt32(&count, 1)
+	})
+	if int(count) != chunks {
+		t.Fatalf("%d chunks ran, want %d", count, chunks)
+	}
+	st := p.Stats()
+	if st.Steals == 0 {
+		t.Fatalf("no steals recorded despite a 20ms straggler: %+v", st)
+	}
+	if st.StealAttempts < st.Steals {
+		t.Fatalf("attempts %d < steals %d", st.StealAttempts, st.Steals)
+	}
+}
+
+// Seeded chaos: panics in chunks — owned and (with a straggler chunk
+// making theft near-certain) stolen — must surface on the calling
+// goroutine, exactly once, with the other workers drained; the pool
+// must stay usable afterwards.
+func TestStealPoolChaosPanicPropagates(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		p := NewStealPool(4, seed)
+		// First: panic in a chunk deep in worker 0's range while worker 0
+		// sleeps — by the time it runs, a thief owns it.
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("seed %d: stolen-chunk panic did not propagate", seed)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("seed %d: unexpected panic value %v", seed, r)
+				}
+			}()
+			p.Run(64, func(w, c int) {
+				if c == 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+				if c == 15 { // tail of worker 0's initial range [0,16)
+					panic("boom")
+				}
+			})
+		}()
+		// Then: the pool recovers — a clean run completes fully.
+		var count int32
+		p.Run(32, func(w, c int) { atomic.AddInt32(&count, 1) })
+		if count != 32 {
+			t.Fatalf("seed %d: post-panic run executed %d/32 chunks", seed, count)
+		}
+	}
+}
+
+// The serial path (1 worker, or 1 chunk) must not recover panics into
+// the parked-panic machinery — it propagates natively.
+func TestStealPoolSerialPanic(t *testing.T) {
+	p := NewStealPool(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("serial panic did not propagate")
+		}
+	}()
+	p.Run(4, func(w, c int) {
+		if c == 2 {
+			panic("serial boom")
+		}
+	})
+}
+
+// Different seeds must produce different victim-scan orders (the knob
+// the determinism sweep varies) while covering the same chunks.
+func TestStealPoolSeedRotatesScanOrder(t *testing.T) {
+	order := func(seed uint64) string {
+		p := NewStealPool(5, seed)
+		n := p.active // zero until Run; set active by hand for the probe
+		_ = n
+		// Reconstruct the scan order formula for worker 0 of 5 active.
+		s := ""
+		active := 5
+		start := int((seed + 0*0x9e3779b97f4a7c15) % uint64(active-1))
+		for i := 0; i < active-1; i++ {
+			v := (0 + 1 + (start+i)%(active-1)) % active
+			s += fmt.Sprintf("%d,", v)
+		}
+		return s
+	}
+	if order(0) == order(1) {
+		t.Fatalf("seeds 0 and 1 scan victims in the same order: %s", order(0))
+	}
+}
+
+// Steady-state Run must not allocate beyond the goroutine-launch
+// machinery: the deques, stats, and panic slots are pooled. The bound
+// is marginal (like exec's tiling budget): workers-1 goroutine starts
+// plus WaitGroup bookkeeping.
+func TestStealPoolSteadyStateAllocs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewStealPool(workers, 3)
+		sink := make([]float64, 64)
+		fn := func(w, c int) { sink[c] += float64(w) } // prebuilt: no per-run closure
+		p.Run(64, fn)                                  // warm
+		got := testing.AllocsPerRun(20, func() { p.Run(64, fn) })
+		budget := float64(2 + 2*workers)
+		if got > budget {
+			t.Fatalf("workers=%d: %.1f allocs/run, budget %.0f", workers, got, budget)
+		}
+	}
+}
