@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap bench-phys scaling trace figures outputs serve loadgen clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap bench-phys bench-integrity scaling trace figures outputs serve loadgen clean
 
 all: build vet test
 
@@ -56,6 +56,17 @@ bench-overlap:
 bench-phys:
 	$(GO) run ./cmd/swprof -ne 3 -nlev 8 -steps 6 -ranks 2 \
 	    -physics moist -phys-every 2 -phys-workers 4 -dir bench
+
+# The integrity BENCH point: seeded bit flips into resident state,
+# checkpoints, and buddy copies, with per-step CRC scrubbing, the
+# conservation ledgers, and a 3-generation verified checkpoint ring.
+# swprof exits nonzero unless every flip is detected and the recovered
+# trajectory is bit-identical to fault-free; the integrity block
+# records detections vs injected and the measured scrub overhead.
+bench-integrity:
+	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 6 -ranks 3 \
+	    -faults 'chaosflip:6@42' -recovery ladder \
+	    -scrub-every 1 -ckpt-generations 3 -dir bench
 
 # The measured scaling campaign (internal/scale): real weak+strong
 # goroutine-rank sweeps on this box up to 256 ranks, the calibrated

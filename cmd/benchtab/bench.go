@@ -127,8 +127,8 @@ func loadBenchSet(paths []string) ([]benchEntry, error) {
 // print n/a.
 func writeBenchTable(w io.Writer, entries []benchEntry) {
 	fmt.Fprintln(w, "== Performance trajectory (BENCH files) ==")
-	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-28s %s\n",
-		"file", "config", "backends (SYPD)", "overlap", "recovery", "physics", "serving", "scaling")
+	fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-26s %-28s %s\n",
+		"file", "config", "backends (SYPD)", "overlap", "recovery", "physics", "integrity", "serving", "scaling")
 	for _, e := range entries {
 		f := e.File
 		cfg := fmt.Sprintf("ne%d L%d r%d", f.Config.Ne, f.Config.Nlev, f.Config.Ranks)
@@ -186,6 +186,15 @@ func writeBenchTable(w io.Writer, entries []benchEntry) {
 			}
 		}
 
+		// Integrity column: scrub overhead as a fraction of step time,
+		// detections over injected flips, and how often a restore had to
+		// escalate past a poisoned checkpoint generation.
+		integ := "n/a"
+		if in := f.Integrity; in != nil {
+			detected := in.ScrubDetections + in.LedgerDetections + in.PoisonedCopies + in.PreShipRejects
+			integ = fmt.Sprintf("%.1f%%ovh %d/%ddet %desc", in.OverheadPct, detected, in.FlipsInjected, in.Escalations)
+		}
+
 		serving := "n/a"
 		if s := f.Serving; s != nil {
 			serving = fmt.Sprintf("%.0f req/s p99 %.1fms (%dm)", s.QPS, s.P99Ms, s.Members)
@@ -200,8 +209,8 @@ func writeBenchTable(w io.Writer, entries []benchEntry) {
 			}
 		}
 
-		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-28s %s\n",
-			filepath.Base(e.Path), cfg, backends, overlap, recovery, phys, serving, scaling)
+		fmt.Fprintf(w, "  %-14s %-18s %-26s %-10s %-22s %-24s %-26s %-28s %s\n",
+			filepath.Base(e.Path), cfg, backends, overlap, recovery, phys, integ, serving, scaling)
 	}
 	fmt.Fprintln(w)
 }

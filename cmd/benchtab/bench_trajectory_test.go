@@ -72,6 +72,19 @@ const benchPhys = `{
            "serial_sypd": 275.0, "parallel_sypd": 330.0}
 }`
 
+const benchIntegrity = `{
+  "schema": "swcam-bench/v1",
+  "config": {"ne": 2, "nlev": 4, "qsize": 1, "steps": 6, "ranks": 3},
+  "backends": {
+    "intel": {"sypd": 280.0, "wall_seconds": 0.04,
+              "kernels": {"euler": {"calls": 10, "ns": 1000, "flops": 5, "bytes": 7}}}
+  },
+  "integrity": {"scrub_every": 1, "generations": 3, "seals": 72, "verifies": 60,
+                "flips_injected": 6, "scrub_detections": 3, "ledger_detections": 1,
+                "poisoned_copies": 1, "escalations": 2, "preship_rejects": 1,
+                "scrub_ns": 400000, "step_ns": 10000000, "overhead_pct": 4.0}
+}`
+
 const benchForeignSchema = `{
   "schema": "swcam-bench/v999",
   "config": {"ne": 8, "nlev": 16, "qsize": 4, "steps": 10, "ranks": 4},
@@ -119,6 +132,11 @@ func TestBenchTableOptionalBlocks(t *testing.T) {
 			name:  "physics file renders pool + utilization + pair speedup",
 			files: map[string]string{"BENCH_1.json": benchPhys},
 			want:  []string{"4w 216st", "75%util", "1.20x"},
+		},
+		{
+			name:  "integrity file renders overhead + detections + escalations",
+			files: map[string]string{"BENCH_1.json": benchIntegrity},
+			want:  []string{"4.0%ovh", "6/6det", "2esc"},
 		},
 		{
 			name: "mixed eras of one schema coexist",

@@ -68,7 +68,7 @@ func main() {
 	restart := flag.String("restart", "", "resume from a checkpoint file")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint file at the end")
 	history := flag.String("history", "", "write lat-lon history frames to this file")
-	faults := flag.String("faults", "", "fault-injection spec for -parallel, comma-separated: kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED")
+	faults := flag.String("faults", "", "fault-injection spec for -parallel, comma-separated: kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, flipState:R@OP, flipCheckpoint:R@OP, flipBuddy:R@OP, chaos:N@SEED, chaosflip:N@SEED")
 	ckEvery := flag.Int("checkpoint-every", 0, "with -parallel: checkpoint every N steps and auto-recover from faults (0 = no supervision)")
 	recovery := flag.String("recovery", "ladder", "with -checkpoint-every: recovery strategy: ladder (retransmit, then rebuild the failed rank from its buddy's in-memory copy, then global rollback) | global (rollback-only) | off")
 	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks available to replace permanently dead ranks (0 = shrink onto the survivors instead)")
@@ -76,6 +76,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome about://tracing JSON trace to this file (implies -obs)")
 	dynWorkers := flag.Int("dyn-workers", 0, "with -parallel: intra-rank dynamics workers per rank (0 = adaptive: sized per rank from its element count, downshifting to serial on small ranks; 1 = serial; results are bit-identical for any value)")
 	physWorkers := flag.Int("phys-workers", 1, "work-stealing column-physics workers, serial model and per -parallel rank (0 = auto-size to the machine, downshifting to serial on small grids; 1 = serial; results are bit-identical for any value)")
+	scrubEvery := flag.Int("scrub-every", 0, "with -parallel: enable the silent-data-corruption defenses — CRC-seal each rank's resident state every N steps and re-verify it at the next at-rest window, plus the global mass/energy/tracer conservation ledger (0 = off; 1 catches every resident flip before a checkpoint can capture it)")
+	ckptGenerations := flag.Int("ckpt-generations", 1, "with -checkpoint-every: verified checkpoint generations to retain; a restore target failing CRC verification escalates to the next-older generation instead of restoring garbage")
 	flag.Parse()
 
 	// Flag 0 = auto maps to the config convention's negative sentinel
@@ -97,8 +99,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camsw: unknown -recovery %q (ladder|global|off)\n", *recovery)
 		os.Exit(2)
 	}
+	if *scrubEvery < 0 {
+		fmt.Fprintln(os.Stderr, "camsw: -scrub-every must be >= 0")
+		os.Exit(2)
+	}
+	if *ckptGenerations < 1 {
+		fmt.Fprintln(os.Stderr, "camsw: -ckpt-generations must be >= 1")
+		os.Exit(2)
+	}
 	if *parallel > 0 {
-		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *phys, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers, physReq, interrupted)
+		runParallel(*ne, *nlev, *qsize, *hours, *parallel, *backendName, *phys, *faults, *ckEvery, *checkpoint, *recovery, *spares, probe, *tracePath, *dynWorkers, physReq, *scrubEvery, *ckptGenerations, interrupted)
 		return
 	}
 	if *faults != "" || *ckEvery > 0 {
@@ -257,7 +267,7 @@ func finishObs(p *obs.Probe, tracePath string, in obs.ReportInput) {
 	}
 }
 
-func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, physMode, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers, physReq int, interrupted func() bool) {
+func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, physMode, faultSpec string, ckEvery int, ckPath, recoveryMode string, spares int, probe *obs.Probe, tracePath string, dynWorkers, physReq, scrubEvery, ckptGenerations int, interrupted func() bool) {
 	var backend exec.Backend
 	switch backendName {
 	case "intel":
@@ -303,6 +313,9 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, ph
 	default:
 		fmt.Fprintf(os.Stderr, "camsw: unknown physics %q\n", physMode)
 		os.Exit(2)
+	}
+	if scrubEvery > 0 {
+		job.EnableIntegrity(scrubEvery)
 	}
 	if probe != nil {
 		job.Instrument(probe)
@@ -358,6 +371,7 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, ph
 		rj.MaxRetries = 10
 		rj.DiskPath = ckPath
 		rj.Spares = spares
+		rj.Generations = ckptGenerations
 		if recoveryMode == "ladder" {
 			rj.Mode = core.ModeLadder
 		} else {
@@ -390,6 +404,10 @@ func runParallel(ne, nlev, qsize int, hours float64, nranks int, backendName, ph
 			recoveryMode, agg.Checkpoints, agg.RetxRecovered, agg.RetxAttempts,
 			agg.Localized, agg.Respawns, agg.Shrinks, agg.Rollbacks,
 			float64(agg.RecoveryNs)/1e6)
+		if agg.Poisoned+agg.Escalations > 0 {
+			fmt.Printf("  integrity: %d checkpoint copies poisoned, %d restore escalations past poisoned generations\n",
+				agg.Poisoned, agg.Escalations)
+		}
 		if probe != nil {
 			fmt.Printf("  recovery counters: %d steps replayed, %d giveups\n",
 				probe.Reg.CounterValue("core.recovery.replayed_steps"),
@@ -458,6 +476,8 @@ func addResilientStats(agg *core.ResilientStats, rs core.ResilientStats) {
 	agg.Localized += rs.Localized
 	agg.Respawns += rs.Respawns
 	agg.Shrinks += rs.Shrinks
+	agg.Poisoned += rs.Poisoned
+	agg.Escalations += rs.Escalations
 	agg.RetxAttempts += rs.RetxAttempts
 	agg.RetxRecovered += rs.RetxRecovered
 	agg.RecoveryNs += rs.RecoveryNs

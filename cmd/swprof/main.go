@@ -10,7 +10,15 @@
 //	swprof -ne 4 -nlev 8 -steps 10 -ranks 2 -dyn-workers 4 -dir bench/
 //	swprof -ne 2 -nlev 4 -steps 6 -ranks 3 -faults chaos:4@42 -recovery ladder -dir bench/
 //	swprof -ne 3 -nlev 8 -steps 6 -ranks 2 -physics moist -phys-workers 0 -dir bench/
+//	swprof -ne 2 -nlev 4 -steps 6 -ranks 3 -faults chaosflip:6@42 -scrub-every 1 -ckpt-generations 3 -dir bench/
 //	swprof -validate bench/BENCH_1.json
+//
+// -scrub-every turns on the silent-data-corruption defenses (at-rest
+// CRC scrubbing of every rank's resident state plus the global
+// conservation ledger); with flip faults injected the bench file's
+// integrity block records every detection and swprof exits nonzero if
+// any injected flip went undetected or the recovered trajectory is not
+// bit-identical to a fault-free replica.
 //
 // -dyn-workers sets the intra-rank tiling pool (see internal/exec):
 // recording one run with -dyn-workers 1 and one with -dyn-workers 4 on
@@ -61,11 +69,13 @@ func main() {
 	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
 	tracePath := flag.String("trace", "", "also write a combined Chrome trace to this file")
 	validate := flag.String("validate", "", "validate an existing BENCH_<n>.json and exit")
-	faults := flag.String("faults", "", "fault-injection spec per backend run (kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, chaos:N@SEED); the run executes under supervision and the bench file records the recovery activity")
+	faults := flag.String("faults", "", "fault-injection spec per backend run (kill:R@OP, corrupt:R@OP, drop:R@OP, delay:R@OP:MS, flipState:R@OP, flipCheckpoint:R@OP, flipBuddy:R@OP, chaos:N@SEED, chaosflip:N@SEED); the run executes under supervision and the bench file records the recovery activity")
 	recovery := flag.String("recovery", "ladder", "with -faults: recovery strategy: ladder|global")
 	spares := flag.Int("spares", 0, "with -recovery ladder: spare ranks for replacing permanently dead ranks")
 	overlap := flag.Bool("overlap", true, "use the redesigned boundary-first exchange (§7.6); false selects the original blocking exchange")
 	requireOverlap := flag.Bool("require-overlap", false, "fail unless every backend run measured a comm/compute overlap ratio > 0 (needs -overlap and ranks > 1)")
+	scrubEvery := flag.Int("scrub-every", 0, "enable the SDC defenses: CRC-seal each rank's state every N steps and verify it at the next at-rest window, plus the mass/energy/tracer conservation ledger (0 = off; 1 is the only cadence that catches every resident flip before a checkpoint captures it)")
+	ckptGenerations := flag.Int("ckpt-generations", 1, "with -faults: verified checkpoint generations to retain; a restore target that fails verification escalates to the next-older generation")
 	flag.Parse()
 
 	if *validate != "" {
@@ -103,6 +113,14 @@ func main() {
 	}
 	if *physEvery < 1 {
 		fmt.Fprintln(os.Stderr, "swprof: -phys-every must be positive")
+		os.Exit(2)
+	}
+	if *scrubEvery < 0 {
+		fmt.Fprintln(os.Stderr, "swprof: -scrub-every must be >= 0")
+		os.Exit(2)
+	}
+	if *ckptGenerations < 1 {
+		fmt.Fprintln(os.Stderr, "swprof: -ckpt-generations must be >= 1")
 		os.Exit(2)
 	}
 
@@ -145,6 +163,7 @@ func main() {
 		cfg: cfg, ranks: *ranks, steps: *steps, dynWorkers: *dynWorkers,
 		overlap: *overlap, faults: *faults, recovery: *recovery, spares: *spares,
 		physMode: *physMode, suiteMode: suiteMode, physEvery: *physEvery, physReq: physReq,
+		scrubEvery: *scrubEvery, generations: *ckptGenerations,
 	}
 	for _, b := range backends {
 		name := strings.ToLower(b.String())
@@ -192,6 +211,18 @@ func main() {
 			serial, par, par/serial)
 	}
 
+	if in := bench.Integrity; in != nil {
+		detected := in.ScrubDetections + in.LedgerDetections + in.PoisonedCopies + in.PreShipRejects
+		fmt.Printf("  integrity (scrub every %d, %d generations, all backends): %d seals, %d verifies, %d/%d flips detected, %d poisoned, %d escalations, scrub overhead %.2f%%\n",
+			in.ScrubEvery, in.Generations, in.Seals, in.Verifies,
+			detected, in.FlipsInjected, in.PoisonedCopies, in.Escalations, in.OverheadPct)
+		if detected < in.FlipsInjected {
+			fmt.Fprintf(os.Stderr, "swprof: %d injected flips but only %d detections — silent corruption went unnoticed\n",
+				in.FlipsInjected, detected)
+			os.Exit(1)
+		}
+	}
+
 	path, err := obs.WriteBenchFile(*dir, bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swprof:", err)
@@ -224,6 +255,9 @@ type runSpec struct {
 	suiteMode  physics.SuiteMode
 	physEvery  int
 	physReq    int // core convention: negative = auto, 1 = serial
+
+	scrubEvery  int // 0 = SDC defenses off
+	generations int // verified checkpoint generations retained
 }
 
 // newJob builds a configured job for one run: backend, tiling pool,
@@ -240,6 +274,9 @@ func (rs runSpec) newJob(b exec.Backend, physWorkers int) (*core.ParallelJob, er
 			return nil, err
 		}
 		job.SetPhysWorkers(physWorkers)
+	}
+	if rs.scrubEvery > 0 {
+		job.EnableIntegrity(rs.scrubEvery)
 	}
 	return job, nil
 }
@@ -317,12 +354,21 @@ func runBackend(rs runSpec, b exec.Backend,
 		rj.CheckpointEvery = 1
 		rj.MaxRetries = 10
 		rj.Spares = rs.spares
+		rj.Generations = rs.generations
 		start := time.Now()
 		rst, err := rj.Run(local, rs.steps)
 		if err != nil {
 			return 0, 0, 0, false, err
 		}
 		wall = time.Since(start).Seconds()
+		if rs.scrubEvery > 0 {
+			// The end-to-end SDC guarantee: after recovering from every
+			// injected flip, the trajectory must be bit-identical to a
+			// fault-free replica of the same backend and configuration.
+			if err := rs.assertBitIdentical(b, job, rj.States()); err != nil {
+				return 0, 0, 0, false, err
+			}
+		}
 		rec := bench.Recovery
 		if rec == nil {
 			rec = &obs.BenchRecovery{}
@@ -342,6 +388,9 @@ func runBackend(rs runSpec, b exec.Backend,
 	bench.AddBackend(name, probe.Kernels, sypd, wall)
 	if rs.physMode != "" {
 		accumulatePhys(bench, job, probe)
+	}
+	if rs.scrubEvery > 0 {
+		accumulateIntegrity(bench, rs, probe)
 	}
 	// Overlap ratio from the run's registry counters: only recorded when
 	// the redesigned exchange actually ran inner work in its window.
@@ -382,6 +431,57 @@ func accumulatePhys(bench *obs.BenchFile, job *core.ParallelJob, probe *obs.Prob
 	for w := 0; w < ph.Workers && w < len(st.WorkerChunks); w++ {
 		ph.WorkerChunks[w] += st.WorkerChunks[w]
 		ph.WorkerBusyNs[w] += st.WorkerBusyNs[w]
+	}
+}
+
+// assertBitIdentical runs a fault-free replica of the same backend and
+// configuration and compares the FNV-64 of the gathered final state —
+// the proof that detection plus verified restore converged back onto
+// the clean trajectory instead of silently absorbing a flip.
+func (rs runSpec) assertBitIdentical(b exec.Backend, job *core.ParallelJob, local []*dycore.State) error {
+	got := core.StateFNV(job.Gather(local))
+	ref, err := rs.newJob(b, rs.physReq)
+	if err != nil {
+		return err
+	}
+	g, err := rs.initialState()
+	if err != nil {
+		return err
+	}
+	rlocal := ref.Scatter(g)
+	if _, err := ref.RunChecked(rlocal, rs.steps); err != nil {
+		return fmt.Errorf("fault-free reference run: %w", err)
+	}
+	want := core.StateFNV(ref.Gather(rlocal))
+	if got != want {
+		return fmt.Errorf("post-recovery state fnv %016x != fault-free reference %016x — recovery was not bit-identical", got, want)
+	}
+	return nil
+}
+
+// accumulateIntegrity folds one backend run's SDC-defense activity into
+// the bench file's integrity block from the run's registry counters.
+func accumulateIntegrity(bench *obs.BenchFile, rs runSpec, probe *obs.Probe) {
+	in := bench.Integrity
+	if in == nil {
+		in = &obs.BenchIntegrity{ScrubEvery: rs.scrubEvery, Generations: rs.generations}
+		bench.Integrity = in
+	}
+	r := probe.Reg
+	in.Seals += r.CounterValue("integrity.scrub.seals")
+	in.Verifies += r.CounterValue("integrity.scrub.verifies")
+	in.FlipsInjected += r.CounterValue("integrity.flips.state") +
+		r.CounterValue("integrity.flips.checkpoint") +
+		r.CounterValue("integrity.flips.buddy")
+	in.ScrubDetections += r.CounterValue("integrity.scrub.detections")
+	in.LedgerDetections += r.CounterValue("integrity.ledger.detections")
+	in.PoisonedCopies += r.CounterValue("integrity.gen.poisoned")
+	in.Escalations += r.CounterValue("integrity.gen.escalations")
+	in.PreShipRejects += r.CounterValue("integrity.preship.rejects")
+	in.ScrubNs += r.CounterValue("integrity.scrub.ns")
+	in.StepNs += r.CounterValue("core.step.ns")
+	if in.StepNs > 0 {
+		in.OverheadPct = 100 * float64(in.ScrubNs) / float64(in.StepNs)
 	}
 }
 

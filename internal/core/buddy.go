@@ -62,6 +62,17 @@ func EncodeRankSnapshot(st *dycore.State, step int) ([]float64, error) {
 	return out, nil
 }
 
+// VerifyRankSnapshot checks an encoded snapshot end to end — framing,
+// header dimensions, payload CRC — without keeping the decoded state.
+// The checkpoint path runs it on every payload *before* shipping to the
+// buddy rank, so a snapshot that rotted between encode and ship can
+// never overwrite the partner's last good copy; the generation store
+// runs it when auditing retained buddy copies.
+func VerifyRankSnapshot(payload []float64) error {
+	_, _, err := DecodeRankSnapshot(payload)
+	return err
+}
+
 // DecodeRankSnapshot decodes a payload produced by EncodeRankSnapshot.
 // This is the untrusted surface of the localized-recovery path: the
 // copy survived in a peer's memory across a failure, so framing, every

@@ -76,7 +76,7 @@ func TestFuzzCorporaCheckedIn(t *testing.T) {
 	for target, min := range map[string]int{
 		"FuzzReadCheckpoint":     5,
 		"FuzzReadHistory":        2,
-		"FuzzDecodeRankSnapshot": 5,
+		"FuzzDecodeRankSnapshot": 12,
 	} {
 		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
 		if err != nil {

@@ -21,8 +21,8 @@ func FuzzReadCheckpoint(f *testing.F) {
 	}
 	valid := buf.Bytes() // v2: header + fields + CRC
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])     // truncated v2 body
-	f.Add(valid[:len(valid)-2])     // truncated mid-CRC
+	f.Add(valid[:len(valid)/2]) // truncated v2 body
+	f.Add(valid[:len(valid)-2]) // truncated mid-CRC
 	f.Add([]byte("garbage"))
 	corrupted := append([]byte(nil), valid...)
 	corrupted[4] ^= 0xFF // dims
@@ -107,6 +107,23 @@ func buddySnapshotSeeds(fatal func(...any)) map[string][]byte {
 	badFraming := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint64(badFraming[0:], 1<<40) // absurd framed length
 
+	// Targeted single-byte flips at each structural offset of the framed
+	// checkpoint — the exact damage a flipCheckpoint/flipBuddy fault
+	// injects. Byte 0 of the checkpoint sits at offset 8, after the
+	// framing length word; the header is Magic(4) Version(4) then five
+	// int64 dims, so Step starts at checkpoint offset 40.
+	flipMagic := append([]byte(nil), valid...)
+	flipMagic[8] ^= 0x01
+	flipVersion := append([]byte(nil), valid...)
+	flipVersion[12] ^= 0x04 // version 2 -> 6: unsupported, must be rejected
+	flipStep := append([]byte(nil), valid...)
+	flipStep[8+40] ^= 0x02 // step is header metadata outside the CRC
+	flipPayload := append([]byte(nil), valid...)
+	flipPayload[8+48+(len(valid)-8-48-4)/2] ^= 0x80 // sign bit mid-field
+	n := binary.LittleEndian.Uint64(valid[0:8])     // framed checkpoint byte length
+	flipCRC := append([]byte(nil), valid...)
+	flipCRC[8+int(n)-1] ^= 0x01 // last byte of the CRC trailer itself
+
 	return map[string][]byte{
 		"seed-valid":        valid,
 		"seed-truncated":    valid[:len(valid)/2],
@@ -115,6 +132,11 @@ func buddySnapshotSeeds(fatal func(...any)) map[string][]byte {
 		"seed-bad-crc":      badCRC,
 		"seed-corrupt-dims": corruptDims,
 		"seed-bad-framing":  badFraming,
+		"seed-flip-magic":   flipMagic,
+		"seed-flip-version": flipVersion,
+		"seed-flip-step":    flipStep,
+		"seed-flip-payload": flipPayload,
+		"seed-flip-crc":     flipCRC,
 	}
 }
 

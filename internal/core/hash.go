@@ -1,0 +1,28 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"swcam/internal/dycore"
+)
+
+// StateFNV folds the raw IEEE-754 bit patterns of every prognostic
+// field of st (canonical Fields() order, little-endian) into an FNV-64a
+// hash — the bit-exactness fingerprint the differential tests and the
+// profiler's recovery-identity assertion compare trajectories with. Two
+// states hash equal iff they are bit-identical.
+func StateFNV(st *dycore.State) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, f := range st.Fields() {
+		for e := range f.Data {
+			for _, v := range f.Data[e] {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				h.Write(b[:])
+			}
+		}
+	}
+	return h.Sum64()
+}

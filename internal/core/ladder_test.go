@@ -299,9 +299,9 @@ func TestLadderFallsBackToDiskOnLostBuddyCopy(t *testing.T) {
 	// Corrupt every buddy copy of rank 1 as soon as it is replicated, so
 	// the localized rung's CRC check rejects it and escalates.
 	rj.OnEvent = func(e RecoveryEvent) {
-		if e.Kind == "checkpoint" && rj.buddyEnc != nil && rj.buddyEnc[1] != nil {
-			rj.buddyEnc[1][len(rj.buddyEnc[1])/2] = math.Float64frombits(
-				math.Float64bits(rj.buddyEnc[1][len(rj.buddyEnc[1])/2]) ^ 1)
+		if e.Kind == "checkpoint" && len(rj.gens) > 0 && rj.gens[0].buddy != nil && rj.gens[0].buddy[1] != nil {
+			enc := rj.gens[0].buddy[1]
+			enc[len(enc)/2] = math.Float64frombits(math.Float64bits(enc[len(enc)/2]) ^ 1)
 		}
 	}
 	local := job.Scatter(cs.global)

@@ -53,6 +53,8 @@ func (rj *ResilientJob) observe(e RecoveryEvent) {
 		reg.Counter("core.recovery.respawns").Add(1)
 	case "shrink":
 		reg.Counter("core.recovery.shrinks").Add(1)
+	case "poisoned":
+		reg.Counter("core.recovery.poisoned").Add(1)
 	}
 	rj.Job.Obs.T().Instant(0, "core."+e.Kind, "model")
 }

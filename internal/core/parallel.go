@@ -8,6 +8,7 @@ import (
 	"swcam/internal/dycore"
 	"swcam/internal/exec"
 	"swcam/internal/halo"
+	"swcam/internal/integrity"
 	"swcam/internal/mesh"
 	"swcam/internal/mpirt"
 	"swcam/internal/obs"
@@ -70,6 +71,15 @@ type ParallelJob struct {
 	// start of every physics chunk — the chaos tests' fault injector for
 	// the work-stealing scheduler.
 	PhysPanicHook func(rank, worker, elem int)
+
+	// Integrity defenses (0/nil = off; see EnableIntegrity): the at-rest
+	// scrub cadence, per-rank live seals (each rank goroutine touches
+	// only its own slot, like scratch), and the rank-0-owned invariant
+	// ledger with its pending violation detail.
+	ScrubEvery int
+	seals      []*integrity.RankSeal
+	ledger     *integrity.Ledger
+	ledgerErr  error
 
 	steps   int
 	scratch []*stepScratch // per-rank pooled step workspaces (lazy)
@@ -300,8 +310,14 @@ func (j *ParallelJob) RunChecked(local []*dycore.State, n int) (RunStats, error)
 		r := c.Rank()
 		for step := 0; step < n; step++ {
 			sp := j.Obs.T().Begin(r, "core.step", "model")
+			t0 := time.Now()
 			j.stepRank(c, r, local[r], &perRank[r], j.steps+step+1)
+			j.Obs.R().Counter("core.step.ns").Add(time.Since(t0).Nanoseconds())
 			sp.End()
+			// Injected resident-state flips land here, in the at-rest
+			// window after the end-of-step reseal — whether or not the
+			// scrubber is on; the fault model never depends on the defense.
+			j.injectStateFlip(r, local[r])
 		}
 	})
 	for r := range perRank {
@@ -358,6 +374,12 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 	en := j.engs[r]
 	nlev := cfg.Nlev
 	npsq := cfg.Np * cfg.Np
+
+	// --- At-rest scrub: verify the state against the seal taken when it
+	// was finalized, before any kernel consumes (and spreads) a flip. ---
+	if j.ScrubEvery > 0 {
+		j.scrubVerify(r, st, stepNo)
+	}
 
 	// --- Dynamics: SSP-RK2 with DSS after each stage. ---
 	sc := j.stepScratchFor(r, st)
@@ -458,9 +480,23 @@ func (j *ParallelJob) stepRank(c *mpirt.Comm, r int, st *dycore.State, rs *RunSt
 		sp.End()
 	}
 
+	// --- Invariant ledger: canonical global mass/energy/tracer sums,
+	// checked step over step on rank 0 — the guard for in-compute flips
+	// the scrubber's at-rest timing cannot see. Before the watchdog, so
+	// an exponent-scale excursion is attributed to corruption rather
+	// than reported as a generic blowup. ---
+	if j.ledger != nil {
+		j.checkInvariants(c, r, st, stepNo)
+	}
+
 	// --- Blowup watchdog at the configured cadence. ---
 	if j.CheckEvery > 0 && stepNo%j.CheckEvery == 0 {
 		j.checkState(c, st)
+	}
+
+	// --- Seal the finalized state for the next at-rest window. ---
+	if j.ScrubEvery > 0 {
+		j.scrubSeal(r, st, stepNo)
 	}
 }
 
@@ -563,6 +599,11 @@ func (j *ParallelJob) Shrink(dead int) error {
 	}
 	j.compileSubsets()
 	j.buildRankPhys()
+	if j.ScrubEvery > 0 {
+		// Fresh (unsealed) live seals for the new partition shapes; the
+		// first post-shrink reseal re-arms scrubbing.
+		j.seals = make([]*integrity.RankSeal, j.NRanks)
+	}
 	if j.Faults != nil {
 		j.Faults = j.Faults.Shrink(dead)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swcam/internal/dycore"
+	"swcam/internal/integrity"
 	"swcam/internal/mpirt"
 )
 
@@ -41,6 +42,17 @@ import (
 //     back to restoring everything — from own snapshots when they
 //     survive, else from the disk checkpoint when DiskPath is set.
 //
+// Both modes retain up to Generations verified checkpoint generations
+// (generations.go): every restore target is re-verified against its
+// CRC-32C seals before a bit is copied back, rotten own copies heal
+// from buddy replicas, and a poisoned generation escalates to the
+// next-older one instead of restoring garbage. Detected silent data
+// corruption (the at-rest scrubber, the invariant ledger, a pre-ship
+// snapshot verification — all wrapping integrity.ErrCorrupt) routes to
+// verified restore directly: the rank is healthy, its bits rotted, so
+// it would be wrong to advance the failure detector toward declaring
+// it dead.
+//
 // Because the dycore, the DSS, and the mass fixer are deterministic and
 // partition-invariant, every rung — including shrink onto fewer ranks —
 // reproduces the fault-free trajectory bit-for-bit.
@@ -62,6 +74,13 @@ type ResilientJob struct {
 	// steps after a fault.
 	CheckpointEvery int
 
+	// Generations is how many verified checkpoint generations the
+	// supervisor retains (default 1, the historical single-checkpoint
+	// behavior). With K > 1, a restore whose newest generation is
+	// poisoned escalates to the next-older one — replaying more steps —
+	// instead of falling straight through to disk.
+	Generations int
+
 	// MaxRetries bounds the total number of recovery actions across the
 	// run (default 3). When exhausted, Run restores the last good
 	// checkpoint into the supervised states (best-effort result) and
@@ -77,9 +96,9 @@ type ResilientJob struct {
 
 	// DiskPath, when set, additionally persists every checkpoint to this
 	// file (gathered global state, atomic rename, v2 CRC format) so a
-	// killed process can restart from disk with LoadCheckpoint. In
-	// ladder mode it doubles as the bottom rung when a buddy copy is
-	// lost together with the rank it covered.
+	// killed process can restart from disk with LoadCheckpoint. It is
+	// the bottom rung when every retained generation is lost or
+	// poisoned.
 	DiskPath string
 
 	// Spares is the number of replacement ranks available to ladder
@@ -96,27 +115,18 @@ type ResilientJob struct {
 	// OnEvent, when set, observes every recovery decision.
 	OnEvent func(RecoveryEvent)
 
+	// PreShipHook, when set, sees every encoded snapshot right before
+	// its pre-ship verification at checkpoint time — the test hook that
+	// simulates a snapshot rotting between encode and ship.
+	PreShipHook func(rank int, enc []float64)
+
 	// Ladder bookkeeping.
-	local       []*dycore.State // states under supervision (shrink replaces the slice)
-	own         []*dycore.State // per-rank own snapshots ("node-local memory")
-	buddyEnc    [][]float64     // buddyEnc[r] = encoded snapshot of rank r, held by rank (r+1)%n
-	suspectRank int             // rank of the most recent attributed failure
-	suspectRun  int             // consecutive failures attributed to suspectRank
-	snapPrecip  float64         // TotalPrecip at the active checkpoint (see rewind)
-}
-
-// markCheckpoint records the diagnostics that ride along with a
-// checkpoint but live outside the rank states — currently the
-// accumulated precipitation.
-func (rj *ResilientJob) markCheckpoint() { rj.snapPrecip = rj.Job.TotalPrecip }
-
-// rewind resets the job's step counter and its accumulated diagnostics
-// to the checkpoint. Replayed physics steps re-accumulate precipitation,
-// so restoring the states without rewinding TotalPrecip would
-// double-count every burned chunk's rain.
-func (rj *ResilientJob) rewind(snapStep int) {
-	rj.Job.SetStepCount(snapStep)
-	rj.Job.TotalPrecip = rj.snapPrecip
+	local       []*dycore.State   // states under supervision (shrink replaces the slice)
+	gens        []*ckptGeneration // verified checkpoint ring, newest first (generations.go)
+	suspectRank int               // rank of the most recent attributed failure
+	suspectRun  int               // consecutive failures attributed to suspectRank
+	diskStep    int               // step of the last disk checkpoint written
+	diskPrecip  float64           // TotalPrecip at that disk checkpoint
 }
 
 // Supervision modes.
@@ -127,10 +137,10 @@ const (
 
 // RecoveryEvent describes one supervisor decision, for diagnostics.
 type RecoveryEvent struct {
-	Kind    string // "checkpoint", "rollback", "giveup", "localized", "respawn", "shrink"
-	Step    int    // model step of the active checkpoint
+	Kind    string // "checkpoint", "rollback", "giveup", "localized", "respawn", "shrink", "poisoned"
+	Step    int    // model step of the affected checkpoint
 	Attempt int    // consecutive failures at this checkpoint (recovery kinds)
-	Rank    int    // failed rank for localized/respawn/shrink; -1 otherwise
+	Rank    int    // failed rank for localized/respawn/shrink/poisoned; -1 otherwise
 	Err     error  // the fault that triggered it (recovery kinds)
 }
 
@@ -155,6 +165,8 @@ type ResilientStats struct {
 	Localized   int // single-rank rebuilds from a buddy copy (rung 2)
 	Respawns    int // permanently dead ranks replaced from spares
 	Shrinks     int // permanently dead ranks removed by repartitioning
+	Poisoned    int // checkpoint copies (own or buddy) rejected by verification
+	Escalations int // restores that skipped past a poisoned generation
 	// RetxAttempts/RetxRecovered mirror RunStats: rung-1 activity.
 	RetxAttempts  int64
 	RetxRecovered int64
@@ -165,7 +177,7 @@ type ResilientStats struct {
 
 // NewResilientJob wraps a ParallelJob with default supervision
 // (global mode, checkpoint every step, 3 retries, no backoff,
-// in-memory only).
+// in-memory only, one retained generation).
 func NewResilientJob(job *ParallelJob) *ResilientJob {
 	return &ResilientJob{Job: job, CheckpointEvery: 1, MaxRetries: 3}
 }
@@ -208,6 +220,79 @@ func (rj *ResilientJob) addRecoveryNs(rs *ResilientStats, t0 time.Time) {
 	rj.Job.Obs.R().Counter("core.recovery.ns").Add(ns)
 }
 
+// rewindTo resets the job's step counter, its accumulated diagnostics,
+// and its live scrub seals to checkpoint generation g. Replayed physics
+// steps re-accumulate precipitation, so restoring the states without
+// rewinding TotalPrecip would double-count every burned chunk's rain;
+// likewise the live seals must witness the restored bits.
+func (rj *ResilientJob) rewindTo(g *ckptGeneration) {
+	rj.Job.SetStepCount(g.step)
+	rj.Job.TotalPrecip = g.precip
+	rj.Job.installSeals(g.seals)
+}
+
+// takeCheckpoint captures a new verified generation of the supervised
+// states — own snapshots (CRC-sealed when scrubbing is on), the buddy
+// exchange in ladder mode, the disk copy when DiskPath is set — and
+// pushes it onto the retention ring. Injected checkpoint-copy flips
+// land after the seals and the exchange are taken, so the seals always
+// witness the clean bits.
+func (rj *ResilientJob) takeCheckpoint(rs *ResilientStats, step int) error {
+	sp := rj.Job.Obs.T().Begin(0, "core.checkpoint", "model")
+	defer sp.End()
+	g := &ckptGeneration{
+		step:   step,
+		precip: rj.Job.TotalPrecip,
+		own:    snapshot(rj.local),
+		seals:  make([]*integrity.RankSeal, len(rj.local)),
+	}
+	if rj.Job.ScrubEvery > 0 {
+		t0 := time.Now()
+		for r, st := range g.own {
+			g.seals[r] = integrity.SealState(st, step)
+		}
+		reg := rj.Job.Obs.R()
+		reg.Counter("integrity.scrub.seals").Add(int64(len(g.own)))
+		reg.Counter("integrity.scrub.ns").Add(time.Since(t0).Nanoseconds())
+	}
+	if rj.Mode == ModeLadder {
+		if err := rj.exchangeBuddies(rs, g); err != nil {
+			return err
+		}
+	}
+	rj.injectCheckpointFlips(g)
+	rj.pushGeneration(rs, g)
+	return rj.persist(rj.local, step)
+}
+
+// injectCheckpointFlips polls the fault plan for due flipCheckpoint /
+// flipBuddy faults and corrupts the captured copies accordingly: the
+// rank's own snapshot after its seal was taken (so the rot is
+// detectable, and the clean buddy replica can heal it), or the
+// buddy-held replica after the exchange (so the owner's copy stays
+// good and localized recovery must reject the replica).
+func (rj *ResilientJob) injectCheckpointFlips(g *ckptGeneration) {
+	plan := rj.Job.Faults
+	if plan == nil {
+		return
+	}
+	reg := rj.Job.Obs.R()
+	for r := range g.own {
+		if f := plan.FireIntegrity(r, mpirt.FlipCheckpoint); f != nil {
+			desc := flipStateBit(g.own[r], faultKey(f))
+			reg.Counter("integrity.flips.checkpoint").Add(1)
+			rj.Job.Obs.T().Instant(0, "integrity.flipCheckpoint rank"+fmt.Sprint(r)+" "+desc, "fault")
+		}
+		if g.buddy != nil && g.buddy[r] != nil {
+			if f := plan.FireIntegrity(r, mpirt.FlipBuddy); f != nil {
+				flipPayloadWord(g.buddy[r], faultKey(f))
+				reg.Counter("integrity.flips.buddy").Add(1)
+				rj.Job.Obs.T().Instant(0, "integrity.flipBuddy rank"+fmt.Sprint(r), "fault")
+			}
+		}
+	}
+}
+
 // Run advances the local states n steps under supervision. On success
 // the states hold exactly what a fault-free ParallelJob.Run would have
 // produced (bit-identical: every rung restores checkpointed bits and the
@@ -228,13 +313,10 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 	var rs ResilientStats
 	rs.Run.Cost.Backend = rj.Job.Backend
 
-	snap := snapshot(local)
-	snapStep := rj.Job.StepCount()
-	rj.markCheckpoint()
-	if err := rj.persist(local, snapStep); err != nil {
+	if err := rj.takeCheckpoint(&rs, rj.Job.StepCount()); err != nil {
 		return rs, err
 	}
-	target := snapStep + n
+	target := rj.Job.StepCount() + n
 	retries := 0
 	attempt := 0
 	backoff := rj.Backoff
@@ -250,20 +332,25 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		rs.RetxAttempts += stats.RetxAttempts
 		rs.RetxRecovered += stats.RetxRecovered
 		if err == nil {
+			// Close the final at-rest window before capturing: a flip on
+			// the chunk's last step must never reach a checkpoint.
+			err = rj.Job.ScrubVerifyLive(local)
+		}
+		if err == nil {
 			attempt = 0
 			backoff = rj.Backoff
-			sp := rj.Job.Obs.T().Begin(0, "core.checkpoint", "model")
-			snap = snapshot(local)
-			sp.End()
-			snapStep = rj.Job.StepCount()
-			rj.markCheckpoint()
-			rs.Checkpoints++
-			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep, Rank: -1})
-			rj.event(rs.Events[len(rs.Events)-1])
-			if err := rj.persist(local, snapStep); err != nil {
-				return rs, err
+			step := rj.Job.StepCount()
+			if cerr := rj.takeCheckpoint(&rs, step); cerr != nil {
+				if !errors.Is(cerr, integrity.ErrCorrupt) {
+					return rs, cerr
+				}
+				err = cerr // corrupt capture: recover below
+			} else {
+				rs.Checkpoints++
+				rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: step, Rank: -1})
+				rj.event(rs.Events[len(rs.Events)-1])
+				continue
 			}
-			continue
 		}
 
 		attempt++
@@ -271,20 +358,16 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 			// Graceful degradation: hand back the last state known good
 			// and the full diagnosis instead of a corrupt field set.
 			t0 := time.Now()
-			restore(local, snap)
-			rj.rewind(snapStep)
+			rj.bestEffortRestore(&rs)
 			rj.addRecoveryNs(&rs, t0)
-			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
+			rj.auditAllGenerations(&rs)
+			ev := RecoveryEvent{Kind: "giveup", Step: rj.checkpointStep(), Attempt: attempt, Rank: -1, Err: err}
 			rs.Events = append(rs.Events, ev)
 			rj.event(ev)
 			return rs, fmt.Errorf("core: retry budget (%d) exhausted at step %d (best-effort state restored): %w",
-				rj.MaxRetries, snapStep, err)
+				rj.MaxRetries, rj.checkpointStep(), err)
 		}
 		retries++
-		rs.Rollbacks++
-		ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
-		rs.Events = append(rs.Events, ev)
-		rj.event(ev)
 		if backoff > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
@@ -293,12 +376,13 @@ func (rj *ResilientJob) Run(local []*dycore.State, n int) (ResilientStats, error
 		// from the checkpoint on the next attempt.
 		rj.Job.Obs.R().Counter("core.recovery.replayed_steps").Add(int64(chunk))
 		t0 := time.Now()
-		sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
-		restore(local, snap)
-		sp.End()
-		rj.rewind(snapStep)
+		rerr := rj.restoreVerified(&rs, attempt, err)
 		rj.addRecoveryNs(&rs, t0)
+		if rerr != nil {
+			return rs, rerr
+		}
 	}
+	rj.auditAllGenerations(&rs)
 	rs.Run.Steps = rj.Job.StepCount()
 	return rs, nil
 }
@@ -313,7 +397,7 @@ func (rj *ResilientJob) deadAfterN() int {
 
 // runLadder is Run in ModeLadder: bounded retransmission underneath,
 // partner-replicated checkpoints for localized recovery, respawn/shrink
-// for permanent deaths, global rollback as the fallback rung.
+// for permanent deaths, verified global rollback as the fallback rung.
 func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats, error) {
 	every := rj.CheckpointEvery
 	if every < 1 {
@@ -334,15 +418,10 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 	var rs ResilientStats
 	rs.Run.Cost.Backend = rj.Job.Backend
 
-	snapStep := rj.Job.StepCount()
-	rj.markCheckpoint()
-	if err := rj.replicate(&rs, snapStep); err != nil {
+	if err := rj.takeCheckpoint(&rs, rj.Job.StepCount()); err != nil {
 		return rs, err
 	}
-	if err := rj.persist(rj.local, snapStep); err != nil {
-		return rs, err
-	}
-	target := snapStep + n
+	target := rj.Job.StepCount() + n
 	retries := 0
 	attempt := 0
 	backoff := rj.Backoff
@@ -358,34 +437,37 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 		rs.RetxAttempts += stats.RetxAttempts
 		rs.RetxRecovered += stats.RetxRecovered
 		if err == nil {
+			err = rj.Job.ScrubVerifyLive(rj.local)
+		}
+		if err == nil {
 			attempt = 0
 			backoff = rj.Backoff
 			rj.suspectRank, rj.suspectRun = -1, 0
-			snapStep = rj.Job.StepCount()
-			rj.markCheckpoint()
-			if err := rj.replicate(&rs, snapStep); err != nil {
-				return rs, err
+			step := rj.Job.StepCount()
+			if cerr := rj.takeCheckpoint(&rs, step); cerr != nil {
+				if !errors.Is(cerr, integrity.ErrCorrupt) {
+					return rs, cerr
+				}
+				err = cerr // corrupt capture: recover below
+			} else {
+				rs.Checkpoints++
+				rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: step, Rank: -1})
+				rj.event(rs.Events[len(rs.Events)-1])
+				continue
 			}
-			rs.Checkpoints++
-			rs.Events = append(rs.Events, RecoveryEvent{Kind: "checkpoint", Step: snapStep, Rank: -1})
-			rj.event(rs.Events[len(rs.Events)-1])
-			if err := rj.persist(rj.local, snapStep); err != nil {
-				return rs, err
-			}
-			continue
 		}
 
 		attempt++
 		if retries >= rj.MaxRetries {
 			t0 := time.Now()
-			restore(rj.local, rj.own)
-			rj.rewind(snapStep)
+			rj.bestEffortRestore(&rs)
 			rj.addRecoveryNs(&rs, t0)
-			ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: err}
+			rj.auditAllGenerations(&rs)
+			ev := RecoveryEvent{Kind: "giveup", Step: rj.checkpointStep(), Attempt: attempt, Rank: -1, Err: err}
 			rs.Events = append(rs.Events, ev)
 			rj.event(ev)
 			return rs, fmt.Errorf("core: retry budget (%d) exhausted at step %d (best-effort state restored): %w",
-				rj.MaxRetries, snapStep, err)
+				rj.MaxRetries, rj.checkpointStep(), err)
 		}
 		retries++
 		if backoff > 0 {
@@ -394,21 +476,29 @@ func (rj *ResilientJob) runLadder(local []*dycore.State, n int) (ResilientStats,
 		}
 		rj.Job.Obs.R().Counter("core.recovery.replayed_steps").Add(int64(chunk))
 		t0 := time.Now()
-		rerr := rj.recoverLadder(&rs, snapStep, attempt, err)
+		rerr := rj.recoverLadder(&rs, attempt, err)
 		rj.addRecoveryNs(&rs, t0)
 		if rerr != nil {
 			return rs, rerr
 		}
 	}
+	rj.auditAllGenerations(&rs)
 	rs.Run.Steps = rj.Job.StepCount()
 	return rs, nil
 }
 
 // recoverLadder picks and executes the recovery rung for one failed
-// chunk. A nil return means the supervised states are back at the last
-// checkpoint (possibly on a reduced world) and the chunk can be
-// replayed; an error means every applicable rung failed.
-func (rj *ResilientJob) recoverLadder(rs *ResilientStats, snapStep, attempt int, cause error) error {
+// chunk. A nil return means the supervised states are back at a
+// verified checkpoint (possibly on a reduced world, possibly an older
+// generation) and the chunk can be replayed; an error means every
+// applicable rung failed.
+func (rj *ResilientJob) recoverLadder(rs *ResilientStats, attempt int, cause error) error {
+	// Detected silent corruption is not process death: the rank is
+	// healthy, its resident bits rotted. Restore from a verified
+	// generation and leave the failure detector alone.
+	if errors.Is(cause, integrity.ErrCorrupt) {
+		return rj.restoreVerified(rs, attempt, cause)
+	}
 	var re *mpirt.RunError
 	faulty := -1
 	if errors.As(cause, &re) {
@@ -418,7 +508,7 @@ func (rj *ResilientJob) recoverLadder(rs *ResilientStats, snapStep, attempt int,
 	// state is wrong (or about to be) everywhere. Likewise a fault with
 	// no rank attribution gives localized recovery nothing to localize.
 	if faulty < 0 || errors.Is(cause, ErrBlowup) {
-		return rj.rollbackOwn(rs, snapStep, attempt, cause)
+		return rj.restoreVerified(rs, attempt, cause)
 	}
 	if faulty == rj.suspectRank {
 		rj.suspectRun++
@@ -431,170 +521,265 @@ func (rj *ResilientJob) recoverLadder(rs *ResilientStats, snapStep, attempt int,
 		rj.suspectRank, rj.suspectRun = -1, 0
 		if rj.Spares > 0 {
 			rj.Spares--
-			return rj.localizedRestore(rs, "respawn", faulty, snapStep, attempt, cause)
+			return rj.localizedRestore(rs, "respawn", faulty, attempt, cause)
 		}
 		if rj.Job.NRanks > 1 {
-			return rj.shrinkRestore(rs, faulty, snapStep, attempt, cause)
+			return rj.shrinkRestore(rs, faulty, attempt, cause)
 		}
 		// A 1-rank world has nothing to shrink onto.
-		return rj.rollbackOwn(rs, snapStep, attempt, cause)
+		return rj.restoreVerified(rs, attempt, cause)
 	}
-	return rj.localizedRestore(rs, "localized", faulty, snapStep, attempt, cause)
+	return rj.localizedRestore(rs, "localized", faulty, attempt, cause)
 }
 
-// rollbackOwn is the global rung when every rank's own snapshot
-// survives: restore all, rewind, replay.
-func (rj *ResilientJob) rollbackOwn(rs *ResilientStats, snapStep, attempt int, cause error) error {
-	sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
-	restore(rj.local, rj.own)
-	sp.End()
-	rj.rewind(snapStep)
-	rs.Rollbacks++
-	ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
-	rs.Events = append(rs.Events, ev)
-	rj.event(ev)
-	return nil
+// restoreVerified is the global rung with checkpoint hygiene: walk the
+// generation ring newest-first, restore from the first generation whose
+// every rank still verifies (healing single copies from buddy
+// replicas), and drop poisoned generations — audited out, so their
+// remaining rot is counted — instead of restoring garbage. When the
+// ring is exhausted, the disk checkpoint is the last resort.
+func (rj *ResilientJob) restoreVerified(rs *ResilientStats, attempt int, cause error) error {
+	for len(rj.gens) > 0 {
+		g := rj.gens[0]
+		verr := rj.verifyGeneration(rs, g)
+		if verr == nil {
+			sp := rj.Job.Obs.T().Begin(0, "core.rollback", "model")
+			restore(rj.local, g.own)
+			sp.End()
+			rj.rewindTo(g)
+			rs.Rollbacks++
+			ev := RecoveryEvent{Kind: "rollback", Step: g.step, Attempt: attempt, Rank: -1, Err: cause}
+			rs.Events = append(rs.Events, ev)
+			rj.event(ev)
+			return nil
+		}
+		rj.dropPoisonedGeneration(rs, g)
+		cause = fmt.Errorf("%w; %w", cause, verr)
+	}
+	return rj.globalFallback(rs, attempt, cause)
+}
+
+// dropPoisonedGeneration audits and removes the newest generation after
+// a failed verification, recording the escalation to the next-older
+// restore target.
+func (rj *ResilientJob) dropPoisonedGeneration(rs *ResilientStats, g *ckptGeneration) {
+	rj.auditGeneration(rs, g)
+	rj.gens = rj.gens[1:]
+	rs.Escalations++
+	rj.Job.Obs.R().Counter("integrity.gen.escalations").Add(1)
+}
+
+// bestEffortRestore puts the freshest verifiable generation back into
+// the supervised states on the way out of a failed run — the caller
+// hands back the last state known good, never a corrupt field set. If
+// nothing verifies, the states are left as they are.
+func (rj *ResilientJob) bestEffortRestore(rs *ResilientStats) {
+	for len(rj.gens) > 0 {
+		g := rj.gens[0]
+		if rj.verifyGeneration(rs, g) == nil {
+			restore(rj.local, g.own)
+			rj.rewindTo(g)
+			return
+		}
+		rj.dropPoisonedGeneration(rs, g)
+	}
 }
 
 // localizedRestore rebuilds a single failed rank from its buddy's
-// in-memory copy while the survivors restore their own snapshots. kind
-// is "localized" (suspect rebuild in place) or "respawn" (permanently
-// dead rank replaced from a spare — same data path, different ledger).
-func (rj *ResilientJob) localizedRestore(rs *ResilientStats, kind string, faulty, snapStep, attempt int, cause error) error {
+// in-memory copy while the survivors restore their own re-verified
+// snapshots. kind is "localized" (suspect rebuild in place) or
+// "respawn" (permanently dead rank replaced from a spare — same data
+// path, different ledger).
+func (rj *ResilientJob) localizedRestore(rs *ResilientStats, kind string, faulty, attempt int, cause error) error {
+	if len(rj.gens) == 0 {
+		return rj.globalFallback(rs, attempt, cause)
+	}
+	g := rj.gens[0]
 	// The failed process's memory is gone: drop its own snapshot first
 	// so every fallback is honest about what survives.
-	rj.own[faulty] = nil
-	st, err := rj.fetchBuddy(rs, faulty, snapStep)
+	g.own[faulty] = nil
+	st, err := rj.fetchBuddy(rs, g, faulty)
 	if err != nil {
-		return rj.globalFallback(rs, snapStep, attempt,
+		if g.buddy != nil && g.buddy[faulty] != nil {
+			rj.markPoisoned(rs, g, faulty, fmt.Errorf("buddy checkpoint copy: %w", err))
+			g.buddy[faulty] = nil
+		}
+		return rj.restoreVerified(rs, attempt,
 			fmt.Errorf("core: localized recovery of rank %d failed: %w (original fault: %w)", faulty, err, cause))
 	}
-	sp := rj.Job.Obs.T().Begin(0, "core."+kind, "model")
-	for r := range rj.local {
-		if r == faulty {
-			rj.local[r].CopyFrom(st)
-		} else {
-			rj.local[r].CopyFrom(rj.own[r])
-		}
+	g.own[faulty] = st
+	if g.seals[faulty] != nil {
+		g.seals[faulty] = integrity.SealState(st, g.step)
 	}
-	// The rebuilt rank holds the checkpoint in memory again.
-	rj.own[faulty] = st
+	// Survivors' own copies sat in memory since the checkpoint — they
+	// are re-verified (and healed from buddies if rotten) before any of
+	// them is restored.
+	if verr := rj.verifyGeneration(rs, g); verr != nil {
+		rj.dropPoisonedGeneration(rs, g)
+		return rj.restoreVerified(rs, attempt,
+			fmt.Errorf("core: localized recovery of rank %d found a poisoned generation: %w (original fault: %w)", faulty, verr, cause))
+	}
+	sp := rj.Job.Obs.T().Begin(0, "core."+kind, "model")
+	restore(rj.local, g.own)
 	sp.End()
-	rj.rewind(snapStep)
+	rj.rewindTo(g)
 	if kind == "respawn" {
 		rs.Respawns++
 	} else {
 		rs.Localized++
 	}
-	ev := RecoveryEvent{Kind: kind, Step: snapStep, Attempt: attempt, Rank: faulty, Err: cause}
+	ev := RecoveryEvent{Kind: kind, Step: g.step, Attempt: attempt, Rank: faulty, Err: cause}
 	rs.Events = append(rs.Events, ev)
 	rj.event(ev)
 	return nil
 }
 
 // shrinkRestore removes a permanently dead rank: the checkpoint-time
-// global state is reassembled from the survivors' own snapshots plus the
-// dead rank's buddy copy (using the pre-shrink plans), the job is
-// repartitioned over n-1 ranks, and the reassembled state is scattered
-// onto the new layout. The supervised slice is replaced — see States().
-func (rj *ResilientJob) shrinkRestore(rs *ResilientStats, dead, snapStep, attempt int, cause error) error {
-	rj.own[dead] = nil
-	st, err := rj.fetchBuddy(rs, dead, snapStep)
+// global state is reassembled from the survivors' re-verified own
+// snapshots plus the dead rank's buddy copy (using the pre-shrink
+// plans), the job is repartitioned over n-1 ranks, and the reassembled
+// state is scattered onto the new layout. The supervised slice is
+// replaced — see States(). The old partition's generations cannot
+// restore the new world, so the ring is audited out and restarted with
+// a fresh checkpoint on the reduced layout.
+func (rj *ResilientJob) shrinkRestore(rs *ResilientStats, dead, attempt int, cause error) error {
+	if len(rj.gens) == 0 {
+		return rj.globalFallback(rs, attempt, cause)
+	}
+	g := rj.gens[0]
+	g.own[dead] = nil
+	st, err := rj.fetchBuddy(rs, g, dead)
 	if err != nil {
-		return rj.globalFallback(rs, snapStep, attempt,
+		if g.buddy != nil && g.buddy[dead] != nil {
+			rj.markPoisoned(rs, g, dead, fmt.Errorf("buddy checkpoint copy: %w", err))
+			g.buddy[dead] = nil
+		}
+		return rj.restoreVerified(rs, attempt,
 			fmt.Errorf("core: shrink recovery of rank %d failed: %w (original fault: %w)", dead, err, cause))
 	}
-	sp := rj.Job.Obs.T().Begin(0, "core.shrink", "model")
-	srcs := make([]*dycore.State, rj.Job.NRanks)
-	for r := range srcs {
-		if r == dead {
-			srcs[r] = st
-		} else {
-			srcs[r] = rj.own[r]
-		}
+	g.own[dead] = st
+	if g.seals[dead] != nil {
+		g.seals[dead] = integrity.SealState(st, g.step)
 	}
-	g := rj.Job.Gather(srcs) // pre-shrink plans: checkpoint-time global state
+	if verr := rj.verifyGeneration(rs, g); verr != nil {
+		rj.dropPoisonedGeneration(rs, g)
+		return rj.restoreVerified(rs, attempt,
+			fmt.Errorf("core: shrink recovery of rank %d found a poisoned generation: %w (original fault: %w)", dead, verr, cause))
+	}
+	sp := rj.Job.Obs.T().Begin(0, "core.shrink", "model")
+	gstate := rj.Job.Gather(g.own) // pre-shrink plans: checkpoint-time global state
 	if serr := rj.Job.Shrink(dead); serr != nil {
 		sp.End()
-		return rj.globalFallback(rs, snapStep, attempt,
+		return rj.globalFallback(rs, attempt,
 			fmt.Errorf("core: shrinking away rank %d failed: %w (original fault: %w)", dead, serr, cause))
 	}
-	rj.local = rj.Job.Scatter(g)
+	rj.local = rj.Job.Scatter(gstate)
 	sp.End()
-	rj.rewind(snapStep)
-	// A fresh replication round on the reduced world: new own snapshots,
-	// new buddy assignment.
-	if err := rj.replicate(rs, snapStep); err != nil {
+	rj.Job.SetStepCount(g.step)
+	rj.Job.TotalPrecip = g.precip
+	rj.auditAllGenerations(rs)
+	rj.gens = nil
+	// A fresh checkpoint round on the reduced world: new own snapshots,
+	// new buddy assignment, new seals.
+	if err := rj.takeCheckpoint(rs, g.step); err != nil {
 		return err
 	}
 	rs.Shrinks++
-	ev := RecoveryEvent{Kind: "shrink", Step: snapStep, Attempt: attempt, Rank: dead, Err: cause}
+	ev := RecoveryEvent{Kind: "shrink", Step: g.step, Attempt: attempt, Rank: dead, Err: cause}
 	rs.Events = append(rs.Events, ev)
 	rj.event(ev)
 	return nil
 }
 
-// globalFallback is the bottom rung when a rank's memory AND its buddy
-// copy are both gone: reload the disk checkpoint if there is one,
-// otherwise give up with the survivors restored best-effort.
-func (rj *ResilientJob) globalFallback(rs *ResilientStats, snapStep, attempt int, cause error) error {
+// globalFallback is the bottom rung when every retained generation is
+// lost or poisoned: reload the disk checkpoint if there is one,
+// otherwise give up with the freshest verifiable state restored
+// best-effort.
+func (rj *ResilientJob) globalFallback(rs *ResilientStats, attempt int, cause error) error {
 	if rj.DiskPath != "" {
 		g, step, err := LoadCheckpoint(rj.DiskPath)
-		if err == nil && step != snapStep {
-			err = fmt.Errorf("disk checkpoint at step %d, want %d", step, snapStep)
+		if err == nil && step != rj.diskStep {
+			err = fmt.Errorf("disk checkpoint at step %d, want %d", step, rj.diskStep)
 		}
 		if err == nil {
 			locals := rj.Job.Scatter(g)
 			for r := range rj.local {
 				rj.local[r].CopyFrom(locals[r])
 			}
-			rj.rewind(snapStep)
-			if rerr := rj.replicate(rs, snapStep); rerr != nil {
+			rj.Job.SetStepCount(rj.diskStep)
+			rj.Job.TotalPrecip = rj.diskPrecip
+			rj.Job.installSeals(nil)
+			// Restart the ring from the disk bits.
+			rj.auditAllGenerations(rs)
+			rj.gens = nil
+			if rerr := rj.takeCheckpoint(rs, rj.diskStep); rerr != nil {
 				return rerr
 			}
 			rs.Rollbacks++
-			ev := RecoveryEvent{Kind: "rollback", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
+			ev := RecoveryEvent{Kind: "rollback", Step: rj.diskStep, Attempt: attempt, Rank: -1, Err: cause}
 			rs.Events = append(rs.Events, ev)
 			rj.event(ev)
 			return nil
 		}
 		cause = fmt.Errorf("%w; disk fallback also failed: %w", cause, err)
 	}
-	// Nothing left to restore the lost rank from: hand back what
-	// survives and the full diagnosis.
-	for r := range rj.local {
-		if rj.own[r] != nil {
-			rj.local[r].CopyFrom(rj.own[r])
-		}
-	}
-	rj.rewind(snapStep)
-	ev := RecoveryEvent{Kind: "giveup", Step: snapStep, Attempt: attempt, Rank: -1, Err: cause}
+	// Nothing left to restore from: hand back what survives and the
+	// full diagnosis.
+	rj.bestEffortRestore(rs)
+	rj.auditAllGenerations(rs)
+	ev := RecoveryEvent{Kind: "giveup", Step: rj.checkpointStep(), Attempt: attempt, Rank: -1, Err: cause}
 	rs.Events = append(rs.Events, ev)
 	rj.event(ev)
-	return fmt.Errorf("core: recovery ladder exhausted at step %d (best-effort state restored): %w", snapStep, cause)
+	return fmt.Errorf("core: recovery ladder exhausted at step %d (best-effort state restored): %w", rj.checkpointStep(), cause)
 }
 
-// replicate takes the ladder checkpoint: own snapshots of every rank
-// plus the buddy exchange — each rank encodes its state (v2 checkpoint
-// format with CRC) and ships it to rank (r+1)%n over the message
-// runtime, so a copy of every rank's state survives in a peer's memory.
-// The replication network is modeled reliable (no fault injection): the
-// fault plan's operation counters are threaded only through the
-// computation worlds, keeping the chaos schedule independent of the
-// checkpoint cadence.
-func (rj *ResilientJob) replicate(rs *ResilientStats, step int) error {
-	sp := rj.Job.Obs.T().Begin(0, "core.checkpoint", "model")
-	defer sp.End()
-	rj.own = snapshot(rj.local)
+// exchangeBuddies runs the buddy replication round for a new checkpoint
+// generation: each rank encodes its state (v2 checkpoint format with
+// CRC), verifies the encoding end to end BEFORE shipping — a snapshot
+// that rotted between encode and ship must never overwrite the
+// partner's last good copy — and sends it to rank (r+1)%n over the
+// message runtime. The replication network is modeled reliable (no
+// fault injection): the fault plan's operation counters are threaded
+// only through the computation worlds, keeping the chaos schedule
+// independent of the checkpoint cadence.
+func (rj *ResilientJob) exchangeBuddies(rs *ResilientStats, g *ckptGeneration) error {
 	n := rj.Job.NRanks
-	enc := make([][]float64, n)
+	encodeVerified := func(r int) ([]float64, error) {
+		e, err := EncodeRankSnapshot(rj.local[r], g.step)
+		if err != nil {
+			return nil, err
+		}
+		if rj.PreShipHook != nil {
+			rj.PreShipHook(r, e)
+		}
+		reg := rj.Job.Obs.R()
+		reg.Counter("integrity.preship.checks").Add(1)
+		if verr := VerifyRankSnapshot(e); verr != nil {
+			reg.Counter("integrity.preship.rejects").Add(1)
+			// Re-encode once from the live state: a flip that landed in
+			// the encoded bytes (not the state) is repaired locally. A
+			// second failure means the state itself cannot serialize
+			// cleanly — do not ship it.
+			e2, err2 := EncodeRankSnapshot(rj.local[r], g.step)
+			if err2 != nil {
+				return nil, err2
+			}
+			if rj.PreShipHook != nil {
+				rj.PreShipHook(r, e2)
+			}
+			if verr2 := VerifyRankSnapshot(e2); verr2 != nil {
+				return nil, fmt.Errorf("%w: rank %d snapshot fails pre-ship verification: %w", integrity.ErrCorrupt, r, verr2)
+			}
+			e = e2
+		}
+		return e, nil
+	}
 	if n == 1 {
-		e, err := EncodeRankSnapshot(rj.local[0], step)
+		e, err := encodeVerified(0)
 		if err != nil {
 			return err
 		}
-		enc[0] = e
-		rj.buddyEnc = enc
+		g.buddy = [][]float64{e}
 		return nil
 	}
 	recvd := make([][]float64, n)
@@ -602,7 +787,7 @@ func (rj *ResilientJob) replicate(rs *ResilientStats, step int) error {
 	w.SetTracer(rj.Job.Obs.T())
 	err := w.Run(func(c *mpirt.Comm) {
 		r := c.Rank()
-		e, eerr := EncodeRankSnapshot(rj.local[r], step)
+		e, eerr := encodeVerified(r)
 		if eerr != nil {
 			mpirt.Fail(eerr)
 		}
@@ -618,25 +803,30 @@ func (rj *ResilientJob) replicate(rs *ResilientStats, step int) error {
 	})
 	rs.BuddyBytes += w.TotalBytes()
 	if err != nil {
-		return fmt.Errorf("core: buddy replication at step %d: %w", step, err)
+		if errors.Is(err, integrity.ErrCorrupt) {
+			return fmt.Errorf("core: buddy replication at step %d: %w", g.step, err)
+		}
+		return fmt.Errorf("core: buddy replication at step %d: %w", g.step, err)
 	}
+	enc := make([][]float64, n)
 	for r := 0; r < n; r++ {
 		enc[r] = recvd[(r+1)%n]
 	}
-	rj.buddyEnc = enc
+	g.buddy = enc
 	return nil
 }
 
-// fetchBuddy retrieves and decodes the buddy-held copy of a failed
-// rank's checkpoint, shipping it from the buddy's rank to the failed
-// rank's slot over a recovery world (survivors wait at the barrier).
-// The decode verifies framing, dimensions, the checkpoint CRC, the
-// checkpoint step, and the shape expected by the failed rank's plan.
-func (rj *ResilientJob) fetchBuddy(rs *ResilientStats, faulty, snapStep int) (*dycore.State, error) {
-	enc := rj.buddyEnc[faulty]
-	if enc == nil {
+// fetchBuddy retrieves and decodes generation g's buddy-held copy of a
+// failed rank's checkpoint, shipping it from the buddy's rank to the
+// failed rank's slot over a recovery world (survivors wait at the
+// barrier). The decode verifies framing, dimensions, the checkpoint
+// CRC, the checkpoint step, and the shape expected by the failed rank's
+// plan.
+func (rj *ResilientJob) fetchBuddy(rs *ResilientStats, g *ckptGeneration, faulty int) (*dycore.State, error) {
+	if g.buddy == nil || g.buddy[faulty] == nil {
 		return nil, fmt.Errorf("%w: no buddy copy of rank %d", ErrBuddySnapshot, faulty)
 	}
+	enc := g.buddy[faulty]
 	n := rj.Job.NRanks
 	host := (faulty + 1) % n
 	var st *dycore.State
@@ -671,8 +861,8 @@ func (rj *ResilientJob) fetchBuddy(rs *ResilientStats, faulty, snapStep int) (*d
 	if derr != nil {
 		return nil, derr
 	}
-	if step != snapStep {
-		return nil, fmt.Errorf("%w: buddy copy of rank %d at step %d, want %d", ErrBuddySnapshot, faulty, step, snapStep)
+	if step != g.step {
+		return nil, fmt.Errorf("%w: buddy copy of rank %d at step %d, want %d", ErrBuddySnapshot, faulty, step, g.step)
 	}
 	if st.NElem() != rj.local[faulty].NElem() {
 		return nil, fmt.Errorf("%w: buddy copy of rank %d has %d elements, want %d",
@@ -681,7 +871,8 @@ func (rj *ResilientJob) fetchBuddy(rs *ResilientStats, faulty, snapStep int) (*d
 	return st, nil
 }
 
-// persist writes the gathered global state to DiskPath, if configured.
+// persist writes the gathered global state to DiskPath, if configured,
+// and records the step/precip pair the disk fallback will rewind to.
 func (rj *ResilientJob) persist(local []*dycore.State, step int) error {
 	if rj.DiskPath == "" {
 		return nil
@@ -690,5 +881,7 @@ func (rj *ResilientJob) persist(local []*dycore.State, step int) error {
 	if err := SaveCheckpoint(rj.DiskPath, g, step); err != nil {
 		return fmt.Errorf("core: persisting checkpoint at step %d: %w", step, err)
 	}
+	rj.diskStep = step
+	rj.diskPrecip = rj.Job.TotalPrecip
 	return nil
 }

@@ -50,6 +50,30 @@ func NewState(nelem, np, nlev, qsize int) *State {
 // NElem returns the number of elements in the state.
 func (s *State) NElem() int { return len(s.U) }
 
+// NamedField pairs a prognostic field with its name, for code that must
+// walk every field of a State generically (integrity seals, hashing,
+// snapshot codecs) and attribute findings to a field by name.
+type NamedField struct {
+	Name string
+	Data [][]float64
+}
+
+// Fields returns every prognostic array of the state in canonical order
+// (U, V, T, DP, Qdp, Phis). The returned slices alias the state — this
+// is a walk, not a copy. Any new [][]float64 field added to State must
+// be added here; a reflection test enforces that, so integrity seals
+// and state hashes can never silently skip a field.
+func (s *State) Fields() []NamedField {
+	return []NamedField{
+		{"U", s.U},
+		{"V", s.V},
+		{"T", s.T},
+		{"DP", s.DP},
+		{"Qdp", s.Qdp},
+		{"Phis", s.Phis},
+	}
+}
+
 // NpSq returns np*np, the nodes per level slab.
 func (s *State) NpSq() int { return s.Np * s.Np }
 

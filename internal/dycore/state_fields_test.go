@@ -1,0 +1,46 @@
+package dycore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFieldsCoversEveryArray pins Fields() to the struct definition: a
+// new [][]float64 field added to State without a matching Fields()
+// entry would silently escape integrity seals and state hashes.
+func TestFieldsCoversEveryArray(t *testing.T) {
+	st := NewState(2, 2, 3, 1)
+	named := st.Fields()
+	byName := map[string][][]float64{}
+	for _, f := range named {
+		byName[f.Name] = f.Data
+	}
+
+	rv := reflect.ValueOf(*st)
+	rt := rv.Type()
+	arrays := 0
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type != reflect.TypeOf([][]float64(nil)) {
+			continue
+		}
+		arrays++
+		data, ok := byName[rt.Field(i).Name]
+		if !ok {
+			t.Fatalf("State field %s missing from Fields()", rt.Field(i).Name)
+		}
+		// Same backing array, not a copy: mutate through the struct,
+		// observe through the walk.
+		fv := rv.Field(i).Interface().([][]float64)
+		if len(fv) == 0 || len(fv[0]) == 0 {
+			t.Fatalf("State field %s empty in test state", rt.Field(i).Name)
+		}
+		fv[0][0] = 42.5
+		if data[0][0] != 42.5 {
+			t.Fatalf("Fields() entry %s does not alias the state", rt.Field(i).Name)
+		}
+		fv[0][0] = 0
+	}
+	if arrays != len(named) {
+		t.Fatalf("Fields() returns %d entries, struct has %d [][]float64 fields", len(named), arrays)
+	}
+}

@@ -1,0 +1,36 @@
+// Package integrity defends the model against silent data corruption
+// (SDC). At the paper's scale — 10M+ cores for days — undetected bit
+// flips in resident memory are a when, not an if, and the existing
+// defenses stop at the wire: mpirt CRCs every message and the dycore
+// watchdog catches NaN/CFL blowups, but a flip in a rank's prognostic
+// state *between* steps sails through both, gets captured into the next
+// checkpoint, is replicated to the buddy rank, and poisons every rung
+// of the recovery ladder.
+//
+// Three complementary detectors close that gap:
+//
+//   - RankSeal: at-rest scrubbing. A per-element CRC-32C over the
+//     rank's prognostic arrays, sealed after the state is finalized at
+//     end-of-step and verified before it is consumed at
+//     start-of-next-step. Catches corruption of resident state while it
+//     sat idle, before it contaminates compute or a checkpoint.
+//   - Ledger: in-compute guards. Per-step global mass / total-energy /
+//     tracer-mass conservation checks on the canonical rank-0
+//     reduction. Catches the flips the scrubber's timing cannot — a
+//     corrupted value that was *computed with* inside a step — at the
+//     cost of only exponent-scale sensitivity.
+//   - Generation verification (internal/core): every checkpoint
+//     generation re-verifies against its seal before a restore uses
+//     it; a poisoned generation escalates to the next-older one.
+//
+// All detections surface as errors wrapping ErrCorrupt so supervisors
+// can route them to verified-restore recovery rather than treating
+// them as process death.
+package integrity
+
+import "errors"
+
+// ErrCorrupt is the sentinel wrapped by every integrity detection:
+// scrub mismatches, invariant-ledger violations, and poisoned
+// checkpoint generations.
+var ErrCorrupt = errors.New("integrity: silent data corruption detected")

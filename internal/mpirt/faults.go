@@ -34,6 +34,22 @@ const (
 	// operation by Delay (a slow link; recoverable without any abort if
 	// the delay is below the receive deadline).
 	DelayMsg
+	// FlipState silently flips one mantissa bit of the rank's resident
+	// prognostic state at the end of the step during which the rank's
+	// op counter passes AfterOp — the silent-data-corruption model: no
+	// NaN, no CFL blowup, nothing the watchdog or a message CRC sees.
+	// Only the at-rest scrubber or the invariant ledger can catch it.
+	FlipState
+	// FlipCheckpoint flips a bit in the rank's own in-memory checkpoint
+	// copy right after it is captured — the restore target rots while
+	// the live run continues clean. Detected only when a restore (or
+	// the end-of-life audit) re-verifies the generation.
+	FlipCheckpoint
+	// FlipBuddy flips a bit in the buddy-held replica of the rank's
+	// checkpoint after the exchange — the partner's copy rots while the
+	// owner's stays good, so localized recovery must reject it and
+	// escalate.
+	FlipBuddy
 )
 
 func (k FaultKind) String() string {
@@ -46,6 +62,12 @@ func (k FaultKind) String() string {
 		return "drop"
 	case DelayMsg:
 		return "delay"
+	case FlipState:
+		return "flipState"
+	case FlipCheckpoint:
+		return "flipCheckpoint"
+	case FlipBuddy:
+		return "flipBuddy"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -122,13 +144,42 @@ func NewChaosPlan(seed int64, nranks int, maxOp int64, n int) *FaultPlan {
 	return p
 }
 
+// NewFlipChaosPlan schedules n random silent-bit-flip faults over ranks
+// [0,nranks) and operations [1,maxOp], reproducibly from seed. Kinds
+// are drawn 2:1:1 flipState:flipCheckpoint:flipBuddy — resident-state
+// flips are the dominant SDC mode; checkpoint-copy rot exercises the
+// verified-restore escalation. Kept separate from NewChaosPlan so
+// existing chaos seeds keep producing the exact same schedules.
+func NewFlipChaosPlan(seed int64, nranks int, maxOp int64, n int) *FaultPlan {
+	p := NewFaultPlan(nranks)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Rank:    rng.Intn(nranks),
+			AfterOp: 1 + rng.Int63n(maxOp),
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			f.Kind = FlipState
+		case 2:
+			f.Kind = FlipCheckpoint
+		case 3:
+			f.Kind = FlipBuddy
+		}
+		p.Add(f)
+	}
+	return p
+}
+
 // ParseFaultPlan builds a plan from a compact spec, the format of the
 // camsw -faults flag: comma-separated events
 //
 //	kill:RANK@OP | corrupt:RANK@OP | drop:RANK@OP | delay:RANK@OP:MS
-//	chaos:N@SEED   (N random faults over ~maxOp ops, see NewChaosPlan)
+//	flipState:RANK@OP | flipCheckpoint:RANK@OP | flipBuddy:RANK@OP
+//	chaos:N@SEED       (N random comm/kill faults, see NewChaosPlan)
+//	chaosflip:N@SEED   (N random silent bit flips, see NewFlipChaosPlan)
 //
-// e.g. "kill:1@200,corrupt:0@450,delay:2@300:15".
+// e.g. "kill:1@200,corrupt:0@450,delay:2@300:15,flipState:2@120".
 func ParseFaultPlan(spec string, nranks int, maxOp int64) (*FaultPlan, error) {
 	p := NewFaultPlan(nranks)
 	for _, ev := range strings.Split(spec, ",") {
@@ -140,17 +191,21 @@ func ParseFaultPlan(spec string, nranks int, maxOp int64) (*FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("mpirt: fault spec %q: want KIND:ARGS", ev)
 		}
-		if kind == "chaos" {
+		if kind == "chaos" || kind == "chaosflip" {
 			nStr, seedStr, ok := strings.Cut(rest, "@")
 			if !ok {
-				return nil, fmt.Errorf("mpirt: fault spec %q: want chaos:N@SEED", ev)
+				return nil, fmt.Errorf("mpirt: fault spec %q: want %s:N@SEED", ev, kind)
 			}
 			n, err1 := strconv.Atoi(nStr)
 			seed, err2 := strconv.ParseInt(seedStr, 10, 64)
 			if err1 != nil || err2 != nil || n < 0 {
 				return nil, fmt.Errorf("mpirt: fault spec %q: bad count or seed", ev)
 			}
-			for _, f := range NewChaosPlan(seed, nranks, maxOp, n).faults {
+			sub := NewChaosPlan
+			if kind == "chaosflip" {
+				sub = NewFlipChaosPlan
+			}
+			for _, f := range sub(seed, nranks, maxOp, n).faults {
 				p.Add(*f)
 			}
 			continue
@@ -165,6 +220,12 @@ func ParseFaultPlan(spec string, nranks int, maxOp int64) (*FaultPlan, error) {
 			f.Kind = DropMsg
 		case "delay":
 			f.Kind = DelayMsg
+		case "flipState":
+			f.Kind = FlipState
+		case "flipCheckpoint":
+			f.Kind = FlipCheckpoint
+		case "flipBuddy":
+			f.Kind = FlipBuddy
 		default:
 			return nil, fmt.Errorf("mpirt: fault spec %q: unknown kind %q", ev, kind)
 		}
@@ -260,9 +321,18 @@ func (p *FaultPlan) Shrink(dead int) *FaultPlan {
 	return q
 }
 
+// isFlip reports whether k is a silent-data-corruption kind. Flip
+// faults never fire at communication operations: they target resident
+// state and checkpoint copies, and are polled by the integrity layer
+// through FireIntegrity instead.
+func (k FaultKind) isFlip() bool {
+	return k == FlipState || k == FlipCheckpoint || k == FlipBuddy
+}
+
 // fire advances rank's op counter and returns the first due, unfired,
 // kind-eligible fault (marked fired), or nil. Kill faults are eligible
-// at any operation; message faults only at sends.
+// at any operation; message faults only at sends; flip faults never
+// (they fire through FireIntegrity).
 func (p *FaultPlan) fire(rank int, isSend bool) *Fault {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -272,7 +342,37 @@ func (p *FaultPlan) fire(rank int, isSend bool) *Fault {
 		if f.fired || f.Rank != rank || f.AfterOp > op {
 			continue
 		}
+		if f.Kind.isFlip() {
+			continue
+		}
 		if f.Kind != KillRank && !isSend {
+			continue
+		}
+		f.fired = true
+		return f
+	}
+	return nil
+}
+
+// FireIntegrity returns rank's first due, unfired fault of the given
+// flip kind (marked fired), or nil. Unlike fire it does NOT advance the
+// op counter: the schedule stays aligned with communication operations,
+// and the integrity layer polls at its own points (end of step,
+// checkpoint capture, buddy exchange). Fired faults stay fired, so a
+// post-recovery replay of the same step does not re-flip — replays
+// converge exactly as they do for kills.
+func (p *FaultPlan) FireIntegrity(rank int, kind FaultKind) *Fault {
+	if !kind.isFlip() {
+		panic(fmt.Sprintf("mpirt: FireIntegrity with non-flip kind %v", kind))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rank < 0 || rank >= len(p.ops) {
+		return nil
+	}
+	op := p.ops[rank]
+	for _, f := range p.faults {
+		if f.fired || f.Rank != rank || f.Kind != kind || f.AfterOp > op {
 			continue
 		}
 		f.fired = true

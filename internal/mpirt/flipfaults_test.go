@@ -1,0 +1,124 @@
+package mpirt
+
+import (
+	"testing"
+)
+
+// Flip faults model silent data corruption: they must never fire at a
+// communication operation (the comm layer cannot see resident-state
+// rot), only when the integrity layer polls for them — and polling
+// must not advance the op counter, so comm-fault schedules stay
+// aligned whether or not scrubbing is enabled.
+func TestFlipFaultsIgnoredByCommOps(t *testing.T) {
+	p := NewFaultPlan(2)
+	p.Add(Fault{Rank: 0, AfterOp: 1, Kind: FlipState})
+	p.Add(Fault{Rank: 0, AfterOp: 1, Kind: FlipCheckpoint})
+	p.Add(Fault{Rank: 0, AfterOp: 2, Kind: KillRank})
+	if f := p.fire(0, true); f != nil {
+		t.Fatalf("comm op fired flip fault %v", f.Kind)
+	}
+	if f := p.fire(0, true); f == nil || f.Kind != KillRank {
+		t.Fatalf("kill at op 2 got %v, flips must not have consumed it", f)
+	}
+	if got := len(p.Pending()); got != 2 {
+		t.Fatalf("flips consumed by comm ops: %d pending, want 2", got)
+	}
+}
+
+func TestFireIntegrityDoesNotAdvanceOps(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.Add(Fault{Rank: 0, AfterOp: 3, Kind: FlipState})
+	p.fire(0, true)
+	p.fire(0, true)
+	// Due at op 3; only 2 ops so far — and polling must not create ops.
+	for i := 0; i < 10; i++ {
+		if f := p.FireIntegrity(0, FlipState); f != nil {
+			t.Fatalf("flip fired at op %d, scheduled after op 3", p.Ops(0))
+		}
+	}
+	if got := p.Ops(0); got != 2 {
+		t.Fatalf("FireIntegrity advanced ops to %d", got)
+	}
+	p.fire(0, true)
+	if f := p.FireIntegrity(0, FlipState); f == nil {
+		t.Fatal("flip not fired once due")
+	}
+	// Fired faults stay fired: the post-recovery replay must not re-flip.
+	if f := p.FireIntegrity(0, FlipState); f != nil {
+		t.Fatal("flip fired twice")
+	}
+}
+
+func TestFireIntegrityMatchesKindExactly(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.Add(Fault{Rank: 0, AfterOp: 1, Kind: FlipBuddy})
+	p.fire(0, true)
+	if f := p.FireIntegrity(0, FlipState); f != nil {
+		t.Fatalf("FlipState poll fired a FlipBuddy fault")
+	}
+	if f := p.FireIntegrity(0, FlipCheckpoint); f != nil {
+		t.Fatalf("FlipCheckpoint poll fired a FlipBuddy fault")
+	}
+	if f := p.FireIntegrity(0, FlipBuddy); f == nil {
+		t.Fatal("FlipBuddy poll missed its fault")
+	}
+}
+
+func TestParseFlipFaultSpecs(t *testing.T) {
+	p, err := ParseFaultPlan("flipState:0@10,flipCheckpoint:1@20,flipBuddy:2@30", 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := p.Pending()
+	if len(pending) != 3 {
+		t.Fatalf("parsed %d faults, want 3", len(pending))
+	}
+	want := map[int]FaultKind{0: FlipState, 1: FlipCheckpoint, 2: FlipBuddy}
+	for _, f := range pending {
+		if want[f.Rank] != f.Kind {
+			t.Fatalf("rank %d parsed as %v", f.Rank, f.Kind)
+		}
+	}
+	if _, err := ParseFaultPlan("flipState:0@10:5", 1, 100); err == nil {
+		t.Fatal("extra field accepted")
+	}
+}
+
+func TestFlipChaosPlanDeterministicAndFlipOnly(t *testing.T) {
+	a := NewFlipChaosPlan(42, 3, 200, 8)
+	b := NewFlipChaosPlan(42, 3, 200, 8)
+	pa, pb := a.Pending(), b.Pending()
+	if len(pa) != 8 || len(pb) != 8 {
+		t.Fatalf("plan sizes %d, %d; want 8", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("same seed diverged at fault %d: %+v vs %+v", i, pa[i], pb[i])
+		}
+		if !pa[i].Kind.isFlip() {
+			t.Fatalf("chaosflip produced non-flip kind %v", pa[i].Kind)
+		}
+	}
+	// Spec-string route builds the same schedule.
+	c, err := ParseFaultPlan("chaosflip:8@42", 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := c.Pending()
+	for i := range pa {
+		if pa[i] != pc[i] {
+			t.Fatalf("chaosflip spec diverged from NewFlipChaosPlan at %d", i)
+		}
+	}
+}
+
+func TestShrinkPreservesFlipFaults(t *testing.T) {
+	p := NewFaultPlan(3)
+	p.Add(Fault{Rank: 2, AfterOp: 5, Kind: FlipState})
+	p.Add(Fault{Rank: 1, AfterOp: 5, Kind: FlipBuddy})
+	q := p.Shrink(1) // rank 1 dies: its unfired flip goes, rank 2 shifts to 1
+	pending := q.Pending()
+	if len(pending) != 1 || pending[0].Rank != 1 || pending[0].Kind != FlipState {
+		t.Fatalf("shrunk plan pending = %+v", pending)
+	}
+}

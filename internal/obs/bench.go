@@ -107,6 +107,28 @@ type BenchPhys struct {
 	ParallelSYPD  float64 `json:"parallel_sypd,omitempty"`  // paired N-worker run, when measured
 }
 
+// BenchIntegrity records the silent-data-corruption defense activity
+// behind a benchmarked run: scrub cadence and cost, injected flip
+// faults, what each guard detected, and how the verified checkpoint
+// ring reacted. Nil when the integrity layer was off and in files
+// written before it existed — the block is additive, so older
+// consumers and older files interoperate unchanged.
+type BenchIntegrity struct {
+	ScrubEvery       int     `json:"scrub_every"`            // at-rest scrub cadence (steps)
+	Generations      int     `json:"generations"`            // checkpoint generations retained
+	Seals            int64   `json:"seals"`                  // end-of-step CRC seals taken
+	Verifies         int64   `json:"verifies"`               // at-rest verifications performed
+	FlipsInjected    int64   `json:"flips_injected"`         // flipState+flipCheckpoint+flipBuddy fired
+	ScrubDetections  int64   `json:"scrub_detections"`       // flips the at-rest scrubber caught
+	LedgerDetections int64   `json:"ledger_detections"`      // conservation-ledger violations flagged
+	PoisonedCopies   int64   `json:"poisoned_copies"`        // checkpoint copies rejected by verification
+	Escalations      int64   `json:"escalations"`            // restores that skipped a poisoned generation
+	PreShipRejects   int64   `json:"preship_rejects"`        // buddy snapshots rejected before shipping
+	ScrubNs          int64   `json:"scrub_ns"`               // wall time inside seal/verify
+	StepNs           int64   `json:"step_ns"`                // wall time inside model steps
+	OverheadPct      float64 `json:"overhead_pct,omitempty"` // 100 * scrub_ns / step_ns
+}
+
 // BenchScalingPoint is one measured configuration of a scaling sweep: a
 // real goroutine-rank run at (ne, ranks) with its per-phase wall-time
 // attribution and memory accounting.
@@ -182,6 +204,10 @@ type BenchFile struct {
 	Serving  *BenchServing           `json:"serving,omitempty"`
 	Scaling  *BenchScaling           `json:"scaling,omitempty"`
 	Phys     *BenchPhys              `json:"phys,omitempty"`
+
+	// Integrity is present when the SDC defenses were enabled for the
+	// measured run.
+	Integrity *BenchIntegrity `json:"integrity,omitempty"`
 }
 
 // NewBenchFile builds a file from per-backend kernel tables and rates.
@@ -360,6 +386,31 @@ func (f *BenchFile) Validate() error {
 			if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
 				return fmt.Errorf("obs: bench phys %s %v is negative/NaN/Inf", c.name, c.v)
 			}
+		}
+	}
+	if in := f.Integrity; in != nil {
+		if in.ScrubEvery < 0 {
+			return fmt.Errorf("obs: bench integrity scrub_every %d is negative", in.ScrubEvery)
+		}
+		if in.Generations < 1 {
+			return fmt.Errorf("obs: bench integrity generations %d < 1", in.Generations)
+		}
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"seals", in.Seals}, {"verifies", in.Verifies},
+			{"flips_injected", in.FlipsInjected}, {"scrub_detections", in.ScrubDetections},
+			{"ledger_detections", in.LedgerDetections}, {"poisoned_copies", in.PoisonedCopies},
+			{"escalations", in.Escalations}, {"preship_rejects", in.PreShipRejects},
+			{"scrub_ns", in.ScrubNs}, {"step_ns", in.StepNs},
+		} {
+			if c.v < 0 {
+				return fmt.Errorf("obs: bench integrity %s is negative: %d", c.name, c.v)
+			}
+		}
+		if in.OverheadPct < 0 || math.IsNaN(in.OverheadPct) || math.IsInf(in.OverheadPct, 0) {
+			return fmt.Errorf("obs: bench integrity overhead_pct %v is negative/NaN/Inf", in.OverheadPct)
 		}
 	}
 	if sc := f.Scaling; sc != nil {

@@ -334,6 +334,18 @@ func TestBenchFileValidate(t *testing.T) {
 		{"nan phys sypd", func(f *BenchFile) {
 			f.Phys = &BenchPhys{Workers: 2, SerialSYPD: math.NaN()}
 		}},
+		{"zero integrity generations", func(f *BenchFile) {
+			f.Integrity = &BenchIntegrity{ScrubEvery: 1, Generations: 0}
+		}},
+		{"negative integrity scrub_every", func(f *BenchFile) {
+			f.Integrity = &BenchIntegrity{ScrubEvery: -1, Generations: 1}
+		}},
+		{"negative integrity counter", func(f *BenchFile) {
+			f.Integrity = &BenchIntegrity{ScrubEvery: 1, Generations: 1, ScrubDetections: -1}
+		}},
+		{"nan integrity overhead", func(f *BenchFile) {
+			f.Integrity = &BenchIntegrity{ScrubEvery: 1, Generations: 1, OverheadPct: math.NaN()}
+		}},
 	}
 	for _, tc := range cases {
 		f := good()
@@ -407,6 +419,32 @@ func TestBenchFileValidate(t *testing.T) {
 		len(pgot.Phys.WorkerChunks) != 4 || pgot.Phys.WorkerChunks[0] != 30 ||
 		pgot.Config.Physics != "moist" || pgot.Config.PhysWorkers != 4 {
 		t.Errorf("phys round trip: got %+v / config %+v", pgot.Phys, pgot.Config)
+	}
+	if pgot.Integrity != nil {
+		t.Errorf("defense-free file grew an integrity block: %+v", pgot.Integrity)
+	}
+
+	// A well-formed integrity block round-trips.
+	inf := good()
+	inf.Integrity = &BenchIntegrity{
+		ScrubEvery: 1, Generations: 3, Seals: 40, Verifies: 38,
+		FlipsInjected: 5, ScrubDetections: 3, LedgerDetections: 1,
+		PoisonedCopies: 1, Escalations: 1, PreShipRejects: 0,
+		ScrubNs: 2e6, StepNs: 9e7, OverheadPct: 2.2,
+	}
+	if err := inf.Validate(); err != nil {
+		t.Fatalf("integrity block rejected: %v", err)
+	}
+	ip, err := WriteBenchFile(dir, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	igot, err := LoadBenchFile(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if igot.Integrity == nil || *igot.Integrity != *inf.Integrity {
+		t.Errorf("integrity round trip: got %+v, want %+v", igot.Integrity, inf.Integrity)
 	}
 }
 

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// A published snapshot whose bytes rot at rest — after the CRC was
+// sealed, with no republish — must be caught by VerifyLatest, classified
+// as corruption (not a torn read), and take the member out of readiness.
+func TestVerifyLatestFlagsAtRestCorruption(t *testing.T) {
+	sup := testSupervisor(t, 2, nil)
+	if err := sup.RunCycles(1); err != nil {
+		t.Fatal(err)
+	}
+	store := sup.store
+	for m := 0; m < store.Members(); m++ {
+		if err := store.VerifyLatest(m); err != nil {
+			t.Fatalf("clean member %d failed verification: %v", m, err)
+		}
+	}
+
+	srv := NewServer(sup, ServerConfig{MinReady: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if resp, _ := getJSON(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean readyz: %d", resp.StatusCode)
+	}
+
+	// Rot one byte of member 1's published snapshot in place. The
+	// pointer does not move, so this is at-rest corruption, not a torn
+	// read.
+	snap := store.slots[1].cur.Load()
+	snap.data[len(snap.data)/2] ^= 0x40
+
+	err := store.VerifyLatest(1)
+	if err == nil {
+		t.Fatal("VerifyLatest accepted rotted bytes")
+	}
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corruption misclassified: %v", err)
+	}
+	if store.reg.CounterValue("serve.snapshots.verify_failed") < 1 {
+		t.Error("verify_failed counter never moved")
+	}
+	// Member 0 is still fine — but one corrupt member fails the probe
+	// outright, even with MinReady satisfied.
+	if err := store.VerifyLatest(0); err != nil {
+		t.Fatalf("healthy member dragged down: %v", err)
+	}
+	resp, body := getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "corrupt" {
+		t.Fatalf("corrupt readyz: %d %v", resp.StatusCode, body)
+	}
+
+	// The next publish replaces the rotted buffer and readiness heals.
+	if err := sup.RunCycles(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.VerifyLatest(1); err != nil {
+		t.Fatalf("republished member still failing: %v", err)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed readyz: %d", resp.StatusCode)
+	}
+}
+
+// The store's integrity counters are pre-registered so a metrics scrape
+// sees them at zero before any event has happened.
+func TestMetricsSurfaceIntegrityCounters(t *testing.T) {
+	sup := testSupervisor(t, 1, nil)
+	if err := sup.RunCycles(1); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sup, ServerConfig{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var dump []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("metrics body not a registry dump: %v", err)
+	}
+	names := map[string]bool{}
+	for _, m := range dump {
+		names[m.Name] = true
+	}
+	for _, c := range []string{
+		"serve.snapshots.torn", "serve.snapshots.verifies",
+		"serve.snapshots.verify_failed",
+	} {
+		if !names[c] {
+			t.Errorf("counter %s not surfaced in /v1/metrics", c)
+		}
+	}
+}

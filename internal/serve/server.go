@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"strconv"
 	"sync"
@@ -176,11 +177,29 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			map[string]string{"status": "draining"})
 		return
 	}
-	ready := 0
+	// A member counts as ready only if its latest snapshot exists AND
+	// passes CRC re-verification. A snapshot corrupt at rest fails the
+	// whole probe — a server holding rotted bytes must be taken out of
+	// rotation, not trusted because enough other members look healthy.
+	ready, corrupt := 0, 0
 	for i := 0; i < s.sup.store.Members(); i++ {
-		if _, ok := s.sup.store.Latest(i); ok {
-			ready++
+		if _, ok := s.sup.store.Latest(i); !ok {
+			continue
 		}
+		if err := s.sup.store.VerifyLatest(i); err != nil {
+			if errors.Is(err, ErrSnapshotCorrupt) {
+				corrupt++
+			}
+			continue
+		}
+		ready++
+	}
+	if corrupt > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "corrupt", "ready_members": ready,
+			"corrupt_members": corrupt,
+		})
+		return
 	}
 	if ready < s.cfg.MinReady {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{

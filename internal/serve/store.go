@@ -92,8 +92,16 @@ var (
 	ErrTornSnapshot = errors.New("serve: snapshot torn on every read attempt")
 )
 
-// NewStore creates a store with one slot per member.
+// NewStore creates a store with one slot per member. The store's
+// counters are pre-registered so /v1/metrics surfaces them at zero
+// instead of only after the first event.
 func NewStore(members int, reg *obs.Registry) *Store {
+	for _, c := range []string{
+		"serve.snapshots.published", "serve.snapshots.torn",
+		"serve.snapshots.verifies", "serve.snapshots.verify_failed",
+	} {
+		reg.Counter(c).Add(0)
+	}
 	return &Store{reg: reg, slots: make([]storeSlot, members)}
 }
 
@@ -182,4 +190,42 @@ func (s *Store) Read(member int) (*dycore.State, Meta, error) {
 		return st, snap.Meta, nil
 	}
 	return nil, Meta{}, ErrTornSnapshot
+}
+
+// ErrSnapshotCorrupt means a member's latest published snapshot fails
+// CRC verification against a stable pointer — not a torn read (the
+// writer has not republished), but corruption at rest in the published
+// buffer. A member in this state must not be served or counted ready.
+var ErrSnapshotCorrupt = errors.New("serve: latest snapshot corrupt at rest")
+
+// VerifyLatest re-verifies member's latest published snapshot without
+// decoding or caching it — the readiness probe's integrity gate. A CRC
+// mismatch while the published pointer moves is a torn read (counted,
+// retried); a mismatch against a pointer that did not move means the
+// bytes rotted after publish (the writer alternates two buffers and
+// only republishes with a fresh CRC), which is reported as
+// ErrSnapshotCorrupt. Returns ErrNoSnapshot when nothing is published.
+func (s *Store) VerifyLatest(member int) error {
+	slot := &s.slots[member]
+	const attempts = 4
+	for try := 0; try < attempts; try++ {
+		snap := slot.cur.Load()
+		if snap == nil {
+			return ErrNoSnapshot
+		}
+		data := make([]byte, len(snap.data))
+		copy(data, snap.data)
+		s.reg.Counter("serve.snapshots.verifies").Add(1)
+		if crc32.Checksum(data, storeCRCTable) == snap.crc {
+			return nil
+		}
+		if slot.cur.Load() != snap {
+			// The writer republished mid-copy: an ordinary torn read.
+			s.reg.Counter("serve.snapshots.torn").Add(1)
+			continue
+		}
+		s.reg.Counter("serve.snapshots.verify_failed").Add(1)
+		return fmt.Errorf("%w: member %d version %d", ErrSnapshotCorrupt, member, snap.Version)
+	}
+	return ErrTornSnapshot
 }
