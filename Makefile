@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap bench-phys bench-integrity scaling trace figures outputs serve loadgen clean
+.PHONY: all build vet test race fuzz bench bench-tiled bench-overlap bench-phys bench-integrity kernel-parity scaling trace figures outputs serve loadgen clean
 
 all: build vet test
 
@@ -67,6 +67,24 @@ bench-integrity:
 	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 6 -ranks 3 \
 	    -faults 'chaosflip:6@42' -recovery ladder \
 	    -scrub-every 1 -ckpt-generations 3 -dir bench
+
+# Kernel Cost parity: re-run the BENCH_9 configuration on the
+# single-source lowered kernels and diff every per-backend kernel Cost
+# column (calls, flops, bytes) — exact against the landed
+# bench/BENCH_9.json, and against the pre-fix bench/BENCH_8.json with
+# the one documented exemption for the hypervis_dp2 flop re-derivation.
+# Mirrors the CI kernel-parity job.
+kernel-parity:
+	$(GO) test -race -count=1 \
+	    -run 'TestLoweredKernel|TestHypervisUpdateFlopParity|TestAthreadDP2VectorCounters|TestAnalyticFormulasDerivedFromSpecs|TestRowLevelsEdgeCases' \
+	    ./internal/exec/
+	mkdir -p parity-out
+	$(GO) run ./cmd/swprof -ne 2 -nlev 4 -steps 6 -ranks 3 \
+	    -faults 'chaosflip:6@42' -recovery ladder \
+	    -scrub-every 1 -ckpt-generations 3 -dir parity-out
+	$(GO) run ./cmd/benchtab -parity parity-out/BENCH_1.json -against bench/BENCH_9.json
+	$(GO) run ./cmd/benchtab -parity parity-out/BENCH_1.json \
+	    -against bench/BENCH_8.json -allow-flops hypervis_dp2
 
 # The measured scaling campaign (internal/scale): real weak+strong
 # goroutine-rank sweeps on this box up to 256 ranks, the calibrated

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swcam/internal/obs"
+)
+
+// benchParity compares the per-backend kernel Cost columns (calls,
+// flops, bytes) of one BENCH file against a reference BENCH file and
+// fails on any difference — the cross-backend guarantee the
+// single-source kernel layer makes is that counts can only change when
+// a primitive's attribution changes, and that is a reviewed event, not
+// drift. Wall-clock columns (ns, sypd, wall_seconds) are measurements
+// and are never compared.
+//
+// allowFlops lists base kernel names (the ".boundary"/".inner" split
+// suffix is stripped before matching) whose flop column MAY differ —
+// used exactly once per intended accounting fix, e.g. the hypervis_dp2
+// update re-derivation (12/16·np² → 8·np²), and spelled out in CI so
+// the exemption is as visible as the change.
+func benchParity(newPath, againstPath, allowFlops string) error {
+	nf, err := obs.LoadBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	of, err := obs.LoadBenchFile(againstPath)
+	if err != nil {
+		return err
+	}
+	allowed := map[string]bool{}
+	for _, n := range strings.Split(allowFlops, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			allowed[n] = true
+		}
+	}
+	if nc, oc := nf.Config, of.Config; nc.Ne != oc.Ne || nc.Nlev != oc.Nlev ||
+		nc.Qsize != oc.Qsize || nc.Steps != oc.Steps || nc.Ranks != oc.Ranks {
+		return fmt.Errorf("benchtab: config mismatch: %s ran %+v, %s ran %+v",
+			newPath, nc, againstPath, oc)
+	}
+
+	base := func(kernel string) string {
+		kernel = strings.TrimSuffix(kernel, ".boundary")
+		return strings.TrimSuffix(kernel, ".inner")
+	}
+
+	fmt.Printf("== Kernel Cost parity: %s vs %s ==\n", newPath, againstPath)
+	violations := 0
+	backends := make([]string, 0, len(of.Backends))
+	for bn := range of.Backends {
+		backends = append(backends, bn)
+	}
+	sort.Strings(backends)
+	for _, bn := range backends {
+		ob := of.Backends[bn]
+		nb, ok := nf.Backends[bn]
+		if !ok {
+			fmt.Printf("%s: MISSING in %s\n", bn, newPath)
+			violations++
+			continue
+		}
+		kernels := make([]string, 0, len(ob.Kernels))
+		for kn := range ob.Kernels {
+			kernels = append(kernels, kn)
+		}
+		sort.Strings(kernels)
+		fmt.Printf("%s:\n  %-34s %8s %14s %14s  %s\n", bn, "kernel", "calls", "flops", "bytes", "status")
+		for _, kn := range kernels {
+			nk, present := nb.Kernels[kn]
+			if !present {
+				fmt.Printf("  %-34s %8s %14s %14s  MISSING\n", kn, "-", "-", "-")
+				violations++
+				continue
+			}
+			old := ob.Kernels[kn]
+			status := "ok"
+			bad := false
+			if nk.Calls != old.Calls {
+				status = fmt.Sprintf("CALLS %d != %d", nk.Calls, old.Calls)
+				bad = true
+			} else if nk.Bytes != old.Bytes {
+				status = fmt.Sprintf("BYTES %d != %d", nk.Bytes, old.Bytes)
+				bad = true
+			} else if nk.Flops != old.Flops {
+				if allowed[base(kn)] {
+					status = fmt.Sprintf("flops %d -> %d (allowed)", old.Flops, nk.Flops)
+				} else {
+					status = fmt.Sprintf("FLOPS %d != %d", nk.Flops, old.Flops)
+					bad = true
+				}
+			}
+			if bad {
+				violations++
+			}
+			fmt.Printf("  %-34s %8d %14d %14d  %s\n", kn, nk.Calls, nk.Flops, nk.Bytes, status)
+		}
+		for kn := range nb.Kernels {
+			if _, present := ob.Kernels[kn]; !present {
+				fmt.Printf("  %-34s NEW kernel not in reference\n", kn)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("benchtab: %d kernel Cost parity violation(s)", violations)
+	}
+	fmt.Println("parity: all kernel Cost columns match")
+	return nil
+}

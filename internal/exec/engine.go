@@ -79,8 +79,12 @@ type dynWorker struct {
 	gv1, gv2         []float64
 	colA, colB       []float64
 	colC, colD       []float64
-	scrU, scrV, scrS []float64
-	rws              *dycore.RemapWorkspace
+	// Pooled slabs for the single-source kernel layer's serial lowering
+	// (kernel.go): kScr backs a spec's kernel-visible scratch slots,
+	// opScr the primitives' internal scratch.
+	kScr  [4][]float64
+	opScr [6][]float64
+	rws   *dycore.RemapWorkspace
 	// Per-CPE PPM workspaces for the CPE remap paths (64 simulated cores
 	// remap columns concurrently inside one tile); built with the core
 	// group, since only CPE backends need them. Host-side scratch: the
@@ -97,7 +101,7 @@ type dynWorker struct {
 
 func newDynWorker(np, nlev int) *dynWorker {
 	npsq := np * np
-	return &dynWorker{
+	w := &dynWorker{
 		ws:   dycore.NewWorkspace(np, nlev),
 		rhs:  dycore.NewRHS(np, nlev),
 		flxU: make([]float64, npsq),
@@ -109,12 +113,16 @@ func newDynWorker(np, nlev int) *dynWorker {
 		colB: make([]float64, nlev),
 		colC: make([]float64, nlev),
 		colD: make([]float64, nlev),
-		scrU: make([]float64, npsq),
-		scrV: make([]float64, npsq),
-		scrS: make([]float64, npsq),
 		rws:  dycore.NewRemapWorkspace(nlev),
 		nlev: nlev,
 	}
+	for i := range w.kScr {
+		w.kScr[i] = make([]float64, npsq)
+	}
+	for i := range w.opScr {
+		w.opScr[i] = make([]float64, npsq)
+	}
+	return w
 }
 
 // ensureCG builds the worker's simulated core group (and the per-CPE

@@ -31,6 +31,15 @@ func vecLapFlops(np int) int64 {
 	return divFlops(np) + vortFlops(np) + 2*gradFlops(np) + int64(2*np*np)
 }
 
+// axpyFlops: the damped-update primitive (dst -= coef*src) — one
+// multiply and one subtract per node, with the coefficient product
+// hoisted to launch scope and therefore NOT part of the per-point
+// work. This is THE attribution for the hyperviscosity update; every
+// backend charges it via the slabOps primitive (kernel.go), which is
+// what fixed the historical 12·np² (OpenACC) vs 8·np² (Athread) vs
+// 16·np² (serial analytic) divergence for the 4-field update.
+func axpyFlops(np int) int64 { return int64(2 * np * np) }
+
 // eulerStageFlops: per element per tracer per level — flux build
 // (2 muls/node), divergence, update (2 ops/node).
 func eulerStageFlops(np, nlev int) int64 {
@@ -50,18 +59,32 @@ func rhsFlops(np, nlev int) int64 {
 	return scans + perLevel*nl + apply
 }
 
-// hypervis1Flops: first Laplacian pass per element (vector + 2 scalars).
+// The dissipation-kernel totals are no longer written out by hand:
+// they are derived by running each kernel's single-source body
+// (kernel.go) against the counting primitives above, so the analytic
+// serial count, the OpenACC per-primitive charges, and this model
+// formula cannot drift apart — there is exactly one body to count.
+
+// hypervis1Flops: first Laplacian pass per element (vector + 2
+// scalars), derived from hypervisDP1Spec.
 func hypervis1Flops(np, nlev int) int64 {
-	return (vecLapFlops(np) + 2*lapFlops(np)) * int64(nlev)
+	return hypervisDP1Spec.levelFlops(np) * int64(nlev)
 }
 
-// hypervis2Flops: second pass + update (4 ops/node/field).
+// hypervis2Flops: second pass + update per element (vector + 2 scalar
+// Laplacians + 4 axpy updates), derived from hypervisDP2Spec. The
+// historical hand-written formula charged 16·np²/level for the update;
+// the primitive-derived count is 4·axpyFlops = 8·np², matching what
+// the CPE backends execute.
 func hypervis2Flops(np, nlev int) int64 {
-	return (vecLapFlops(np) + 2*lapFlops(np) + int64(4*np*np*4)) * int64(nlev)
+	return hypervisDP2Spec.levelFlops(np) * int64(nlev)
 }
 
-// biharmonicFlops: one scalar Laplacian pass on dp3d.
-func biharmonicFlops(np, nlev int) int64 { return lapFlops(np) * int64(nlev) }
+// biharmonicFlops: one scalar Laplacian pass on dp3d, derived from
+// biharmonicDP3DSpec.
+func biharmonicFlops(np, nlev int) int64 {
+	return biharmonicDP3DSpec.levelFlops(np) * int64(nlev)
+}
 
 // remapFlops: per element — PPM reconstruction ~25 ops/cell, cumulative
 // and interpolation ~15 ops/cell, per remapped field (3 + qsize), per

@@ -2,314 +2,49 @@ package exec
 
 import (
 	"swcam/internal/dycore"
-	"swcam/internal/sw"
 )
 
-// hypervisDP1 dispatches the first Laplacian pass over the selected
-// element subset; the exported, instrumented entry points are in
-// instrument.go.
+// The hyperviscosity and biharmonic kernels are written once as
+// single-source slab specs (kernel.go: hypervisDP1Spec,
+// hypervisDP2Spec, biharmonicDP3DSpec) and lowered per backend; the
+// functions here only bind state rows and hoisted coefficients to the
+// spec. The exported, instrumented entry points are in instrument.go.
+
+// hypervisDP1 runs the first Laplacian pass over the selected element
+// subset: (lapU, lapV) = vector Laplacian of (u, v); lapT, lapDP =
+// scalar Laplacians of T, dp.
 func (en *Engine) hypervisDP1(sub Subset, b Backend, st *dycore.State, lapU, lapV, lapT, lapDP [][]float64) Cost {
 	en.beginLaunch(sub)
-	sel := en.sel(sub)
-	switch b {
-	case Intel, MPE:
-		flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
-			for _, le := range slots {
-				dycore.HypervisDP1Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
-					st.U[le], st.V[le], st.T[le], st.DP[le],
-					lapU[le], lapV[le], lapT[le], lapDP[le])
-				p.flops += hypervis1Flops(en.Np, en.Nlev)
-				p.bytes += hypervisBytes(en.Np, en.Nlev)
-			}
-		})
-		return en.serialSplit(b, sub.Phase, flops, bytes)
-	case OpenACC:
-		return en.hvLevelParallel(sub, sel, OpenACC, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
-	case Athread:
-		return en.hvLevelParallel(sub, sel, Athread, st.U, st.V, st.T, st.DP, lapU, lapV, lapT, lapDP, 0, 0, 0, false)
+	bind := slabBind{
+		in:  [4][][]float64{st.U, st.V, st.T, st.DP},
+		out: [4][][]float64{lapU, lapV, lapT, lapDP},
 	}
-	panic("exec: unknown backend")
+	return en.lowerSlab(&hypervisDP1Spec, sub, b, &bind)
 }
 
-// hypervisDP2 dispatches the second pass over the selected element
-// subset; the exported, instrumented entry points are in instrument.go.
+// hypervisDP2 runs the second pass + update over the selected element
+// subset: field -= dt*nu * laplace(DSS'd first pass), with the
+// momentum (nuV) and scalar (nuS) coefficients hoisted to launch scope
+// here — every lowering sees them as ready-made slab coefficients.
 func (en *Engine) hypervisDP2(sub Subset, b Backend, lapU, lapV, lapT, lapDP [][]float64,
 	st *dycore.State, dt, nuV, nuS float64) Cost {
 	en.beginLaunch(sub)
-	sel := en.sel(sub)
-	switch b {
-	case Intel, MPE:
-		flops, bytes := en.runTilesSerialOn(sel, func(w *dynWorker, slots []int, p *serialPartial) {
-			for _, le := range slots {
-				dycore.HypervisDP2Elem(en.element(le), en.M.DerivFlat, en.Np, en.Nlev,
-					lapU[le], lapV[le], lapT[le], lapDP[le],
-					st.U[le], st.V[le], st.T[le], st.DP[le],
-					dt, nuV, nuS, w.scrU, w.scrV, w.scrS)
-				p.flops += hypervis2Flops(en.Np, en.Nlev)
-				p.bytes += hypervisBytes(en.Np, en.Nlev)
-			}
-		})
-		return en.serialSplit(b, sub.Phase, flops, bytes)
-	case OpenACC:
-		return en.hvLevelParallel(sub, sel, OpenACC, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
-	case Athread:
-		return en.hvLevelParallel(sub, sel, Athread, lapU, lapV, lapT, lapDP, st.U, st.V, st.T, st.DP, dt, nuV, nuS, true)
+	bind := slabBind{
+		in:   [4][][]float64{lapU, lapV, lapT, lapDP},
+		out:  [4][][]float64{st.U, st.V, st.T, st.DP},
+		coef: [2]float64{dt * nuV, dt * nuS},
 	}
-	panic("exec: unknown backend")
+	return en.lowerSlab(&hypervisDP2Spec, sub, b, &bind)
 }
 
-// hvLevelParallel distributes (element, level) Laplacian work across the
-// CPEs for both passes of the hyperviscosity operator.
-//
-//   - OpenACC mode re-fetches the metric tiles for every (element, level)
-//     iteration (the directive compiler cannot hoist the copyin out of a
-//     collapsed loop) and computes with scalar arithmetic.
-//   - Athread mode assigns whole elements to mesh columns with levels
-//     split across rows, fetches the metric once per element, and runs
-//     the vectorized slabs.
-//
-// With update=false, dst = laplace(src) (pass 1). With update=true,
-// dst -= dt*nu*laplace(src) where src holds the DSS'd first pass (pass 2).
-func (en *Engine) hvLevelParallel(sub Subset, sel *ElemSubset, b Backend,
-	srcU, srcV, srcT, srcDP [][]float64,
-	dstU, dstV, dstT, dstDP [][]float64,
-	dt, nuV, nuS float64, update bool) Cost {
-
-	np, nlev := en.Np, en.Nlev
-	npsq := np * np
-
-	if b == OpenACC {
-		en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
-			cg.Spawn(func(c *sw.CPE) {
-				ldm := c.LDM
-				for _, le := range slots {
-					for w := firstWorkItem(le*nlev, c.ID); w < (le+1)*nlev; w += sw.CPEsPerCG {
-						ldm.Reset()
-						k := w % nlev
-						e := en.element(le)
-						o := k * npsq
-						deriv := ldm.MustAlloc("deriv", npsq)
-						dinv := ldm.MustAlloc("dinv", 4*npsq)
-						dflat := ldm.MustAlloc("dflat", 4*npsq)
-						metdet := ldm.MustAlloc("metdet", npsq)
-						c.DMA.GetShared(deriv, en.M.DerivFlat)
-						c.DMA.Get(dinv, e.DinvFlat)
-						c.DMA.Get(dflat, e.DFlat)
-						c.DMA.Get(metdet, e.Metdet)
-
-						u := ldm.MustAlloc("u", npsq)
-						v := ldm.MustAlloc("v", npsq)
-						tt := ldm.MustAlloc("t", npsq)
-						dp := ldm.MustAlloc("dp", npsq)
-						c.DMA.Get(u, srcU[le][o:o+npsq])
-						c.DMA.Get(v, srcV[le][o:o+npsq])
-						c.DMA.Get(tt, srcT[le][o:o+npsq])
-						c.DMA.Get(dp, srcDP[le][o:o+npsq])
-
-						lu := ldm.MustAlloc("lu", npsq)
-						lv := ldm.MustAlloc("lv", npsq)
-						lt := ldm.MustAlloc("lt", npsq)
-						ldp := ldm.MustAlloc("ldp", npsq)
-						s1 := ldm.MustAlloc("s1", npsq)
-						s2 := ldm.MustAlloc("s2", npsq)
-						s3 := ldm.MustAlloc("s3", npsq)
-						s4 := ldm.MustAlloc("s4", npsq)
-						s5 := ldm.MustAlloc("s5", npsq)
-						s6 := ldm.MustAlloc("s6", npsq)
-
-						dycore.VecLaplaceSlab(deriv, dflat, dinv, metdet, e.DAlpha, np,
-							u, v, lu, lv, s1, s2, s3, s4, s5, s6)
-						dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, tt, lt, s1, s2, s3, s4)
-						dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, dp, ldp, s1, s2, s3, s4)
-						c.CountFlops(vecLapFlops(np) + 2*lapFlops(np))
-
-						if update {
-							du := ldm.MustAlloc("du", npsq)
-							dv := ldm.MustAlloc("dv", npsq)
-							dtt := ldm.MustAlloc("dt", npsq)
-							ddp := ldm.MustAlloc("ddp", npsq)
-							c.DMA.Get(du, dstU[le][o:o+npsq])
-							c.DMA.Get(dv, dstV[le][o:o+npsq])
-							c.DMA.Get(dtt, dstT[le][o:o+npsq])
-							c.DMA.Get(ddp, dstDP[le][o:o+npsq])
-							for n := 0; n < npsq; n++ {
-								du[n] -= dt * nuV * lu[n]
-								dv[n] -= dt * nuV * lv[n]
-								dtt[n] -= dt * nuS * lt[n]
-								ddp[n] -= dt * nuS * ldp[n]
-							}
-							c.CountFlops(int64(12 * npsq))
-							c.DMA.Put(dstU[le][o:o+npsq], du)
-							c.DMA.Put(dstV[le][o:o+npsq], dv)
-							c.DMA.Put(dstT[le][o:o+npsq], dtt)
-							c.DMA.Put(dstDP[le][o:o+npsq], ddp)
-						} else {
-							c.DMA.Put(dstU[le][o:o+npsq], lu)
-							c.DMA.Put(dstV[le][o:o+npsq], lv)
-							c.DMA.Put(dstT[le][o:o+npsq], lt)
-							c.DMA.Put(dstDP[le][o:o+npsq], ldp)
-						}
-					}
-				}
-			})
-		})
-		return en.collectSplit(OpenACC, sub.Phase)
-	}
-
-	// Athread: element per mesh column, levels split across rows,
-	// metric resident, vectorized slabs.
-	en.runTilesCGOn(sel, sub.Phase == Close, func(cg *sw.CoreGroup, slots []int) {
-		cg.Spawn(func(c *sw.CPE) {
-			ldm := c.LDM
-			s, vl := en.rowLevels(c.Row)
-			deriv := ldm.MustAlloc("deriv", npsq)
-			c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
-			dinv := ldm.MustAlloc("dinv", 4*npsq)
-			dflat := ldm.MustAlloc("dflat", 4*npsq)
-			metdet := ldm.MustAlloc("metdet", npsq)
-			u := ldm.MustAlloc("u", npsq)
-			v := ldm.MustAlloc("v", npsq)
-			tt := ldm.MustAlloc("t", npsq)
-			dp := ldm.MustAlloc("dp", npsq)
-			lu := ldm.MustAlloc("lu", npsq)
-			lv := ldm.MustAlloc("lv", npsq)
-			lt := ldm.MustAlloc("lt", npsq)
-			ldp := ldm.MustAlloc("ldp", npsq)
-			s1 := ldm.MustAlloc("s1", npsq)
-			s2 := ldm.MustAlloc("s2", npsq)
-			s3 := ldm.MustAlloc("s3", npsq)
-			s4 := ldm.MustAlloc("s4", npsq)
-			s5 := ldm.MustAlloc("s5", npsq)
-			s6 := ldm.MustAlloc("s6", npsq)
-			dd := ldm.MustAlloc("dd", 4*npsq)
-
-			for _, le := range slots {
-				if le%sw.MeshDim != c.Col {
-					continue
-				}
-				e := en.element(le)
-				c.DMA.Get(dinv, e.DinvFlat)
-				c.DMA.Get(dflat, e.DFlat)
-				c.DMA.Get(metdet, e.Metdet)
-				for k := s; k < s+vl; k++ {
-					o := k * npsq
-					c.DMA.Get(u, srcU[le][o:o+npsq])
-					c.DMA.Get(v, srcV[le][o:o+npsq])
-					c.DMA.Get(tt, srcT[le][o:o+npsq])
-					c.DMA.Get(dp, srcDP[le][o:o+npsq])
-
-					vecLaplaceSlabVec4(c, deriv, dflat, dinv, metdet, e.DAlpha,
-						u, v, lu, lv, s1, s2, s3, s4, s5, s6)
-					laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, tt, lt, s1, s2, s3, s4)
-					laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, dp, ldp, s1, s2, s3, s4)
-
-					if update {
-						c.DMA.Get(dd[:npsq], dstU[le][o:o+npsq])
-						c.DMA.Get(dd[npsq:2*npsq], dstV[le][o:o+npsq])
-						c.DMA.Get(dd[2*npsq:3*npsq], dstT[le][o:o+npsq])
-						c.DMA.Get(dd[3*npsq:4*npsq], dstDP[le][o:o+npsq])
-						for j := 0; j < np; j++ {
-							dnv := sw.Splat(dt * nuV)
-							dns := sw.Splat(dt * nuS)
-							sw.LoadVec4(dd, 4*j).Sub(dnv.Mul(sw.LoadVec4(lu, 4*j))).Store(dd, 4*j)
-							sw.LoadVec4(dd, npsq+4*j).Sub(dnv.Mul(sw.LoadVec4(lv, 4*j))).Store(dd, npsq+4*j)
-							sw.LoadVec4(dd, 2*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(lt, 4*j))).Store(dd, 2*npsq+4*j)
-							sw.LoadVec4(dd, 3*npsq+4*j).Sub(dns.Mul(sw.LoadVec4(ldp, 4*j))).Store(dd, 3*npsq+4*j)
-						}
-						c.CountVecFlops(int64(8 * npsq))
-						c.DMA.Put(dstU[le][o:o+npsq], dd[:npsq])
-						c.DMA.Put(dstV[le][o:o+npsq], dd[npsq:2*npsq])
-						c.DMA.Put(dstT[le][o:o+npsq], dd[2*npsq:3*npsq])
-						c.DMA.Put(dstDP[le][o:o+npsq], dd[3*npsq:4*npsq])
-					} else {
-						c.DMA.Put(dstU[le][o:o+npsq], lu)
-						c.DMA.Put(dstV[le][o:o+npsq], lv)
-						c.DMA.Put(dstT[le][o:o+npsq], lt)
-						c.DMA.Put(dstDP[le][o:o+npsq], ldp)
-					}
-				}
-			}
-		})
-	})
-	return en.collectSplit(Athread, sub.Phase)
-}
-
-// biharmonicDP3D dispatches the weak biharmonic of dp3d; the exported,
-// instrumented entry point is in instrument.go.
+// biharmonicDP3D runs the weak biharmonic of dp3d as a Whole launch
+// (it is not part of the boundary/inner split); the identity subset
+// reproduces the aligned tile geometry of the unsplit runners.
 func (en *Engine) biharmonicDP3D(b Backend, in, out [][]float64) Cost {
 	en.beginLaunch(Subset{})
-	np, nlev := en.Np, en.Nlev
-	npsq := np * np
-	switch b {
-	case Intel, MPE:
-		flops, bytes := en.runTilesSerial(func(w *dynWorker, lo, hi int, p *serialPartial) {
-			for le := lo; le < hi; le++ {
-				dycore.BiharmonicDP3DElem(en.element(le), en.M.DerivFlat, np, nlev, in[le], out[le])
-				p.flops += biharmonicFlops(np, nlev)
-				p.bytes += int64(16 * npsq * nlev)
-			}
-		})
-		return serialCost(b, flops, bytes)
-	case OpenACC:
-		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
-			wlo, whi := lo*nlev, hi*nlev
-			cg.Spawn(func(c *sw.CPE) {
-				ldm := c.LDM
-				for w := firstWorkItem(wlo, c.ID); w < whi; w += sw.CPEsPerCG {
-					ldm.Reset()
-					le, k := w/nlev, w%nlev
-					e := en.element(le)
-					o := k * npsq
-					deriv := ldm.MustAlloc("deriv", npsq)
-					dinv := ldm.MustAlloc("dinv", 4*npsq)
-					metdet := ldm.MustAlloc("metdet", npsq)
-					c.DMA.GetShared(deriv, en.M.DerivFlat)
-					c.DMA.Get(dinv, e.DinvFlat)
-					c.DMA.Get(metdet, e.Metdet)
-					src := ldm.MustAlloc("src", npsq)
-					dst := ldm.MustAlloc("dst", npsq)
-					s1 := ldm.MustAlloc("s1", npsq)
-					s2 := ldm.MustAlloc("s2", npsq)
-					s3 := ldm.MustAlloc("s3", npsq)
-					s4 := ldm.MustAlloc("s4", npsq)
-					c.DMA.Get(src, in[le][o:o+npsq])
-					dycore.LaplaceSlab(deriv, dinv, metdet, e.DAlpha, np, src, dst, s1, s2, s3, s4)
-					c.CountFlops(lapFlops(np))
-					c.DMA.Put(out[le][o:o+npsq], dst)
-				}
-			})
-		})
-		return en.collect(OpenACC, 1)
-	case Athread:
-		en.runTilesCG(func(cg *sw.CoreGroup, lo, hi int) {
-			cg.Spawn(func(c *sw.CPE) {
-				ldm := c.LDM
-				s, vl := en.rowLevels(c.Row)
-				deriv := ldm.MustAlloc("deriv", npsq)
-				c.Setup(func() { c.DMA.GetShared(deriv, en.M.DerivFlat) })
-				dinv := ldm.MustAlloc("dinv", 4*npsq)
-				metdet := ldm.MustAlloc("metdet", npsq)
-				src := ldm.MustAlloc("src", npsq)
-				dst := ldm.MustAlloc("dst", npsq)
-				s1 := ldm.MustAlloc("s1", npsq)
-				s2 := ldm.MustAlloc("s2", npsq)
-				s3 := ldm.MustAlloc("s3", npsq)
-				s4 := ldm.MustAlloc("s4", npsq)
-				for blk := lo; blk+c.Col < hi; blk += sw.MeshDim {
-					le := blk + c.Col
-					e := en.element(le)
-					c.DMA.Get(dinv, e.DinvFlat)
-					c.DMA.Get(metdet, e.Metdet)
-					for k := s; k < s+vl; k++ {
-						o := k * npsq
-						c.DMA.Get(src, in[le][o:o+npsq])
-						laplaceSlabVec4(c, deriv, dinv, metdet, e.DAlpha, src, dst, s1, s2, s3, s4)
-						c.DMA.Put(out[le][o:o+npsq], dst)
-					}
-				}
-			})
-		})
-		return en.collect(Athread, 1)
+	bind := slabBind{
+		in:  [4][][]float64{in},
+		out: [4][][]float64{out},
 	}
-	panic("exec: unknown backend")
+	return en.lowerSlab(&biharmonicDP3DSpec, Subset{}, b, &bind)
 }
